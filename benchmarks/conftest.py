@@ -1,0 +1,58 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Every benchmark runs one experiment driver exactly once (``pedantic`` with one
+round) and prints the resulting table — the same series the paper's figure
+plots.  The scale is the laptop-friendly ``DEFAULT_CONFIG``; see EXPERIMENTS.md
+for the mapping to the paper's scale and for recorded reference output.
+"""
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.harness.config import DEFAULT_CONFIG, QUICK_CONFIG
+from repro.harness.report import format_rows
+
+#: Tables recorded by the benchmarks during the session, printed in the
+#: terminal summary (so they appear even under pytest's default capture).
+_RECORDED_TABLES: List[str] = []
+
+
+def report_figure(rows: Sequence[Dict], title: str) -> None:
+    """Print a figure's table and queue it for the end-of-run summary."""
+    table = format_rows(rows, title=title)
+    print(table)
+    _RECORDED_TABLES.append(table)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RECORDED_TABLES:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced figures (paper metrics per scheme)", sep="=")
+    for table in _RECORDED_TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick-experiments",
+        action="store_true",
+        default=False,
+        help="run the benchmark experiments at the smallest (smoke-test) scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config(request):
+    """The experiment configuration benchmarks run with."""
+    if request.config.getoption("--quick-experiments"):
+        return QUICK_CONFIG
+    return DEFAULT_CONFIG
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Figure 13 — varying the number of query-processor nodes.
+
+DRed vs Absorption Lazy on the reachable workload (insert everything, then
+delete 20 %) while the cluster grows from 4 to 24 processors.  Expected shape
+(Section 7.3): per-node state shrinks with more processors, convergence time
+falls until the 24-node configuration pays the slower inter-cluster link, and
+DRed remains costlier than Absorption Lazy throughout.
+"""
+
+from benchmarks.conftest import report_figure, run_once
+from repro.harness import run_figure13
+
+
+def test_figure13_scaling_processors(benchmark, experiment_config):
+    rows = run_once(benchmark, run_figure13, experiment_config)
+    report_figure(rows, title="Figure 13: varying the number of physical query processing nodes")
+    assert rows
+    lazy = [r for r in rows if r["scheme"] == "Absorption Lazy" and r["converged"]]
+    dred = [r for r in rows if r["scheme"] == "DRed" and r["converged"]]
+    assert lazy and dred
+    # More processors -> less state per node.
+    assert lazy[-1]["per_node_state_MB"] <= lazy[0]["per_node_state_MB"]
+    # DRed takes longer to converge than Absorption Lazy at every cluster size
+    # (its deletion handling re-derives the surviving view).  At the reduced
+    # benchmark scale the *byte* totals can favour DRed because the
+    # insertion phase (where provenance is pure overhead) dominates; the
+    # paper-scale byte gap is discussed in EXPERIMENTS.md.
+    for dred_row, lazy_row in zip(dred, lazy):
+        assert dred_row["convergence_time_s"] >= lazy_row["convergence_time_s"]

@@ -1,0 +1,90 @@
+"""Quickstart: maintain a distributed reachability view with absorption provenance.
+
+This walks through the paper's worked example (Figures 2, 3 and 5): a
+three-node network A, B, C with four links, the distributed computation of the
+``reachable`` transitive-closure view, and what happens when ``link(C, B)`` is
+deleted — under absorption provenance (cheap, precise) and under DRed
+(over-delete and re-derive).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.partition import HashPartitioner
+from repro.queries import build_executor, link, reachability_plan
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def make_executor(strategy: ExecutionStrategy):
+    """One query processor per network node, exactly as in the paper's example."""
+    partitioner = HashPartitioner.identity(3, {"A": 0, "B": 1, "C": 2})
+    return build_executor(
+        reachability_plan(), strategy, node_count=3, partitioner=partitioner
+    )
+
+
+LINKS = [link("A", "B"), link("B", "C"), link("C", "A"), link("C", "B")]
+
+
+def show_view(executor) -> None:
+    for node_id, name in enumerate("ABC"):
+        pairs = sorted(t.values for t in executor.view_at(node_id))
+        print(f"  node {name}: {pairs}")
+
+
+def main() -> None:
+    banner("1. Computing the reachable view (Absorption Lazy)")
+    absorption = make_executor(ExecutionStrategy.absorption_lazy())
+    phase = absorption.insert_edges(LINKS)
+    print(f"Inserted {len(LINKS)} link tuples.")
+    print(f"Shipped {phase.updates_shipped} tuples, {phase.communication_mb * 1000:.2f} KB "
+          f"of traffic, converged at t={phase.convergence_time_s * 1000:.2f} ms (simulated).")
+    print("The reachable view, partitioned by source node:")
+    show_view(absorption)
+
+    banner("2. Inspecting absorption provenance")
+    from repro.queries import reachable
+
+    node_c = absorption.nodes[2]
+    annotation = node_c.fixpoint.annotation_of(reachable("C", "B"))
+    print("Provenance of reachable(C, B) stored at node C:")
+    print(" ", absorption.store.describe(annotation))
+    print("(p4 alone, or p1 and p3 together — exactly Figure 2 of the paper.)")
+
+    banner("3. Deleting link(C, B) under absorption provenance")
+    phase = absorption.delete_edges([link("C", "B")])
+    print(f"Deletion shipped {phase.updates_shipped} tuples "
+          f"({phase.communication_mb * 1000:.2f} KB).")
+    print("The view is unchanged — every pair is still derivable without link(C, B):")
+    show_view(absorption)
+    annotation = node_c.fixpoint.annotation_of(reachable("C", "B"))
+    print("Provenance of reachable(C, B) is now:", absorption.store.describe(annotation))
+
+    banner("4. The same deletion under DRed (delete and re-derive)")
+    dred = make_executor(ExecutionStrategy.dred())
+    dred.insert_edges(LINKS)
+    phase = dred.delete_edges([link("C", "B")])
+    print(f"DRed shipped {phase.updates_shipped} tuples "
+          f"({phase.communication_mb * 1000:.2f} KB) to handle one deletion —")
+    print("roughly the cost of recomputing the whole view, as Section 3.2 observes.")
+    show_view(dred)
+
+    banner("5. Summary")
+    for executor, label in ((absorption, "Absorption Lazy"), (dred, "DRed")):
+        deletion_phase = executor.metrics.phases[-1]
+        print(
+            f"  {label:16s} deletion traffic: {deletion_phase.communication_mb * 1000:8.2f} KB  "
+            f"updates shipped: {deletion_phase.updates_shipped:4d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

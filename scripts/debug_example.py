@@ -1,0 +1,38 @@
+"""Debug driver: run the paper's 3-node example under each strategy with a watchdog."""
+
+import faulthandler
+import sys
+import time
+
+faulthandler.dump_traceback_later(20, exit=True)
+
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.partition import HashPartitioner
+from repro.queries import build_executor, link, reachability_plan
+
+LINKS = [link("A", "B"), link("B", "C"), link("C", "A"), link("C", "B")]
+
+
+def run(strategy):
+    partitioner = HashPartitioner.identity(3, {"A": 0, "B": 1, "C": 2})
+    executor = build_executor(reachability_plan(), strategy, node_count=3, partitioner=partitioner)
+    start = time.time()
+    executor.insert_edges(LINKS)
+    print(f"{strategy.label:20s} insert ok, view={len(executor.view())}, "
+          f"events={executor.network.events_processed}, {time.time()-start:.2f}s", flush=True)
+    executor.delete_edges([link("C", "B")])
+    print(f"{strategy.label:20s} delete ok, view={len(executor.view())}, "
+          f"events={executor.network.events_processed}, {time.time()-start:.2f}s", flush=True)
+
+
+for s in [
+    ExecutionStrategy.dred(),
+    ExecutionStrategy.absorption_eager(),
+    ExecutionStrategy.absorption_lazy(),
+    ExecutionStrategy.relative_eager(),
+    ExecutionStrategy.relative_lazy(),
+]:
+    faulthandler.cancel_dump_traceback_later()
+    faulthandler.dump_traceback_later(20, exit=True)
+    run(s)
+print("all done")

@@ -1,0 +1,37 @@
+"""Calibration script: how long do the figure-style experiments take at various scales?"""
+
+import sys
+import time
+
+from repro.engine.strategy import ExecutionStrategy
+from repro.queries import build_executor, reachability_plan
+from repro.workloads.topology import TransitStubConfig, generate_topology
+from repro.workloads.updates import deletion_sample
+
+
+def run(nodes_per_stub, dense, strategies):
+    config = TransitStubConfig(nodes_per_stub=nodes_per_stub, dense=dense, seed=7)
+    topo = generate_topology(config)
+    links = topo.link_tuples()
+    print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
+    for strategy in strategies:
+        executor = build_executor(reachability_plan(), strategy, node_count=12)
+        t0 = time.time()
+        ins = executor.insert_edges(links)
+        t1 = time.time()
+        dels = deletion_sample(links, 0.2)
+        executor.delete_edges(dels)
+        t2 = time.time()
+        print(
+            f"{strategy.label:18s} insert {t1-t0:6.2f}s ({ins.updates_shipped} shipped, "
+            f"{executor.network.events_processed} events) delete20% {t2-t1:6.2f}s view={len(executor.view())}",
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    nodes_per_stub = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    dense = (sys.argv[2] != "sparse") if len(sys.argv) > 2 else True
+    labels = sys.argv[3].split(",") if len(sys.argv) > 3 else ["DRed", "Absorption Lazy", "Absorption Eager"]
+    strategies = [ExecutionStrategy.by_name(label) for label in labels]
+    run(nodes_per_stub, dense, strategies)

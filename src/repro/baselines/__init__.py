@@ -1,0 +1,26 @@
+"""Ground-truth baselines used to validate the distributed engine.
+
+* :mod:`repro.baselines.networkx_ref` — reachability, shortest paths and
+  connected regions computed directly with networkx over the live base data;
+* :mod:`repro.baselines.centralized` — a centralized semi-naive recomputation
+  of the same recursive views (no distribution, no incrementality), used both
+  as a correctness oracle and as the "recompute from scratch" cost reference.
+"""
+
+from repro.baselines.centralized import CentralizedRecursiveEvaluator
+from repro.baselines.networkx_ref import (
+    cheapest_path_costs,
+    connected_regions,
+    fewest_hop_counts,
+    reachable_pairs,
+    region_sizes_reference,
+)
+
+__all__ = [
+    "reachable_pairs",
+    "cheapest_path_costs",
+    "fewest_hop_counts",
+    "connected_regions",
+    "region_sizes_reference",
+    "CentralizedRecursiveEvaluator",
+]

@@ -1,0 +1,116 @@
+"""Ground truth computed with networkx.
+
+These functions answer the same questions as the distributed recursive views
+— which pairs are reachable, what the cheapest/shortest paths cost, which
+sensors belong to which contiguous region — directly from the *current* base
+data.  Integration tests compare the engine's maintained views against these
+answers after every workload phase, under every maintenance strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Set, Tuple as PyTuple
+
+import networkx as nx
+
+
+def _digraph(edges: Iterable[PyTuple[Any, Any]]) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    return graph
+
+
+def reachable_pairs(edges: Iterable[PyTuple[Any, Any]]) -> Set[PyTuple[Any, Any]]:
+    """All ordered pairs (x, y) with a directed path of >= 1 edge from x to y.
+
+    Matches the semantics of Query 1: ``reachable`` contains (x, x) only when
+    x lies on a directed cycle.
+    """
+    graph = _digraph(edges)
+    pairs: Set[PyTuple[Any, Any]] = set()
+    for source in graph.nodes:
+        for target in nx.descendants(graph, source):
+            pairs.add((source, target))
+        # nx.descendants excludes the source itself; include it when the
+        # source can return to itself through a cycle.
+        for successor in graph.successors(source):
+            if successor == source or nx.has_path(graph, successor, source):
+                pairs.add((source, source))
+                break
+    return pairs
+
+
+def cheapest_path_costs(
+    weighted_edges: Iterable[PyTuple[Any, Any, float]]
+) -> Dict[PyTuple[Any, Any], float]:
+    """Minimum path cost for every reachable ordered pair (paths of >= 1 edge)."""
+    graph = nx.DiGraph()
+    for src, dst, cost in weighted_edges:
+        if graph.has_edge(src, dst):
+            graph[src][dst]["weight"] = min(graph[src][dst]["weight"], cost)
+        else:
+            graph.add_edge(src, dst, weight=cost)
+    costs: Dict[PyTuple[Any, Any], float] = {}
+    for source in graph.nodes:
+        lengths = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+        for target, cost in lengths.items():
+            if target == source:
+                continue
+            costs[(source, target)] = cost
+    # Self-pairs through cycles: cheapest cycle through the node.
+    for source in graph.nodes:
+        best = None
+        for successor in graph.successors(source):
+            if successor == source:
+                candidate = graph[source][source]["weight"]
+            else:
+                try:
+                    back = nx.dijkstra_path_length(graph, successor, source, weight="weight")
+                except nx.NetworkXNoPath:
+                    continue
+                candidate = graph[source][successor]["weight"] + back
+            if best is None or candidate < best:
+                best = candidate
+        if best is not None:
+            costs[(source, source)] = best
+    return costs
+
+
+def fewest_hop_counts(
+    edges: Iterable[PyTuple[Any, Any]]
+) -> Dict[PyTuple[Any, Any], int]:
+    """Minimum hop count for every reachable ordered pair (paths of >= 1 edge)."""
+    unit_edges = [(src, dst, 1.0) for src, dst in edges]
+    return {pair: int(cost) for pair, cost in cheapest_path_costs(unit_edges).items()}
+
+
+def connected_regions(
+    seeds: Mapping[Any, Any],
+    proximity_edges: Iterable[PyTuple[Any, Any]],
+) -> Dict[Any, Set[Any]]:
+    """Region membership: sensors reachable from each region's seed sensors.
+
+    ``seeds`` maps a seed sensor to its region id; ``proximity_edges`` are the
+    directed "triggered and within k" edges.  A sensor belongs to a region
+    when it is a (triggered) seed of that region or reachable from one through
+    proximity edges — the semantics of Query 3.
+    """
+    graph = _digraph(proximity_edges)
+    members: Dict[Any, Set[Any]] = {}
+    for sensor, region in seeds.items():
+        region_members = members.setdefault(region, set())
+        region_members.add(sensor)
+        if sensor in graph:
+            region_members.update(nx.descendants(graph, sensor))
+    return members
+
+
+def region_sizes_reference(
+    seeds: Mapping[Any, Any],
+    proximity_edges: Iterable[PyTuple[Any, Any]],
+) -> Dict[Any, int]:
+    """Reference ``regionSizes``: number of member sensors per region."""
+    return {
+        region: len(sensors)
+        for region, sensors in connected_regions(seeds, proximity_edges).items()
+    }

@@ -1,0 +1,29 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+This package is the substrate for *absorption provenance* (Section 4 of the
+paper): every view tuple is annotated with a Boolean expression over base-tuple
+variables, and the expression is stored canonically as a BDD so that Boolean
+absorption (``a AND (a OR b) == a``) happens automatically through hash-consing.
+
+The public surface mirrors what the paper uses from JavaBDD:
+
+* :class:`~repro.bdd.manager.BDDManager` — creates variables and combines
+  functions with AND / OR / NOT / ITE / restrict.
+* :class:`~repro.bdd.manager.BDD` — an immutable handle to a Boolean function.
+* :mod:`repro.bdd.expr` — a symbolic sum-of-products representation used as a
+  comparison point (ablation) and for human-readable provenance dumps.
+"""
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.expr import BoolExpr, Conjunction, Disjunction, Literal, FALSE_EXPR, TRUE_EXPR
+
+__all__ = [
+    "BDD",
+    "BDDManager",
+    "BoolExpr",
+    "Conjunction",
+    "Disjunction",
+    "Literal",
+    "TRUE_EXPR",
+    "FALSE_EXPR",
+]

@@ -1,0 +1,165 @@
+"""Symbolic sum-of-products Boolean expressions.
+
+The paper chooses BDDs as the physical encoding of absorption provenance but
+notes that expressions *could* be normalised to sum-of-products form with
+explicit absorption logic.  This module implements that alternative encoding.
+It is used:
+
+* as an ablation point (``benchmarks/test_ablation_provenance_encoding.py``)
+  comparing encoding sizes of BDDs vs. minimised DNF;
+* to render human-readable provenance in examples and error messages;
+* in property tests as an independent oracle for the BDD implementation.
+
+An expression is kept as a set of *products*; each product is a frozenset of
+positive literals (base-tuple variable names).  Absorption prunes any product
+that is a superset of another product, which is exactly the Boolean law
+``a OR (a AND b) == a`` that gives absorption provenance its name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+Product = FrozenSet[Hashable]
+
+
+def _absorb(products: Iterable[Product]) -> FrozenSet[Product]:
+    """Drop any product that is a strict superset of another product."""
+    unique = set(products)
+    kept: Set[Product] = set()
+    for candidate in sorted(unique, key=len):
+        if not any(existing <= candidate for existing in kept):
+            kept.add(candidate)
+    return frozenset(kept)
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """A monotone Boolean expression in minimised sum-of-products form.
+
+    ``products`` is a frozenset of frozensets of variable names.  The empty
+    set of products is ``False``; a products set containing the empty product
+    is ``True`` (it absorbs everything else).
+    """
+
+    products: FrozenSet[Product] = field(default_factory=frozenset)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def false() -> "BoolExpr":
+        """The constant-false expression (no derivations)."""
+        return FALSE_EXPR
+
+    @staticmethod
+    def true() -> "BoolExpr":
+        """The constant-true expression."""
+        return TRUE_EXPR
+
+    @staticmethod
+    def variable(name: Hashable) -> "BoolExpr":
+        """A single base-tuple variable."""
+        return BoolExpr(frozenset({frozenset({name})}))
+
+    @staticmethod
+    def from_products(products: Iterable[Iterable[Hashable]]) -> "BoolExpr":
+        """Build an expression from an iterable of products (OR of ANDs)."""
+        return BoolExpr(_absorb(frozenset(product) for product in products))
+
+    # -- predicates ----------------------------------------------------------
+    def is_false(self) -> bool:
+        """True iff no derivation exists."""
+        return not self.products
+
+    def is_true(self) -> bool:
+        """True iff the expression is the constant True."""
+        return frozenset() in self.products
+
+    # -- algebra ---------------------------------------------------------------
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr(_absorb(self.products | other.products))
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        if self.is_false() or other.is_false():
+            return FALSE_EXPR
+        combined = {
+            mine | theirs for mine in self.products for theirs in other.products
+        }
+        return BoolExpr(_absorb(combined))
+
+    def without(self, names: Iterable[Hashable]) -> "BoolExpr":
+        """Set the named variables to False: drop every product using them."""
+        removed = set(names)
+        remaining = {
+            product for product in self.products if not (product & removed)
+        }
+        return BoolExpr(frozenset(remaining))
+
+    def restrict(self, assignment: Mapping[Hashable, bool]) -> "BoolExpr":
+        """Substitute constants for variables (True literals are removed from products)."""
+        false_names = {name for name, value in assignment.items() if not value}
+        true_names = {name for name, value in assignment.items() if value}
+        products = []
+        for product in self.products:
+            if product & false_names:
+                continue
+            products.append(product - true_names)
+        return BoolExpr(_absorb(products))
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate under an assignment (missing variables default to False)."""
+        for product in self.products:
+            if all(assignment.get(name, False) for name in product):
+                return True
+        return False
+
+    # -- metrics -----------------------------------------------------------------
+    def variables(self) -> FrozenSet[Hashable]:
+        """All variables mentioned by the expression."""
+        names: Set[Hashable] = set()
+        for product in self.products:
+            names |= product
+        return frozenset(names)
+
+    def literal_count(self) -> int:
+        """Total number of literal occurrences (DNF size)."""
+        return sum(len(product) for product in self.products)
+
+    def size_bytes(self) -> int:
+        """Approximate encoded size: 8 bytes per literal plus 4 per product."""
+        return max(8 * self.literal_count() + 4 * len(self.products), 8)
+
+    def __repr__(self) -> str:
+        if self.is_false():
+            return "BoolExpr(False)"
+        if self.is_true():
+            return "BoolExpr(True)"
+        rendered = " | ".join(
+            "(" + " & ".join(str(name) for name in sorted(product, key=str)) + ")"
+            for product in sorted(self.products, key=lambda p: sorted(map(str, p)))
+        )
+        return f"BoolExpr({rendered})"
+
+
+def Literal(name: Hashable) -> BoolExpr:
+    """Convenience constructor for a single-variable expression."""
+    return BoolExpr.variable(name)
+
+
+def Conjunction(*names: Hashable) -> BoolExpr:
+    """Convenience constructor for a single product of variables."""
+    return BoolExpr.from_products([names])
+
+
+def Disjunction(*exprs: BoolExpr) -> BoolExpr:
+    """Convenience constructor OR-ing several expressions together."""
+    result = FALSE_EXPR
+    for expr in exprs:
+        result = result | expr
+    return result
+
+
+#: The constant-false expression.
+FALSE_EXPR = BoolExpr(frozenset())
+#: The constant-true expression.
+TRUE_EXPR = BoolExpr(frozenset({frozenset()}))

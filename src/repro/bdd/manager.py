@@ -1,0 +1,568 @@
+"""A reduced ordered BDD manager.
+
+The manager owns a :class:`~repro.bdd.node.NodeTable` plus memoisation caches
+for the binary ``apply`` operations, negation, restriction and support
+computation.  :class:`BDD` objects are thin immutable handles (manager + node
+id) with operator overloading, which is how the provenance layer and operators
+manipulate absorption provenance::
+
+    mgr = BDDManager()
+    p1, p2, p3 = mgr.variables("p1", "p2", "p3")
+    pv = (p1 & p2) | (p1 & p2 & p3)     # absorption collapses this to p1 & p2
+    assert pv == (p1 & p2)
+    assert pv.restrict({"p1": False}).is_false()
+
+The per-tuple provenance size metric in the paper is reported from
+:meth:`BDD.node_count` / :meth:`BDD.size_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.node import FALSE, TERMINAL_VAR, TRUE, NodeTable
+
+#: Estimated in-memory bytes per BDD node: variable index, low and high
+#: pointers plus hash-table overhead.  Used for the "per-tuple provenance
+#: overhead (B)" metric; JavaBDD nodes cost roughly the same.
+BYTES_PER_NODE = 16
+
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+
+class BDDError(Exception):
+    """Raised on misuse of the BDD layer (unknown variables, mixed managers)."""
+
+
+class BDD:
+    """An immutable handle to a Boolean function owned by a :class:`BDDManager`."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: "BDDManager", node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BDD):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "BDD truth value is ambiguous; use .is_true() / .is_false() / .is_satisfiable()"
+        )
+
+    def __repr__(self) -> str:
+        if self.is_false():
+            return "BDD(False)"
+        if self.is_true():
+            return "BDD(True)"
+        return f"BDD(node={self.node}, vars={sorted(self.support_names())})"
+
+    # -- constants ---------------------------------------------------------
+    def is_false(self) -> bool:
+        """True iff this is the constant-false function (tuple not derivable)."""
+        return self.node == FALSE
+
+    def is_true(self) -> bool:
+        """True iff this is the constant-true function."""
+        return self.node == TRUE
+
+    def is_satisfiable(self) -> bool:
+        """True iff some assignment makes the function true.
+
+        Because ROBDDs are canonical, any non-FALSE node is satisfiable.
+        """
+        return self.node != FALSE
+
+    # -- boolean algebra ----------------------------------------------------
+    def __and__(self, other: "BDD") -> "BDD":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "BDD") -> "BDD":
+        return self.manager.apply_or(self, other)
+
+    def __xor__(self, other: "BDD") -> "BDD":
+        return self.manager.apply_xor(self, other)
+
+    def __invert__(self) -> "BDD":
+        return self.manager.negate(self)
+
+    def implies(self, other: "BDD") -> bool:
+        """Return True iff ``self -> other`` is a tautology."""
+        return (self & ~other).is_false()
+
+    def equivalent(self, other: "BDD") -> bool:
+        """Canonical equality: same manager node id."""
+        return self == other
+
+    # -- cofactors / restriction --------------------------------------------
+    def restrict(self, assignment: Mapping[Hashable, bool]) -> "BDD":
+        """Substitute constants for variables (by *name*) and simplify.
+
+        This is the operation the paper calls ``restrict(oldPv, NOT u.pv)``
+        for single-variable deletions: setting a deleted base tuple's variable
+        to ``False`` everywhere.
+        """
+        return self.manager.restrict(self, assignment)
+
+    def without(self, names: Iterable[Hashable]) -> "BDD":
+        """Set every variable in ``names`` to False (deletion of base tuples)."""
+        return self.manager.restrict(self, {name: False for name in names})
+
+    def exist(self, names: Iterable[Hashable]) -> "BDD":
+        """Existentially quantify the given variables out of the function."""
+        return self.manager.exist(self, names)
+
+    # -- structure / metrics -------------------------------------------------
+    def node_count(self) -> int:
+        """Number of decision nodes in this BDD (terminals excluded)."""
+        return self.manager.node_count(self)
+
+    def size_bytes(self) -> int:
+        """Estimated encoded size of this provenance annotation in bytes."""
+        return self.manager.size_bytes(self)
+
+    def support(self) -> FrozenSet[int]:
+        """Variable *indices* the function depends on."""
+        return self.manager.support(self)
+
+    def support_names(self) -> FrozenSet[Hashable]:
+        """Variable *names* the function depends on."""
+        return frozenset(self.manager.name_of(idx) for idx in self.support())
+
+    def sat_count(self) -> int:
+        """Number of satisfying assignments over the manager's declared variables."""
+        return self.manager.sat_count(self)
+
+    def any_sat(self) -> Optional[Dict[Hashable, bool]]:
+        """Return one satisfying assignment (partial, by name) or None."""
+        return self.manager.any_sat(self)
+
+    def iter_products(self) -> Iterator[FrozenSet[Hashable]]:
+        """Iterate over the positive-literal products of a monotone function.
+
+        For absorption provenance (which is monotone in base tuples) this
+        enumerates the minimal "witness" sets of base tuples, i.e. the
+        prime implicants restricted to positive literals.  Useful for
+        debugging and for the relative-provenance comparison.
+        """
+        return self.manager.iter_products(self)
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate under a *total* assignment of the support variables."""
+        return self.manager.evaluate(self, assignment)
+
+
+class BDDManager:
+    """Creates variables and performs hash-consed BDD operations.
+
+    Variables are identified by arbitrary hashable *names* (the provenance
+    layer uses base-tuple keys); the manager assigns each a position in the
+    global variable order in creation order.
+    """
+
+    def __init__(self) -> None:
+        self._table = NodeTable()
+        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._restrict_cache: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
+        self._support_cache: Dict[int, FrozenSet[int]] = {}
+        self._index_by_name: Dict[Hashable, int] = {}
+        self._name_by_index: List[Hashable] = []
+
+    # -- variable management ------------------------------------------------
+    def variable(self, name: Hashable) -> BDD:
+        """Return (creating if needed) the BDD for the single variable ``name``."""
+        index = self._index_by_name.get(name)
+        if index is None:
+            index = len(self._name_by_index)
+            self._index_by_name[name] = index
+            self._name_by_index.append(name)
+        node = self._table.make(index, FALSE, TRUE)
+        return BDD(self, node)
+
+    def variables(self, *names: Hashable) -> Tuple[BDD, ...]:
+        """Create several variables at once, in order."""
+        return tuple(self.variable(name) for name in names)
+
+    def has_variable(self, name: Hashable) -> bool:
+        """True if ``name`` has been declared as a variable."""
+        return name in self._index_by_name
+
+    def name_of(self, index: int) -> Hashable:
+        """Map a variable index back to its name."""
+        return self._name_by_index[index]
+
+    def index_of(self, name: Hashable) -> int:
+        """Map a variable name to its order index (raises BDDError if unknown)."""
+        try:
+            return self._index_by_name[name]
+        except KeyError as exc:
+            raise BDDError(f"unknown BDD variable: {name!r}") from exc
+
+    @property
+    def variable_count(self) -> int:
+        """Number of declared variables."""
+        return len(self._name_by_index)
+
+    @property
+    def table_size(self) -> int:
+        """Total number of nodes ever allocated (terminals included)."""
+        return len(self._table)
+
+    # -- constants ------------------------------------------------------------
+    @property
+    def true(self) -> BDD:
+        """The constant-true function."""
+        return BDD(self, TRUE)
+
+    @property
+    def false(self) -> BDD:
+        """The constant-false function."""
+        return BDD(self, FALSE)
+
+    # -- core apply -----------------------------------------------------------
+    def _check(self, *operands: BDD) -> None:
+        for operand in operands:
+            if operand.manager is not self:
+                raise BDDError("cannot combine BDDs from different managers")
+
+    def apply_and(self, left: BDD, right: BDD) -> BDD:
+        """Conjunction (used when operators join tuples)."""
+        self._check(left, right)
+        return BDD(self, self._apply(_OP_AND, left.node, right.node))
+
+    def apply_or(self, left: BDD, right: BDD) -> BDD:
+        """Disjunction (used when a tuple gains an alternative derivation)."""
+        self._check(left, right)
+        return BDD(self, self._apply(_OP_OR, left.node, right.node))
+
+    def apply_xor(self, left: BDD, right: BDD) -> BDD:
+        """Exclusive-or (used by tests to compare functions)."""
+        self._check(left, right)
+        return BDD(self, self._apply(_OP_XOR, left.node, right.node))
+
+    def negate(self, operand: BDD) -> BDD:
+        """Logical negation."""
+        self._check(operand)
+        return BDD(self, self._negate(operand.node))
+
+    def conjoin(self, operands: Iterable[BDD]) -> BDD:
+        """AND a collection of BDDs together (empty -> True)."""
+        result = TRUE
+        for operand in operands:
+            self._check(operand)
+            result = self._apply(_OP_AND, result, operand.node)
+            if result == FALSE:
+                break
+        return BDD(self, result)
+
+    def disjoin(self, operands: Iterable[BDD]) -> BDD:
+        """OR a collection of BDDs together (empty -> False)."""
+        result = FALSE
+        for operand in operands:
+            self._check(operand)
+            result = self._apply(_OP_OR, result, operand.node)
+            if result == TRUE:
+                break
+        return BDD(self, result)
+
+    def ite(self, cond: BDD, then: BDD, otherwise: BDD) -> BDD:
+        """If-then-else composition: ``(cond AND then) OR (NOT cond AND otherwise)``."""
+        self._check(cond, then, otherwise)
+        positive = self._apply(_OP_AND, cond.node, then.node)
+        negative = self._apply(_OP_AND, self._negate(cond.node), otherwise.node)
+        return BDD(self, self._apply(_OP_OR, positive, negative))
+
+    def _terminal_apply(self, op: int, left: int, right: int) -> Optional[int]:
+        if op == _OP_AND:
+            if left == FALSE or right == FALSE:
+                return FALSE
+            if left == TRUE:
+                return right
+            if right == TRUE:
+                return left
+            if left == right:
+                return left
+        elif op == _OP_OR:
+            if left == TRUE or right == TRUE:
+                return TRUE
+            if left == FALSE:
+                return right
+            if right == FALSE:
+                return left
+            if left == right:
+                return left
+        else:  # XOR
+            if left == right:
+                return FALSE
+            if left == FALSE:
+                return right
+            if right == FALSE:
+                return left
+        return None
+
+    def _apply(self, op: int, left: int, right: int) -> int:
+        terminal = self._terminal_apply(op, left, right)
+        if terminal is not None:
+            return terminal
+        # Canonicalise commutative operand order for better cache hit rates.
+        if left > right:
+            left, right = right, left
+        key = (op, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        table = self._table
+        lvar = table.var_of(left)
+        rvar = table.var_of(right)
+        var = lvar if lvar <= rvar else rvar
+        if lvar == var:
+            l_low, l_high = table.low_of(left), table.high_of(left)
+        else:
+            l_low = l_high = left
+        if rvar == var:
+            r_low, r_high = table.low_of(right), table.high_of(right)
+        else:
+            r_low = r_high = right
+        low = self._apply(op, l_low, r_low)
+        high = self._apply(op, l_high, r_high)
+        node = table.make(var, low, high)
+        self._apply_cache[key] = node
+        return node
+
+    def _negate(self, node: int) -> int:
+        if node == FALSE:
+            return TRUE
+        if node == TRUE:
+            return FALSE
+        cached = self._not_cache.get(node)
+        if cached is not None:
+            return cached
+        table = self._table
+        var, low, high = table.triple(node)
+        result = table.make(var, self._negate(low), self._negate(high))
+        self._not_cache[node] = result
+        return result
+
+    # -- restriction / quantification -----------------------------------------
+    def restrict(self, operand: BDD, assignment: Mapping[Hashable, bool]) -> BDD:
+        """Substitute constants for named variables.
+
+        Unknown variable names are ignored (they cannot occur in the function),
+        which lets callers blindly zero out deleted base tuples.
+        """
+        self._check(operand)
+        indexed: List[Tuple[int, bool]] = []
+        for name, value in assignment.items():
+            index = self._index_by_name.get(name)
+            if index is not None:
+                indexed.append((index, bool(value)))
+        if not indexed:
+            return operand
+        indexed.sort()
+        key_suffix = tuple(indexed)
+        mapping = dict(indexed)
+        node = self._restrict(operand.node, mapping, key_suffix)
+        return BDD(self, node)
+
+    def _restrict(
+        self,
+        node: int,
+        mapping: Dict[int, bool],
+        key_suffix: Tuple[Tuple[int, bool], ...],
+    ) -> int:
+        if node <= TRUE:
+            return node
+        key = (node, key_suffix)
+        cached = self._restrict_cache.get(key)
+        if cached is not None:
+            return cached
+        table = self._table
+        var, low, high = table.triple(node)
+        if var in mapping:
+            result = self._restrict(high if mapping[var] else low, mapping, key_suffix)
+        else:
+            new_low = self._restrict(low, mapping, key_suffix)
+            new_high = self._restrict(high, mapping, key_suffix)
+            result = table.make(var, new_low, new_high)
+        self._restrict_cache[key] = result
+        return result
+
+    def exist(self, operand: BDD, names: Iterable[Hashable]) -> BDD:
+        """Existential quantification over the named variables."""
+        self._check(operand)
+        result = operand
+        for name in names:
+            if name not in self._index_by_name:
+                continue
+            low = self.restrict(result, {name: False})
+            high = self.restrict(result, {name: True})
+            result = self.apply_or(low, high)
+        return result
+
+    # -- structural queries -----------------------------------------------------
+    def node_count(self, operand: BDD) -> int:
+        """Count decision nodes reachable from ``operand`` (terminals excluded)."""
+        self._check(operand)
+        seen: Set[int] = set()
+        stack = [operand.node]
+        table = self._table
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            stack.append(table.low_of(node))
+            stack.append(table.high_of(node))
+        return len(seen)
+
+    def size_bytes(self, operand: BDD) -> int:
+        """Approximate wire/memory size of the annotation in bytes.
+
+        Terminals (True/False annotations) still cost a small constant, which
+        matches the paper's observation that set-semantics execution (DRed)
+        has a small but non-zero per-tuple overhead.
+        """
+        count = self.node_count(operand)
+        return max(count, 1) * BYTES_PER_NODE
+
+    def support(self, operand: BDD) -> FrozenSet[int]:
+        """Set of variable indices the function depends on."""
+        self._check(operand)
+        return self._support(operand.node)
+
+    def _support(self, node: int) -> FrozenSet[int]:
+        if node <= TRUE:
+            return frozenset()
+        cached = self._support_cache.get(node)
+        if cached is not None:
+            return cached
+        table = self._table
+        var, low, high = table.triple(node)
+        result = frozenset({var}) | self._support(low) | self._support(high)
+        self._support_cache[node] = result
+        return result
+
+    def sat_count(self, operand: BDD) -> int:
+        """Number of satisfying assignments over all declared variables."""
+        self._check(operand)
+        total_vars = self.variable_count
+        cache: Dict[int, int] = {}
+        table = self._table
+
+        def count(node: int) -> int:
+            # Returns #solutions over variables strictly below `level(node)`,
+            # normalised at the end.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            if node in cache:
+                return cache[node]
+            var, low, high = table.triple(node)
+            low_count = count(low) << (self._gap(low) - var - 1)
+            high_count = count(high) << (self._gap(high) - var - 1)
+            result = low_count + high_count
+            cache[node] = result
+            return result
+
+        root = operand.node
+        if root == FALSE:
+            return 0
+        if root == TRUE:
+            return 1 << total_vars
+        return count(root) << (table.var_of(root))
+
+    def _gap(self, node: int) -> int:
+        if node <= TRUE:
+            return self.variable_count
+        return self._table.var_of(node)
+
+    def any_sat(self, operand: BDD) -> Optional[Dict[Hashable, bool]]:
+        """Return one (partial) satisfying assignment keyed by variable name."""
+        self._check(operand)
+        node = operand.node
+        if node == FALSE:
+            return None
+        assignment: Dict[Hashable, bool] = {}
+        table = self._table
+        while node > TRUE:
+            var, low, high = table.triple(node)
+            if high != FALSE:
+                assignment[self._name_by_index[var]] = True
+                node = high
+            else:
+                assignment[self._name_by_index[var]] = False
+                node = low
+        return assignment
+
+    def evaluate(self, operand: BDD, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        self._check(operand)
+        node = operand.node
+        table = self._table
+        while node > TRUE:
+            var = table.var_of(node)
+            name = self._name_by_index[var]
+            if name not in assignment:
+                raise BDDError(f"assignment missing variable {name!r}")
+            node = table.high_of(node) if assignment[name] else table.low_of(node)
+        return node == TRUE
+
+    def iter_products(self, operand: BDD) -> Iterator[FrozenSet[Hashable]]:
+        """Enumerate positive-literal products of a monotone function.
+
+        Each yielded frozenset of variable names, when all set to True (and all
+        other variables False), satisfies the function.  For monotone functions
+        (absorption provenance) these are exactly the minimal support sets of
+        derivations that survive absorption.
+        """
+        self._check(operand)
+        table = self._table
+        seen: Set[FrozenSet[Hashable]] = set()
+
+        def walk(node: int, acc: Tuple[Hashable, ...]) -> Iterator[FrozenSet[Hashable]]:
+            if node == FALSE:
+                return
+            if node == TRUE:
+                product = frozenset(acc)
+                if product not in seen:
+                    seen.add(product)
+                    yield product
+                return
+            var, low, high = table.triple(node)
+            name = self._name_by_index[var]
+            yield from walk(low, acc)
+            yield from walk(high, acc + (name,))
+
+        yield from walk(operand.node, ())
+
+    # -- conversion -------------------------------------------------------------
+    def from_products(self, products: Iterable[Iterable[Hashable]]) -> BDD:
+        """Build the disjunction of conjunctions of the named variables.
+
+        ``from_products([["p1", "p2"], ["p3"]])`` is ``(p1 & p2) | p3``.
+        """
+        result = self.false
+        for product in products:
+            term = self.true
+            for name in product:
+                term = term & self.variable(name)
+            result = result | term
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (the node table itself is kept)."""
+        self._apply_cache.clear()
+        self._not_cache.clear()
+        self._restrict_cache.clear()
+        self._support_cache.clear()

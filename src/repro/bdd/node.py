@@ -1,0 +1,90 @@
+"""Node storage for the ROBDD manager.
+
+Nodes are stored in flat parallel arrays inside :class:`NodeTable` and are
+referenced by integer ids.  Two ids are reserved:
+
+* ``0`` — the ``FALSE`` terminal
+* ``1`` — the ``TRUE`` terminal
+
+Every other id refers to a decision node ``(var, low, high)`` where ``low`` is
+the cofactor for ``var = 0`` and ``high`` the cofactor for ``var = 1``.  The
+table enforces the two ROBDD invariants:
+
+* *No redundant tests*: a node with ``low == high`` is never created; the
+  shared child id is returned instead.
+* *Uniqueness*: the ``(var, low, high)`` triple is hash-consed, so structurally
+  equal functions share the same id and equality checks are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Reserved node id for the constant ``False`` function.
+FALSE = 0
+#: Reserved node id for the constant ``True`` function.
+TRUE = 1
+
+#: Variable index used by the terminal nodes; larger than any real variable so
+#: that the "top variable" of a pair of nodes is always well defined.
+TERMINAL_VAR = 1 << 60
+
+
+class NodeTable:
+    """Hash-consed storage for BDD nodes.
+
+    The table only creates canonical nodes; callers (the manager) are
+    responsible for variable ordering being respected, which it is by
+    construction of the Shannon expansion in ``BDDManager._apply``.
+    """
+
+    __slots__ = ("_var", "_low", "_high", "_unique")
+
+    def __init__(self) -> None:
+        # Slot 0 is FALSE, slot 1 is TRUE.
+        self._var: List[int] = [TERMINAL_VAR, TERMINAL_VAR]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._var)
+
+    def var_of(self, node: int) -> int:
+        """Return the decision variable of ``node`` (``TERMINAL_VAR`` for terminals)."""
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        """Return the ``var = 0`` cofactor of ``node``."""
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        """Return the ``var = 1`` cofactor of ``node``."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """Return True for the FALSE/TRUE terminals."""
+        return node <= TRUE
+
+    def make(self, var: int, low: int, high: int) -> int:
+        """Return the canonical node id for ``(var, low, high)``.
+
+        Applies the reduction rules: merges redundant tests and reuses
+        existing isomorphic nodes.
+        """
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def triple(self, node: int) -> Tuple[int, int, int]:
+        """Return ``(var, low, high)`` of ``node`` (terminals included)."""
+        return self._var[node], self._low[node], self._high[node]

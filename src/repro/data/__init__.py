@@ -1,0 +1,36 @@
+"""Data model: tuples, update streams, relations and soft-state windows.
+
+The execution model of the paper (Section 3.1) is a distributed, continuous
+computation over horizontally partitioned *set* relations updated by streams
+of insertions and deletions.  This package provides:
+
+* :class:`~repro.data.tuples.Schema` and :class:`~repro.data.tuples.Tuple` —
+  named, immutable tuples with byte-size accounting;
+* :class:`~repro.data.update.Update` — INS/DEL operations carrying optional
+  provenance annotations;
+* :class:`~repro.data.relation.Relation` and
+  :class:`~repro.data.relation.PartitionedRelation` — set-semantics relations,
+  optionally horizontally partitioned by a key attribute;
+* :class:`~repro.data.stream.UpdateStream` — ordered update streams with
+  replay support;
+* :class:`~repro.data.window.SlidingWindow` — time-based soft-state expiry of
+  base tuples (Section 3.1 / 4.3.3).
+"""
+
+from repro.data.tuples import Schema, Tuple
+from repro.data.update import Update, UpdateType
+from repro.data.relation import PartitionedRelation, Relation
+from repro.data.stream import UpdateStream
+from repro.data.window import SlidingWindow, WindowExpiration
+
+__all__ = [
+    "Schema",
+    "Tuple",
+    "Update",
+    "UpdateType",
+    "Relation",
+    "PartitionedRelation",
+    "UpdateStream",
+    "SlidingWindow",
+    "WindowExpiration",
+]

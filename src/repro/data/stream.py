@@ -1,0 +1,93 @@
+"""Ordered update streams with replay support.
+
+Streams are the inputs to a query (Section 3.1): new data becomes insert
+operations and expirations/withdrawals become deletions.  The harness builds
+workload streams ahead of time (so runs are reproducible), and the executor
+injects them into the simulated network in timestamp order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+
+
+class UpdateStream:
+    """An append-only, replayable sequence of updates ordered by timestamp."""
+
+    def __init__(self, updates: Optional[Iterable[Update]] = None) -> None:
+        self._updates: List[Update] = list(updates) if updates else []
+
+    # -- construction -----------------------------------------------------------
+    def append(self, update: Update) -> None:
+        """Append one update (timestamps are expected to be non-decreasing)."""
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        """Append several updates."""
+        self._updates.extend(updates)
+
+    def insert(self, tuple_: Tuple, timestamp: float = 0.0) -> None:
+        """Append an insertion of ``tuple_``."""
+        self.append(Update(UpdateType.INS, tuple_, timestamp=timestamp))
+
+    def delete(self, tuple_: Tuple, timestamp: float = 0.0) -> None:
+        """Append a deletion of ``tuple_``."""
+        self.append(Update(UpdateType.DEL, tuple_, timestamp=timestamp))
+
+    # -- access -------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, index: int) -> Update:
+        return self._updates[index]
+
+    @property
+    def updates(self) -> Sequence[Update]:
+        """The underlying sequence (read-only view by convention)."""
+        return tuple(self._updates)
+
+    def sorted_by_time(self) -> "UpdateStream":
+        """A copy sorted by timestamp (stable, preserving injection order)."""
+        return UpdateStream(sorted(self._updates, key=lambda update: update.timestamp))
+
+    def filter(self, predicate: Callable[[Update], bool]) -> "UpdateStream":
+        """A copy keeping only updates satisfying ``predicate``."""
+        return UpdateStream(update for update in self._updates if predicate(update))
+
+    def insertions(self) -> "UpdateStream":
+        """Only the INS updates."""
+        return self.filter(lambda update: update.is_insert)
+
+    def deletions(self) -> "UpdateStream":
+        """Only the DEL updates."""
+        return self.filter(lambda update: update.is_delete)
+
+    def split_at(self, timestamp: float) -> "tuple[UpdateStream, UpdateStream]":
+        """Split into (updates at or before ``timestamp``, updates after)."""
+        before = UpdateStream(u for u in self._updates if u.timestamp <= timestamp)
+        after = UpdateStream(u for u in self._updates if u.timestamp > timestamp)
+        return before, after
+
+    def concat(self, other: "UpdateStream") -> "UpdateStream":
+        """A new stream: this stream followed by ``other``."""
+        return UpdateStream(list(self._updates) + list(other._updates))
+
+    def net_tuples(self) -> set:
+        """The set of tuples present after applying the whole stream in order."""
+        live: set = set()
+        for update in self._updates:
+            if update.is_insert:
+                live.add(update.tuple)
+            else:
+                live.discard(update.tuple)
+        return live
+
+    def __repr__(self) -> str:
+        ins = sum(1 for update in self._updates if update.is_insert)
+        return f"UpdateStream({len(self._updates)} updates, {ins} INS)"

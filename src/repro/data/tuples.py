@@ -1,0 +1,157 @@
+"""Schemas and immutable named tuples.
+
+Tuples are the unit of data exchanged between operators and nodes.  They are
+immutable and hashable so that they can be used directly as keys in the
+provenance hash tables of the Fixpoint / join / MinShip operators
+(Algorithms 1-4 in the paper), and they know how to estimate their own wire
+size so the harness can report communication overhead in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple as PyTuple
+
+
+class SchemaError(Exception):
+    """Raised when a tuple does not match its relation schema."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of attribute names for a named relation.
+
+    The paper's convention (Section 2) is that a relation is horizontally
+    partitioned on its *first* attribute unless stated otherwise;
+    ``partition_attribute`` records which attribute that is.
+    """
+
+    relation: str
+    attributes: PyTuple[str, ...]
+    partition_attribute: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError(f"schema for {self.relation!r} has no attributes")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"schema for {self.relation!r} has duplicate attributes")
+        partition = self.partition_attribute or self.attributes[0]
+        if partition not in self.attributes:
+            raise SchemaError(
+                f"partition attribute {partition!r} not in schema of {self.relation!r}"
+            )
+        object.__setattr__(self, "partition_attribute", partition)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema (raises SchemaError if absent)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema of {self.relation!r}"
+            ) from exc
+
+    def tuple(self, *values: Any, **named: Any) -> "Tuple":
+        """Build a :class:`Tuple` of this schema from positional or named values."""
+        if named:
+            if values:
+                raise SchemaError("pass either positional or named values, not both")
+            try:
+                values = tuple(named[attribute] for attribute in self.attributes)
+            except KeyError as exc:
+                raise SchemaError(f"missing attribute {exc.args[0]!r}") from exc
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"{self.relation!r} expects {self.arity} values, got {len(values)}"
+            )
+        return Tuple(self, tuple(values))
+
+
+def _value_size(value: Any) -> int:
+    """Estimated wire size of a single attribute value in bytes."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return 4 + sum(_value_size(item) for item in value)
+    return 16
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """An immutable tuple of a given :class:`Schema`."""
+
+    schema: Schema
+    values: PyTuple[Any, ...]
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[self.schema.index_of(attribute)]
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Value of ``attribute``, or ``default`` if the schema lacks it."""
+        if attribute in self.schema.attributes:
+            return self[attribute]
+        return default
+
+    @property
+    def relation(self) -> str:
+        """Name of the relation this tuple belongs to."""
+        return self.schema.relation
+
+    @property
+    def key(self) -> PyTuple[Any, ...]:
+        """Hashable identity used in provenance hash tables: (relation, values)."""
+        return (self.schema.relation,) + self.values
+
+    @property
+    def partition_value(self) -> Any:
+        """Value of the schema's partition attribute (where the tuple lives)."""
+        return self[self.schema.partition_attribute]
+
+    def project(self, schema: Schema, attributes: Sequence[str]) -> "Tuple":
+        """Project this tuple onto ``attributes`` producing a tuple of ``schema``."""
+        values = tuple(self[attribute] for attribute in attributes)
+        return Tuple(schema, values)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Attribute-name -> value mapping."""
+        return dict(zip(self.schema.attributes, self.values))
+
+    def replace(self, **changes: Any) -> "Tuple":
+        """Return a copy with some attribute values replaced."""
+        mapping = self.as_dict()
+        for attribute, value in changes.items():
+            if attribute not in mapping:
+                raise SchemaError(
+                    f"attribute {attribute!r} not in schema of {self.relation!r}"
+                )
+            mapping[attribute] = value
+        return self.schema.tuple(**mapping)
+
+    def size_bytes(self) -> int:
+        """Estimated wire size of the tuple payload (no provenance)."""
+        return 4 + sum(_value_size(value) for value in self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(value) for value in self.values)
+        return f"{self.relation}({rendered})"
+
+
+def make_schema(relation: str, attributes: Iterable[str], partition_attribute: str = "") -> Schema:
+    """Convenience function mirroring the paper's ``relation(attr, ...)`` notation."""
+    return Schema(relation, tuple(attributes), partition_attribute)

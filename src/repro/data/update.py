@@ -1,0 +1,93 @@
+"""Insert/delete updates — the unit of stream processing.
+
+The paper's execution model processes *update streams* rather than tuple
+streams: every element is either an insertion (INS) or a deletion (DEL) of a
+tuple, optionally annotated with provenance (the ``pv`` field in Algorithms
+1-4).  Updates also carry the simulated timestamp at which they were injected
+so that soft-state windows can expire them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.data.tuples import Tuple
+
+
+class UpdateType(enum.Enum):
+    """Kind of update: insertion or deletion."""
+
+    INS = "INS"
+    DEL = "DEL"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single stream element: ``(type, tuple, pv)`` plus bookkeeping fields.
+
+    ``provenance`` is intentionally untyped at this layer: depending on the
+    maintenance strategy it is a BDD (absorption), a set of derivation edges
+    (relative provenance), ``None`` (DRed / set semantics), or an integer
+    (counting).  The provenance trackers in :mod:`repro.provenance` interpret
+    it.
+    """
+
+    type: UpdateType
+    tuple: Tuple
+    provenance: Any = None
+    timestamp: float = 0.0
+    origin_node: Optional[int] = None
+
+    @property
+    def is_insert(self) -> bool:
+        """True for INS updates."""
+        return self.type is UpdateType.INS
+
+    @property
+    def is_delete(self) -> bool:
+        """True for DEL updates."""
+        return self.type is UpdateType.DEL
+
+    @property
+    def relation(self) -> str:
+        """Relation name of the payload tuple."""
+        return self.tuple.relation
+
+    def with_provenance(self, provenance: Any) -> "Update":
+        """Copy of the update with a different provenance annotation."""
+        return replace(self, provenance=provenance)
+
+    def with_type(self, update_type: UpdateType) -> "Update":
+        """Copy of the update with a different type (INS <-> DEL)."""
+        return replace(self, type=update_type)
+
+    def with_timestamp(self, timestamp: float) -> "Update":
+        """Copy of the update stamped at ``timestamp``."""
+        return replace(self, timestamp=timestamp)
+
+    def inverted(self) -> "Update":
+        """The opposite operation on the same tuple (used by DRed rederivation)."""
+        opposite = UpdateType.DEL if self.is_insert else UpdateType.INS
+        return replace(self, type=opposite)
+
+    def size_bytes(self, provenance_bytes: int = 0) -> int:
+        """Wire size: 1 byte tag + tuple payload + provenance annotation."""
+        return 1 + self.tuple.size_bytes() + provenance_bytes
+
+    def __repr__(self) -> str:
+        return f"{self.type.value} {self.tuple!r}"
+
+
+def insert(tuple_: Tuple, provenance: Any = None, timestamp: float = 0.0) -> Update:
+    """Shorthand for an insertion update."""
+    return Update(UpdateType.INS, tuple_, provenance, timestamp)
+
+
+def delete(tuple_: Tuple, provenance: Any = None, timestamp: float = 0.0) -> Update:
+    """Shorthand for a deletion update."""
+    return Update(UpdateType.DEL, tuple_, provenance, timestamp)

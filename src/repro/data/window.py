@@ -1,0 +1,103 @@
+"""Time-based sliding windows for soft-state base tuples.
+
+The paper (Sections 3.1 and 4.3.3) supports windows only over *base*
+relations: an inserted base tuple receives a time-to-live, and once the window
+slides past it the tuple is deleted, which cascades through the recursive view
+exactly like an explicit deletion.  :class:`SlidingWindow` implements that
+bookkeeping; operators call :meth:`SlidingWindow.observe` for every update and
+receive back the set of expirations to process as deletions (the ``WR`` /
+``WS`` window functions of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+
+
+@dataclass(frozen=True)
+class WindowExpiration:
+    """An expired base tuple, reported back to the caller as a deletion to emit."""
+
+    tuple: Tuple
+    inserted_at: float
+    expired_at: float
+
+
+class SlidingWindow:
+    """Tracks insertion times of base tuples and expires them after ``size`` time units.
+
+    A window of ``None`` (or infinity) means "no expiry" — the common case for
+    derived relations, for which the paper performs no window bookkeeping.
+    """
+
+    def __init__(self, size: Optional[float] = None) -> None:
+        if size is not None and size <= 0:
+            raise ValueError("window size must be positive (or None for no window)")
+        self.size = size
+        self._inserted_at: Dict[Tuple, float] = {}
+        self._expiry_heap: List[PyTuple[float, int, Tuple]] = []
+        self._counter = 0
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the window never expires tuples."""
+        return self.size is None
+
+    def __len__(self) -> int:
+        return len(self._inserted_at)
+
+    def __contains__(self, tuple_: Tuple) -> bool:
+        return tuple_ in self._inserted_at
+
+    def observe(self, update: Update, now: Optional[float] = None) -> List[WindowExpiration]:
+        """Record ``update`` and return the base tuples that have expired by ``now``.
+
+        Insertions (re)start the tuple's lifetime; deletions remove the tuple
+        from window bookkeeping (it is being deleted explicitly anyway).  The
+        returned expirations never include the tuple being processed in the
+        same call when it was just inserted.
+        """
+        timestamp = update.timestamp if now is None else now
+        if self.is_unbounded:
+            return []
+        if update.type is UpdateType.INS:
+            self._inserted_at[update.tuple] = timestamp
+            self._counter += 1
+            heapq.heappush(
+                self._expiry_heap,
+                (timestamp + self.size, self._counter, update.tuple),
+            )
+        else:
+            self._inserted_at.pop(update.tuple, None)
+        return self.expire(timestamp)
+
+    def expire(self, now: float) -> List[WindowExpiration]:
+        """Pop and return every tuple whose lifetime ended at or before ``now``."""
+        if self.is_unbounded:
+            return []
+        expired: List[WindowExpiration] = []
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            expires_at, _, tuple_ = heapq.heappop(self._expiry_heap)
+            inserted_at = self._inserted_at.get(tuple_)
+            if inserted_at is None:
+                continue  # deleted explicitly, or re-inserted later (stale heap entry)
+            if inserted_at + self.size != expires_at:
+                continue  # re-inserted since this heap entry was created
+            del self._inserted_at[tuple_]
+            expired.append(
+                WindowExpiration(tuple=tuple_, inserted_at=inserted_at, expired_at=expires_at)
+            )
+        return expired
+
+    def live_tuples(self) -> List[Tuple]:
+        """Tuples currently inside the window."""
+        return list(self._inserted_at)
+
+    def state_bytes(self) -> int:
+        """Approximate memory footprint of the window bookkeeping."""
+        return sum(t.size_bytes() + 16 for t in self._inserted_at)

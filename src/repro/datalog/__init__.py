@@ -1,0 +1,52 @@
+"""A centralized Datalog substrate.
+
+The paper expresses its views in Datalog (and SQL-99 recursion) and builds on
+classical recursive query processing: semi-naive evaluation, stratification,
+counting-based maintenance and DRed.  This package provides that substrate in
+one process, independent of the distributed engine:
+
+* :mod:`repro.datalog.ast` — terms, atoms, rules, comparison conditions;
+* :mod:`repro.datalog.parser` — a parser for the paper's Datalog syntax;
+* :mod:`repro.datalog.program` — programs, EDB/IDB classification;
+* :mod:`repro.datalog.stratify` — dependency graph and stratification;
+* :mod:`repro.datalog.seminaive` — naive and semi-naive evaluation, optionally
+  under a provenance semiring (PosBool gives absorption provenance);
+* :mod:`repro.datalog.incremental` — incremental maintenance of the
+  materialised IDB: counting (non-recursive), DRed, and provenance-based;
+* :mod:`repro.datalog.aggregates` — grouped aggregate views over IDB facts.
+
+It is used by the examples, by tests as an independent oracle for the
+distributed engine, and by the centralized-maintenance ablation.
+"""
+
+from repro.datalog.ast import Atom, Condition, Constant, Rule, Term, Variable
+from repro.datalog.parser import DatalogSyntaxError, parse_program, parse_rule
+from repro.datalog.program import Program
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.stratify import StratificationError, stratify
+from repro.datalog.incremental import (
+    CountingMaintenance,
+    DRedMaintenance,
+    ProvenanceMaintenance,
+)
+from repro.datalog.aggregates import AggregateView
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Atom",
+    "Condition",
+    "Rule",
+    "Program",
+    "parse_rule",
+    "parse_program",
+    "DatalogSyntaxError",
+    "stratify",
+    "StratificationError",
+    "SemiNaiveEvaluator",
+    "CountingMaintenance",
+    "DRedMaintenance",
+    "ProvenanceMaintenance",
+    "AggregateView",
+]

@@ -1,0 +1,78 @@
+"""Grouped aggregate views over Datalog facts.
+
+The paper's queries end with aggregate views (``minCost(x, y, min<c>)``,
+``regionSizes(rid, count<x>)``, ``largestRegion(max<size>)``).  In the
+centralized substrate these are evaluated after their input stratum:
+:class:`AggregateView` groups the facts of one predicate by a subset of
+columns and applies MIN / MAX / COUNT / SUM / AVG to a value column.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.datalog.program import Database
+
+Fact = Tuple
+
+
+class AggregateKind(enum.Enum):
+    """Supported aggregate functions for datalog views."""
+
+    MIN = "min"
+    MAX = "max"
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateView:
+    """``name(group..., agg<value>) :- source(...)`` evaluated over a database.
+
+    ``group_positions`` are the 0-based positions of the grouping columns in
+    the source predicate; ``value_position`` is the aggregated column (ignored
+    for COUNT, which counts distinct facts per group).
+    """
+
+    name: str
+    source: str
+    group_positions: Tuple[int, ...]
+    kind: AggregateKind
+    value_position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not AggregateKind.COUNT and self.value_position is None:
+            raise ValueError(f"{self.kind.value} aggregate requires a value_position")
+
+    def evaluate(self, database: Database) -> Set[Fact]:
+        """Compute the aggregate facts ``group + (value,)`` from ``database``."""
+        groups: Dict[Tuple, list] = {}
+        for fact in database.get(self.source, set()):
+            key = tuple(fact[position] for position in self.group_positions)
+            if self.kind is AggregateKind.COUNT:
+                groups.setdefault(key, []).append(1)
+            else:
+                groups.setdefault(key, []).append(fact[self.value_position])
+        results: Set[Fact] = set()
+        for key, values in groups.items():
+            results.add(key + (self._combine(values),))
+        return results
+
+    def _combine(self, values: list):
+        if self.kind is AggregateKind.MIN:
+            return min(values)
+        if self.kind is AggregateKind.MAX:
+            return max(values)
+        if self.kind is AggregateKind.COUNT:
+            return len(values)
+        if self.kind is AggregateKind.SUM:
+            return sum(values)
+        return sum(values) / len(values)
+
+    def evaluate_into(self, database: Database) -> Database:
+        """Evaluate and store the results under ``self.name`` in ``database``."""
+        database[self.name] = self.evaluate(database)
+        return database

@@ -1,0 +1,212 @@
+"""Abstract syntax for the Datalog dialect used in the paper.
+
+The dialect is positive Datalog with:
+
+* variables written as bare identifiers (the paper writes ``reachable(x,y)``),
+* constants written as quoted strings or numbers,
+* optional *conditions* in rule bodies — comparisons and small arithmetic
+  guards such as ``distance(posx, posy) < k`` or ``c = c0 + c1`` — modelled as
+  Python callables over the variable bindings, and
+* stratified negation (``not atom``), checked by the stratifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+Binding = Dict[str, Any]
+
+
+class Term:
+    """Base class for terms appearing in atoms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Variable(Term):
+    """A variable, e.g. ``x`` in ``reachable(x, y)``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant(Term):
+    """A constant value (string, number, ...)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, term, ...)``, possibly negated in a rule body."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of the variables appearing in the atom."""
+        return frozenset(term.name for term in self.terms if isinstance(term, Variable))
+
+    def bind(self, binding: Binding) -> Tuple[Any, ...]:
+        """Instantiate the atom's terms under a (complete) binding."""
+        values = []
+        for term in self.terms:
+            if isinstance(term, Constant):
+                values.append(term.value)
+            else:
+                if term.name not in binding:
+                    raise KeyError(f"unbound variable {term.name!r} in {self!r}")
+                values.append(binding[term.name])
+        return tuple(values)
+
+    def match(self, fact: Sequence[Any], binding: Binding) -> Optional[Binding]:
+        """Try to unify the atom with ``fact`` under ``binding``.
+
+        Returns the extended binding, or None when the fact does not match.
+        """
+        if len(fact) != self.arity:
+            return None
+        extended = dict(binding)
+        for term, value in zip(self.terms, fact):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                bound = extended.get(term.name, _UNBOUND)
+                if bound is _UNBOUND:
+                    extended[term.name] = value
+                elif bound != value:
+                    return None
+        return extended
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(term) for term in self.terms)
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({rendered})"
+
+
+_UNBOUND = object()
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A non-relational guard or computation in a rule body.
+
+    ``evaluate`` receives the current binding and either:
+
+    * returns ``True`` / ``False`` (a guard such as ``cost < 10``), or
+    * returns an extended binding dict (a computation such as
+      ``c = c0 + c1``, which binds ``c``).
+
+    ``description`` is only used for display.
+    """
+
+    evaluate: Callable[[Binding], Any]
+    description: str = "<condition>"
+    #: Variables that must already be bound before the condition can run.
+    requires: FrozenSet[str] = frozenset()
+    #: Variables the condition binds (empty for pure guards).
+    provides: FrozenSet[str] = frozenset()
+
+    def apply(self, binding: Binding) -> Optional[Binding]:
+        """Run the condition; return the (possibly extended) binding or None."""
+        result = self.evaluate(binding)
+        if result is True:
+            return binding
+        if result is False or result is None:
+            return None
+        if isinstance(result, dict):
+            merged = dict(binding)
+            merged.update(result)
+            return merged
+        raise TypeError(
+            f"condition {self.description!r} returned {type(result).__name__}; "
+            "expected bool or dict of new bindings"
+        )
+
+    def __repr__(self) -> str:
+        return self.description
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body_atoms, conditions.``"""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+    conditions: Tuple[Condition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise ValueError("rule heads cannot be negated")
+        provided = set()
+        for atom in self.body:
+            if not atom.negated:
+                provided |= atom.variables()
+        for condition in self.conditions:
+            provided |= condition.provides
+        missing = self.head.variables() - provided
+        if missing:
+            raise ValueError(
+                f"unsafe rule: head variables {sorted(missing)} never bound in the body "
+                f"of {self!r}"
+            )
+
+    @property
+    def is_fact(self) -> bool:
+        """True for rules with an empty body (ground facts when head is ground)."""
+        return not self.body
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """Predicates referenced in the body."""
+        return frozenset(atom.predicate for atom in self.body)
+
+    def positive_body(self) -> Tuple[Atom, ...]:
+        """The non-negated body atoms."""
+        return tuple(atom for atom in self.body if not atom.negated)
+
+    def negative_body(self) -> Tuple[Atom, ...]:
+        """The negated body atoms."""
+        return tuple(atom for atom in self.body if atom.negated)
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        parts = [repr(atom) for atom in self.body] + [repr(c) for c in self.conditions]
+        return f"{self.head!r} :- {', '.join(parts)}."
+
+
+def variables(*names: str) -> Tuple[Variable, ...]:
+    """Convenience constructor for several variables at once."""
+    return tuple(Variable(name) for name in names)
+
+
+def atom(predicate: str, *terms: Any, negated: bool = False) -> Atom:
+    """Convenience constructor: strings become variables, everything else constants.
+
+    ``atom("link", "x", "y")`` is ``link(x, y)``; pass :class:`Constant`
+    explicitly (or a non-string value) for constants.
+    """
+    converted = []
+    for term in terms:
+        if isinstance(term, Term):
+            converted.append(term)
+        elif isinstance(term, str):
+            converted.append(Variable(term))
+        else:
+            converted.append(Constant(term))
+    return Atom(predicate, tuple(converted), negated=negated)

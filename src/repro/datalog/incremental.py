@@ -1,0 +1,213 @@
+"""Centralized incremental maintenance of materialised Datalog views.
+
+Three maintenance strategies, mirroring the alternatives the paper discusses
+(Section 3.2 and 4):
+
+* :class:`CountingMaintenance` — the classical counting algorithm: correct and
+  cheap for **non-recursive** programs, provably unsound for recursive ones
+  (a fact can keep a positive count through derivations that depend on
+  itself); it refuses recursive programs.
+* :class:`DRedMaintenance` — delete-and-rederive: over-delete every fact with
+  a derivation touching the deletion, then re-derive what is still supported.
+  Correct for recursive programs but expensive (the re-derivation can approach
+  recomputation).
+* :class:`ProvenanceMaintenance` — the paper's approach in centralized form:
+  every IDB fact carries a PosBool (absorption) provenance expression; a base
+  deletion sets the corresponding variable to false and drops facts whose
+  expression becomes unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.bdd.expr import BoolExpr
+from repro.datalog.program import Database, Program, copy_database
+from repro.datalog.seminaive import AnnotatedDatabase, Fact, SemiNaiveEvaluator
+from repro.provenance.semiring import BooleanSemiring
+
+
+class MaintenanceError(Exception):
+    """Raised when a strategy cannot maintain the given program."""
+
+
+class _MaintenanceBase:
+    """Shared bookkeeping: the program, the evaluator and the current EDB."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.evaluator = SemiNaiveEvaluator(program)
+        self.edb: Dict[str, Set[Fact]] = {
+            predicate: set() for predicate in program.edb_predicates
+        }
+
+    def _check_edb(self, predicate: str) -> None:
+        if predicate in self.program.idb_predicates:
+            raise MaintenanceError(f"{predicate!r} is derived; only EDB facts can be updated")
+        self.edb.setdefault(predicate, set())
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        """Current facts of a predicate (EDB or IDB)."""
+        raise NotImplementedError
+
+
+class CountingMaintenance(_MaintenanceBase):
+    """Counting-based maintenance (non-recursive programs only)."""
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        if program.is_recursive():
+            raise MaintenanceError(
+                "the counting algorithm is unsound for recursive programs "
+                "(see Section 3.2 of the paper); use DRed or provenance maintenance"
+            )
+        #: Derivation counts per IDB fact.
+        self.counts: Dict[str, Dict[Fact, int]] = {
+            predicate: {} for predicate in program.idb_predicates
+        }
+
+    def insert(self, predicate: str, fact: Fact) -> None:
+        """Insert one EDB fact and update derived counts."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact in self.edb[predicate]:
+            return
+        self.edb[predicate].add(fact)
+        self._recount()
+
+    def delete(self, predicate: str, fact: Fact) -> None:
+        """Delete one EDB fact and update derived counts."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact not in self.edb[predicate]:
+            return
+        self.edb[predicate].discard(fact)
+        self._recount()
+
+    def _recount(self) -> None:
+        # Non-recursive programs are cheap to recount exactly; the point of
+        # this class is the *semantics* (counts), used by tests to demonstrate
+        # where counting breaks down, not asymptotic efficiency.
+        annotations = self.evaluator.evaluate_with_provenance(
+            self.edb, BooleanSemiring
+        )
+        database = self.evaluator.evaluate(self.edb)
+        for predicate in self.counts:
+            new_counts: Dict[Fact, int] = {}
+            for fact in database.get(predicate, set()):
+                new_counts[fact] = max(len(annotations[predicate][fact].products), 1)
+            self.counts[predicate] = new_counts
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        if predicate in self.edb:
+            return set(self.edb[predicate])
+        return set(self.counts.get(predicate, {}))
+
+    def count(self, predicate: str, fact: Fact) -> int:
+        """Number of (minimal) derivations currently supporting ``fact``."""
+        return self.counts.get(predicate, {}).get(tuple(fact), 0)
+
+
+class DRedMaintenance(_MaintenanceBase):
+    """Delete-and-rederive maintenance (recursive programs supported)."""
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        self.database: Database = self.evaluator.evaluate(self.edb)
+        #: Facts over-deleted then re-derived by the last deletion (diagnostics).
+        self.last_overdeleted: int = 0
+        self.last_rederived: int = 0
+
+    def insert(self, predicate: str, fact: Fact) -> None:
+        """Insert an EDB fact and extend the materialised IDB (semi-naive delta)."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact in self.edb[predicate]:
+            return
+        self.edb[predicate].add(fact)
+        self.database = self.evaluator.evaluate(self.edb)
+
+    def delete(self, predicate: str, fact: Fact) -> None:
+        """Delete an EDB fact using over-deletion followed by re-derivation."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact not in self.edb[predicate]:
+            return
+        self.edb[predicate].discard(fact)
+        before = copy_database(self.database)
+        # Phase 1 — over-delete: remove every IDB fact whose provenance mentions
+        # the deleted base fact (any derivation, hence "over").
+        annotations = self.evaluator.evaluate_with_provenance(
+            {pred: facts | ({fact} if pred == predicate else set()) for pred, facts in self.edb.items()},
+            BooleanSemiring,
+        )
+        deleted_variable = (predicate,) + fact
+        overdeleted = 0
+        for idb_predicate in self.program.idb_predicates:
+            for idb_fact in list(before.get(idb_predicate, set())):
+                annotation = annotations[idb_predicate].get(idb_fact, BoolExpr.false())
+                if deleted_variable in annotation.variables():
+                    before[idb_predicate].discard(idb_fact)
+                    overdeleted += 1
+        # Phase 2 — re-derive from the remaining EDB.
+        self.database = self.evaluator.evaluate(self.edb)
+        rederived = 0
+        for idb_predicate in self.program.idb_predicates:
+            rederived += len(self.database.get(idb_predicate, set()) - before.get(idb_predicate, set()))
+        self.last_overdeleted = overdeleted
+        self.last_rederived = rederived
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        if predicate in self.edb:
+            return set(self.edb[predicate])
+        return set(self.database.get(predicate, set()))
+
+
+class ProvenanceMaintenance(_MaintenanceBase):
+    """Absorption-provenance maintenance (centralized analogue of the paper's engine)."""
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        self.annotations: AnnotatedDatabase = {
+            predicate: {} for predicate in program.predicates
+        }
+
+    def insert(self, predicate: str, fact: Fact) -> None:
+        """Insert an EDB fact; derived facts gain (absorbed) derivations."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact in self.edb[predicate]:
+            return
+        self.edb[predicate].add(fact)
+        self._reannotate()
+
+    def delete(self, predicate: str, fact: Fact) -> None:
+        """Delete an EDB fact: set its variable to false everywhere and prune."""
+        self._check_edb(predicate)
+        fact = tuple(fact)
+        if fact not in self.edb[predicate]:
+            return
+        self.edb[predicate].discard(fact)
+        variable = (predicate,) + fact
+        for idb_predicate in self.program.idb_predicates:
+            table = self.annotations.get(idb_predicate, {})
+            for idb_fact in list(table):
+                restricted = table[idb_fact].without([variable])
+                if restricted.is_false():
+                    del table[idb_fact]
+                else:
+                    table[idb_fact] = restricted
+        edb_table = self.annotations.setdefault(predicate, {})
+        edb_table.pop(fact, None)
+
+    def _reannotate(self) -> None:
+        self.annotations = self.evaluator.evaluate_with_provenance(self.edb, BooleanSemiring)
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        if predicate in self.edb:
+            return set(self.edb[predicate])
+        return set(self.annotations.get(predicate, {}))
+
+    def provenance_of(self, predicate: str, fact: Fact) -> Optional[BoolExpr]:
+        """The absorption-provenance expression of an IDB fact (None if absent)."""
+        return self.annotations.get(predicate, {}).get(tuple(fact))

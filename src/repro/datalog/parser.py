@@ -1,0 +1,252 @@
+"""Parser for the paper's Datalog syntax.
+
+Grammar (a pragmatic subset sufficient for the queries in Section 2)::
+
+    program    := (rule)*
+    rule       := atom ( ":-" body )? "."
+    body       := literal ("," literal)*
+    literal    := ["not"] atom | comparison
+    atom       := IDENT "(" term ("," term)* ")"
+    term       := IDENT            -- a variable
+                | NUMBER           -- a numeric constant
+                | STRING           -- a quoted constant
+    comparison := operand OP operand        with OP in  < <= > >= = !=
+    operand    := IDENT | NUMBER | STRING
+
+Comparisons become :class:`~repro.datalog.ast.Condition` guards;
+``v = expr`` where ``expr`` is a constant binds the variable.  Richer
+computations (path concatenation, arithmetic over several variables) are
+attached programmatically as conditions; the parser keeps the relational core.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import Atom, Condition, Constant, Rule, Term, Variable
+from repro.datalog.program import Program
+
+
+class DatalogSyntaxError(Exception):
+    """Raised when the input text is not valid Datalog (for this dialect)."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|%[^\n]*)
+  | (?P<IMPLIES>:-)
+  | (?P<NUMBER>-?\d+(\.\d+)?)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|!=|=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+    """,
+    re.VERBOSE,
+)
+
+_COMPARATORS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DatalogSyntaxError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[_Token]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DatalogSyntaxError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {kind} but found {token.text!r} at position {token.position}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar ---------------------------------------------------------------------
+    def parse_program(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self._parse_atom(negated=False)
+        token = self._peek()
+        body: List[Atom] = []
+        conditions: List[Condition] = []
+        if token is not None and token.kind == "IMPLIES":
+            self._next()
+            while True:
+                self._parse_literal(body, conditions)
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self._next()
+                    continue
+                break
+        self._expect("DOT")
+        return Rule(head=head, body=tuple(body), conditions=tuple(conditions))
+
+    def _parse_literal(self, body: List[Atom], conditions: List[Condition]) -> None:
+        token = self._peek()
+        if token is None:
+            raise DatalogSyntaxError("unexpected end of input in rule body")
+        negated = False
+        if token.kind == "IDENT" and token.text == "not":
+            lookahead = (
+                self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            )
+            if lookahead is not None and lookahead.kind == "IDENT":
+                self._next()
+                negated = True
+                token = self._peek()
+        # Distinguish atom from comparison by what follows the first operand.
+        if token.kind == "IDENT":
+            lookahead = (
+                self._tokens[self._index + 1] if self._index + 1 < len(self._tokens) else None
+            )
+            if lookahead is not None and lookahead.kind == "LPAREN":
+                body.append(self._parse_atom(negated=negated))
+                return
+        if negated:
+            raise DatalogSyntaxError("negation can only be applied to atoms")
+        conditions.append(self._parse_comparison())
+
+    def _parse_atom(self, negated: bool) -> Atom:
+        name = self._expect("IDENT").text
+        self._expect("LPAREN")
+        terms: List[Term] = []
+        while True:
+            terms.append(self._parse_term())
+            token = self._next()
+            if token.kind == "COMMA":
+                continue
+            if token.kind == "RPAREN":
+                break
+            raise DatalogSyntaxError(f"unexpected {token.text!r} in atom {name}")
+        return Atom(name, tuple(terms), negated=negated)
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "IDENT":
+            return Variable(token.text)
+        if token.kind == "NUMBER":
+            return Constant(_number(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        raise DatalogSyntaxError(f"unexpected term {token.text!r} at {token.position}")
+
+    def _parse_comparison(self) -> Condition:
+        left_token = self._next()
+        operator = self._expect("OP").text
+        right_token = self._next()
+        left = _operand(left_token)
+        right = _operand(right_token)
+        comparator = _COMPARATORS[operator]
+        description = f"{left_token.text} {operator} {right_token.text}"
+        requires = frozenset(
+            name for name, is_var in (left, right) if is_var
+        )
+
+        def evaluate(binding, left=left, right=right, comparator=comparator, operator=operator):
+            left_name, left_is_var = left
+            right_name, right_is_var = right
+            left_missing = left_is_var and left_name not in binding
+            right_missing = right_is_var and right_name not in binding
+            # `v = value` acts as an assignment when v is still unbound.
+            if operator == "=" and left_missing and not right_missing:
+                return {left_name: binding[right_name] if right_is_var else right_name}
+            if operator == "=" and right_missing and not left_missing:
+                return {right_name: binding[left_name] if left_is_var else left_name}
+            left_value = binding[left_name] if left_is_var else left_name
+            right_value = binding[right_name] if right_is_var else right_name
+            return bool(comparator(left_value, right_value))
+
+        provides = frozenset(
+            name
+            for name, is_var in (left, right)
+            if is_var and operator == "="
+        )
+        return Condition(
+            evaluate=evaluate, description=description, requires=requires, provides=provides
+        )
+
+
+def _operand(token: _Token) -> Tuple[Any, bool]:
+    """Return (value-or-name, is_variable)."""
+    if token.kind == "IDENT":
+        return token.text, True
+    if token.kind == "NUMBER":
+        return _number(token.text), False
+    if token.kind == "STRING":
+        return token.text[1:-1], False
+    raise DatalogSyntaxError(f"unexpected operand {token.text!r} at {token.position}")
+
+
+def _number(text: str) -> Any:
+    return float(text) if "." in text else int(text)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must end with a period)."""
+    parser = _Parser(_tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise DatalogSyntaxError("trailing input after rule")
+    return rule
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program into a :class:`~repro.datalog.program.Program`."""
+    parser = _Parser(_tokenize(text))
+    return Program(parser.parse_program())

@@ -1,0 +1,94 @@
+"""Predicate dependency analysis and stratification.
+
+Stratification orders the IDB predicates into *strata* so that a predicate is
+fully evaluated before any predicate that negates it — the standard condition
+for stratified negation.  Positive recursion is allowed within a stratum (the
+reachable / path / region views are all positively recursive); negation
+through a recursive cycle is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.datalog.program import Program
+
+
+class StratificationError(Exception):
+    """Raised when a program has negation through recursion."""
+
+
+#: Edge label: True when the dependency goes through negation.
+DependencyGraph = Dict[str, Set[Tuple[str, bool]]]
+
+
+def dependency_graph(program: Program) -> DependencyGraph:
+    """head -> {(body predicate, is_negated)} over all rules."""
+    graph: DependencyGraph = {predicate: set() for predicate in program.predicates}
+    for rule in program.rules:
+        for atom in rule.body:
+            graph[rule.head.predicate].add((atom.predicate, atom.negated))
+    return graph
+
+
+def recursive_predicates(graph: DependencyGraph) -> FrozenSet[str]:
+    """Predicates that participate in a dependency cycle."""
+    recursive: Set[str] = set()
+
+    def reaches(start: str, target: str, seen: Set[str]) -> bool:
+        if start in seen:
+            return False
+        seen.add(start)
+        for dependency, _negated in graph.get(start, ()):
+            if dependency == target or reaches(dependency, target, seen):
+                return True
+        return False
+
+    for predicate in graph:
+        if reaches(predicate, predicate, set()):
+            recursive.add(predicate)
+    return frozenset(recursive)
+
+
+def stratify(program: Program) -> List[FrozenSet[str]]:
+    """Return the IDB predicates grouped into strata (lowest first).
+
+    EDB predicates are implicitly stratum 0 and are not listed.  Raises
+    :class:`StratificationError` when a predicate depends negatively on itself
+    through a cycle.
+    """
+    graph = dependency_graph(program)
+    idb = program.idb_predicates
+    stratum: Dict[str, int] = {predicate: 0 for predicate in idb}
+
+    changed = True
+    iterations = 0
+    limit = max(len(idb), 1) * max(len(idb), 1) + len(idb) + 1
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit:
+            raise StratificationError("negation through recursion (no stratification exists)")
+        for head in idb:
+            for dependency, negated in graph.get(head, ()):
+                if dependency not in idb:
+                    continue
+                required = stratum[dependency] + 1 if negated else stratum[dependency]
+                if stratum[head] < required:
+                    stratum[head] = required
+                    changed = True
+
+    grouped: Dict[int, Set[str]] = {}
+    for predicate, level in stratum.items():
+        grouped.setdefault(level, set()).add(predicate)
+    return [frozenset(grouped[level]) for level in sorted(grouped)]
+
+
+def stratum_programs(program: Program) -> List[Program]:
+    """Split a program into one sub-program per stratum (evaluation order)."""
+    strata = stratify(program)
+    programs: List[Program] = []
+    for predicates in strata:
+        rules = [rule for rule in program.rules if rule.head.predicate in predicates]
+        programs.append(Program(rules))
+    return programs

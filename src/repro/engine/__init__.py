@@ -1,0 +1,29 @@
+"""The distributed recursive-view engine.
+
+This package glues the provenance-aware operators to the simulated network:
+
+* :mod:`repro.engine.strategy` — which maintenance scheme to run
+  (DRed / absorption / relative provenance, eager / lazy shipping);
+* :mod:`repro.engine.plan` — declarative description of a linearly recursive
+  distributed view (edge relation, recursive rule, aggregate selections);
+* :mod:`repro.engine.runtime` — the per-node operator wiring of Figure 4;
+* :mod:`repro.engine.executor` — drives a plan over a simulated cluster,
+  injects insert/delete workloads, runs to the distributed fixpoint and
+  collects the four evaluation metrics of Section 7;
+* :mod:`repro.engine.dred` — the DRed (over-delete / re-derive) deletion
+  coordinator used when running without provenance;
+* :mod:`repro.engine.metrics` — experiment metric containers.
+"""
+
+from repro.engine.executor import DistributedViewExecutor
+from repro.engine.metrics import ExperimentMetrics, PhaseMetrics
+from repro.engine.plan import RecursiveViewPlan
+from repro.engine.strategy import ExecutionStrategy
+
+__all__ = [
+    "DistributedViewExecutor",
+    "RecursiveViewPlan",
+    "ExecutionStrategy",
+    "ExperimentMetrics",
+    "PhaseMetrics",
+]

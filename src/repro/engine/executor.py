@@ -1,0 +1,262 @@
+"""The experiment driver: runs a distributed recursive view over the simulated cluster.
+
+:class:`DistributedViewExecutor` owns the simulated network, the processor
+nodes, and the provenance store for one experiment run.  Workloads are applied
+in *phases* (for example "insert 75 % of the links", then "delete 20 % of
+them"); each phase runs to distributed quiescence and yields one
+:class:`~repro.engine.metrics.PhaseMetrics` with the paper's four evaluation
+metrics.  The executor also exposes the materialised view contents so tests
+can compare against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+from repro.engine.dred import DRedCoordinator
+from repro.engine.metrics import ExperimentMetrics, PhaseMetrics
+from repro.engine.plan import RecursiveViewPlan
+from repro.engine.runtime import (
+    PORT_BASE,
+    PORT_SEED,
+    ProcessorNode,
+)
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.latency import LatencyModel
+from repro.net.partition import HashPartitioner
+from repro.net.simulator import SimulatedNetwork
+from repro.operators.ship import MinShipOperator, ShipMode
+
+
+class DistributedViewExecutor:
+    """Executes one :class:`RecursiveViewPlan` under one :class:`ExecutionStrategy`."""
+
+    def __init__(
+        self,
+        plan: RecursiveViewPlan,
+        strategy: ExecutionStrategy,
+        node_count: int = 12,
+        latency_model: Optional[LatencyModel] = None,
+        partitioner: Optional[HashPartitioner] = None,
+        processing_cost: float = 0.00002,
+        max_events: int = 5_000_000,
+        max_wall_seconds: Optional[float] = None,
+        experiment: str = "experiment",
+    ) -> None:
+        self.plan = plan
+        self.strategy = strategy
+        self.store = strategy.create_store()
+        self.partitioner = partitioner or HashPartitioner(node_count)
+        if self.partitioner.node_count != node_count:
+            raise ValueError("partitioner node_count must match executor node_count")
+        self.network = SimulatedNetwork(
+            node_count=node_count,
+            latency_model=latency_model,
+            processing_cost=processing_cost,
+            max_events=max_events,
+            max_wall_seconds=max_wall_seconds,
+        )
+        self.nodes: List[ProcessorNode] = [
+            ProcessorNode(node_id, plan, strategy, self.store, self.partitioner, self.network)
+            for node_id in range(node_count)
+        ]
+        for node in self.nodes:
+            self.network.register(node.node_id, node.handle)
+        self._dred = DRedCoordinator(self.network, self.nodes, self.partitioner)
+        #: Live base state, needed by DRed re-derivation and by ground-truth checks.
+        self.live_edges: Set[Tuple] = set()
+        self.live_seeds: Set[Tuple] = set()
+        self.metrics = ExperimentMetrics(experiment=experiment, scheme=strategy.label)
+
+    # -- workload API -----------------------------------------------------------------
+    def insert_edges(self, edges: Iterable[Tuple], label: str = "insert") -> PhaseMetrics:
+        """Insert edge (base-relation) tuples and run to the distributed fixpoint."""
+        edges = list(edges)
+        return self._run_phase(label, edge_inserts=edges)
+
+    def delete_edges(self, edges: Iterable[Tuple], label: str = "delete") -> PhaseMetrics:
+        """Delete edge tuples and run maintenance to quiescence."""
+        edges = list(edges)
+        return self._run_phase(label, edge_deletes=edges)
+
+    def insert_seeds(self, seeds: Iterable[Tuple], label: str = "seed") -> PhaseMetrics:
+        """Insert seed view tuples (for example region seeds) directly into the view."""
+        seeds = list(seeds)
+        return self._run_phase(label, seed_inserts=seeds)
+
+    def delete_seeds(self, seeds: Iterable[Tuple], label: str = "unseed") -> PhaseMetrics:
+        """Delete seed view tuples."""
+        seeds = list(seeds)
+        return self._run_phase(label, seed_deletes=seeds)
+
+    def apply_mixed(
+        self,
+        edge_inserts: Sequence[Tuple] = (),
+        edge_deletes: Sequence[Tuple] = (),
+        seed_inserts: Sequence[Tuple] = (),
+        seed_deletes: Sequence[Tuple] = (),
+        label: str = "mixed",
+    ) -> PhaseMetrics:
+        """Apply a mixed batch of base-data changes as one phase."""
+        return self._run_phase(
+            label,
+            edge_inserts=list(edge_inserts),
+            edge_deletes=list(edge_deletes),
+            seed_inserts=list(seed_inserts),
+            seed_deletes=list(seed_deletes),
+        )
+
+    # -- phase machinery -------------------------------------------------------------------
+    def _run_phase(
+        self,
+        label: str,
+        edge_inserts: Sequence[Tuple] = (),
+        edge_deletes: Sequence[Tuple] = (),
+        seed_inserts: Sequence[Tuple] = (),
+        seed_deletes: Sequence[Tuple] = (),
+    ) -> PhaseMetrics:
+        self.network.reset_stats()
+        self.network.arm_wall_budget()
+        phase_start = self.network.now
+
+        self._inject_insertions(edge_inserts, seed_inserts, phase_start)
+        if self.strategy.uses_dred and (edge_deletes or seed_deletes):
+            self._run_dred_deletions(edge_deletes, seed_deletes, phase_start)
+        else:
+            self._inject_deletions(edge_deletes, seed_deletes, phase_start)
+            self._run_to_quiescence()
+
+        self._update_live_base(edge_inserts, edge_deletes, seed_inserts, seed_deletes)
+        phase = self._collect_phase(label, phase_start)
+        self.metrics.add_phase(phase)
+        return phase
+
+    def _inject_insertions(
+        self, edge_inserts: Sequence[Tuple], seed_inserts: Sequence[Tuple], at_time: float
+    ) -> None:
+        for edge in edge_inserts:
+            owner = self.partitioner.node_for(edge.partition_value)
+            self.network.inject(
+                owner, PORT_BASE, [Update(UpdateType.INS, edge, timestamp=at_time)], at_time
+            )
+        for seed in seed_inserts:
+            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
+            self.network.inject(
+                owner, PORT_SEED, [Update(UpdateType.INS, seed, timestamp=at_time)], at_time
+            )
+        if edge_inserts or seed_inserts:
+            self._run_to_quiescence()
+
+    def _inject_deletions(
+        self, edge_deletes: Sequence[Tuple], seed_deletes: Sequence[Tuple], at_time: float
+    ) -> None:
+        at_time = self.network.now
+        for edge in edge_deletes:
+            owner = self.partitioner.node_for(edge.partition_value)
+            self.network.inject(
+                owner, PORT_BASE, [Update(UpdateType.DEL, edge, timestamp=at_time)], at_time
+            )
+        for seed in seed_deletes:
+            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
+            self.network.inject(
+                owner, PORT_SEED, [Update(UpdateType.DEL, seed, timestamp=at_time)], at_time
+            )
+
+    def _run_dred_deletions(
+        self, edge_deletes: Sequence[Tuple], seed_deletes: Sequence[Tuple], at_time: float
+    ) -> None:
+        # Phase 1: over-delete to quiescence (requires a global barrier).
+        self._dred.inject_deletions(
+            edge_deletes,
+            seed_deletes,
+            edge_partition_attribute=self.plan.edge_schema.partition_attribute,
+            result_partition_attribute=self.plan.result_schema.partition_attribute,
+            at_time=self.network.now,
+        )
+        self._run_to_quiescence()
+        # Phase 2: re-derive from the live base data.
+        remaining_edges = self.live_edges - set(edge_deletes)
+        remaining_seeds = self.live_seeds - set(seed_deletes)
+        self._dred.rederive(
+            remaining_edges,
+            remaining_seeds,
+            edge_partition_attribute=self.plan.edge_schema.partition_attribute,
+            result_partition_attribute=self.plan.result_schema.partition_attribute,
+            at_time=self.network.now,
+        )
+        self._run_to_quiescence()
+
+    def _run_to_quiescence(self) -> None:
+        """Drain the network, flushing eager ship buffers at each quiescent point.
+
+        The flush loop emulates MinShip's periodic (timer-driven) batch
+        shipping: whenever the network goes idle, every eager MinShip gets a
+        timer tick; if any of them released buffered derivations, the network
+        runs again until nothing is left anywhere.
+        """
+        while True:
+            self.network.run()
+            released = 0
+            for node in self.nodes:
+                if isinstance(node.ship, MinShipOperator) and node.ship.mode is ShipMode.EAGER:
+                    released += node.flush_ship(self.network.now)
+            if released == 0:
+                break
+
+    def _update_live_base(
+        self,
+        edge_inserts: Sequence[Tuple],
+        edge_deletes: Sequence[Tuple],
+        seed_inserts: Sequence[Tuple],
+        seed_deletes: Sequence[Tuple],
+    ) -> None:
+        self.live_edges.update(edge_inserts)
+        self.live_edges.difference_update(edge_deletes)
+        self.live_seeds.update(seed_inserts)
+        self.live_seeds.difference_update(seed_deletes)
+
+    def _collect_phase(self, label: str, phase_start: float) -> PhaseMetrics:
+        stats = self.network.stats
+        elapsed = max(stats.convergence_time - phase_start, 0.0)
+        return PhaseMetrics(
+            label=label,
+            per_tuple_provenance_bytes=stats.per_tuple_provenance_bytes,
+            communication_mb=stats.communication_mb,
+            state_mb=self.state_bytes() / 1_000_000.0,
+            convergence_time_s=elapsed,
+            messages=stats.total_messages,
+            updates_shipped=stats.total_updates_shipped,
+            view_size=len(self.view()),
+        )
+
+    # -- results --------------------------------------------------------------------------------
+    def view(self) -> Set[Tuple]:
+        """The materialised recursive view (union of all node partitions)."""
+        result: Set[Tuple] = set()
+        for node in self.nodes:
+            result.update(node.view_tuples())
+        return result
+
+    def view_values(self) -> Set[PyTuple[object, ...]]:
+        """The view as raw value tuples (for comparisons with ground truth)."""
+        return {tuple_.values for tuple_ in self.view()}
+
+    def view_at(self, node_id: int) -> Set[Tuple]:
+        """One node's partition of the view."""
+        return set(self.nodes[node_id].view_tuples())
+
+    def state_bytes(self) -> int:
+        """Total operator state across the cluster."""
+        return sum(node.state_bytes() for node in self.nodes)
+
+    def per_node_state_bytes(self) -> Dict[int, int]:
+        """Operator state per node (diagnostics / load balance)."""
+        return {node.node_id: node.state_bytes() for node in self.nodes}
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedViewExecutor(plan={self.plan.name!r}, scheme={self.strategy.label!r}, "
+            f"nodes={self.network.node_count})"
+        )

@@ -1,0 +1,102 @@
+"""Containers for the paper's four evaluation metrics (Section 7.1).
+
+* per-tuple provenance overhead (bytes)
+* communication overhead (MB)
+* state within operators (MB)
+* convergence / execution time (seconds)
+
+A :class:`PhaseMetrics` covers one workload phase (insert-only, or a deletion
+batch); :class:`ExperimentMetrics` aggregates a whole experiment run and knows
+how to format the paper-style report rows the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PhaseMetrics:
+    """Metrics for one phase of an experiment (e.g. all insertions, or one deletion batch)."""
+
+    label: str
+    per_tuple_provenance_bytes: float
+    communication_mb: float
+    state_mb: float
+    convergence_time_s: float
+    messages: int = 0
+    updates_shipped: int = 0
+    view_size: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary used by report formatting."""
+        return {
+            "per_tuple_provenance_B": round(self.per_tuple_provenance_bytes, 2),
+            "communication_MB": round(self.communication_mb, 6),
+            "state_MB": round(self.state_mb, 6),
+            "convergence_time_s": round(self.convergence_time_s, 6),
+            "messages": self.messages,
+            "updates_shipped": self.updates_shipped,
+            "view_size": self.view_size,
+        }
+
+
+@dataclass
+class ExperimentMetrics:
+    """Metrics for a full experiment: a sequence of phases plus identifying labels."""
+
+    experiment: str
+    scheme: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    phases: List[PhaseMetrics] = field(default_factory=list)
+
+    def add_phase(self, phase: PhaseMetrics) -> None:
+        """Append one phase's metrics."""
+        self.phases.append(phase)
+
+    def phase(self, label: str) -> Optional[PhaseMetrics]:
+        """Find a phase by label (None if missing)."""
+        for candidate in self.phases:
+            if candidate.label == label:
+                return candidate
+        return None
+
+    @property
+    def total_communication_mb(self) -> float:
+        """Total traffic across all phases."""
+        return sum(phase.communication_mb for phase in self.phases)
+
+    @property
+    def total_convergence_time_s(self) -> float:
+        """Total virtual execution time across all phases."""
+        return sum(phase.convergence_time_s for phase in self.phases)
+
+    @property
+    def final_state_mb(self) -> float:
+        """Operator state at the end of the last phase."""
+        return self.phases[-1].state_mb if self.phases else 0.0
+
+    @property
+    def mean_per_tuple_provenance_bytes(self) -> float:
+        """Per-tuple provenance overhead averaged over phases that shipped tuples."""
+        relevant = [p for p in self.phases if p.updates_shipped > 0]
+        if not relevant:
+            return 0.0
+        total_bytes = sum(p.per_tuple_provenance_bytes * p.updates_shipped for p in relevant)
+        total_updates = sum(p.updates_shipped for p in relevant)
+        return total_bytes / total_updates if total_updates else 0.0
+
+    def summary_row(self) -> Dict[str, object]:
+        """One flat row summarising the run (used by the per-figure harness)."""
+        row: Dict[str, object] = {"experiment": self.experiment, "scheme": self.scheme}
+        row.update(self.parameters)
+        row.update(
+            {
+                "per_tuple_provenance_B": round(self.mean_per_tuple_provenance_bytes, 2),
+                "communication_MB": round(self.total_communication_mb, 6),
+                "state_MB": round(self.final_state_mb, 6),
+                "convergence_time_s": round(self.total_convergence_time_s, 6),
+            }
+        )
+        return row

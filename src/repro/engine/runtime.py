@@ -1,0 +1,318 @@
+"""Per-node operator wiring (the query plan of Figure 4, instantiated at every node).
+
+Every processor node hosts:
+
+* a **DistributedScan** routing locally arriving base-relation updates
+  (port ``base``) into the plan: the base case goes to the Fixpoint of the
+  node owning the new view tuple, and a copy of the edge tuple goes to the
+  node owning the join key;
+* a **PipelinedHashJoin** between edge tuples shipped to this node
+  (port ``edge``) and the view partition this node owns;
+* a **MinShip** (or plain Ship, for DRed) buffering the join's output before
+  it crosses the network to the owning Fixpoint;
+* a **Fixpoint** holding this node's partition of the recursive view
+  (port ``view``), feeding changed derivations back into the local join;
+* a ``purge`` port receiving broadcast base-tuple deletions under the
+  provenance strategies (Section 4's "zero out the variable" step).
+
+The node talks to its peers exclusively through the simulated network, which
+performs the byte and latency accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+from repro.data.window import SlidingWindow
+from repro.engine.plan import RecursiveViewPlan
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.partition import HashPartitioner
+from repro.net.simulator import SimulatedNetwork
+from repro.operators.aggsel import AggregateSelection
+from repro.operators.fixpoint import FixpointOperator
+from repro.operators.join import PipelinedHashJoin
+from repro.operators.ship import MinShipOperator, ShipMode, ShipOperator
+from repro.provenance.tracker import ProvenanceStore
+
+#: Port names used between nodes.
+PORT_BASE = "base"
+PORT_SEED = "seed"
+PORT_EDGE = "edge"
+PORT_VIEW = "view"
+PORT_PURGE = "purge"
+
+
+class ProcessorNode:
+    """One simulated query-processor node executing the distributed plan."""
+
+    def __init__(
+        self,
+        node_id: int,
+        plan: RecursiveViewPlan,
+        strategy: ExecutionStrategy,
+        store: ProvenanceStore,
+        partitioner: HashPartitioner,
+        network: SimulatedNetwork,
+    ) -> None:
+        self.node_id = node_id
+        self.plan = plan
+        self.strategy = strategy
+        self.store = store
+        self.partitioner = partitioner
+        self.network = network
+
+        edge_window = SlidingWindow(plan.edge_window) if plan.edge_window else None
+        self.join = PipelinedHashJoin(
+            name=f"join@{node_id}",
+            store=store,
+            left_key=lambda edge: edge[plan.edge_join_attribute],
+            right_key=lambda view: view[plan.result_join_attribute],
+            combine=plan.combine,
+            left_window=edge_window,
+        )
+        fixpoint_aggsel = (
+            AggregateSelection(store, plan.aggregate_specs) if plan.has_aggregate_selection else None
+        )
+        self.fixpoint = FixpointOperator(
+            name=f"fixpoint@{node_id}", store=store, aggregate_selection=fixpoint_aggsel
+        )
+        if strategy.uses_provenance:
+            ship_aggsel = (
+                AggregateSelection(store, plan.aggregate_specs)
+                if plan.has_aggregate_selection
+                else None
+            )
+            self.ship = MinShipOperator(
+                name=f"minship@{node_id}",
+                store=store,
+                mode=strategy.ship_mode,
+                batch_size=strategy.ship_batch_size,
+                aggregate_selection=ship_aggsel,
+            )
+        else:
+            self.ship = ShipOperator(name=f"ship@{node_id}", store=store)
+        #: Base tuples this node has already seen a deletion for.  In-flight
+        #: insertions produced before the sender learned about the deletion may
+        #: still carry the deleted variables in their provenance; their
+        #: annotations are re-restricted on arrival so the purge is idempotent
+        #: regardless of message interleaving.
+        self._deleted_base_keys: set = set()
+        #: Version counter per base tuple (owner side): a tuple re-inserted
+        #: after a deletion gets a fresh provenance variable so that old
+        #: tombstones cannot suppress the new incarnation.
+        self._base_versions: Dict[object, int] = {}
+
+    # -- network entry point -------------------------------------------------------
+    def handle(self, port: str, updates: Sequence[Update], now: float) -> None:
+        """Dispatch a delivered batch of updates to the appropriate port handler."""
+        for update in updates:
+            if port == PORT_BASE:
+                self._handle_base(update, now)
+            elif port == PORT_SEED:
+                self._handle_seed(update, now)
+            elif port == PORT_EDGE:
+                self._handle_edge(update, now)
+            elif port == PORT_VIEW:
+                self._handle_view(update, now)
+            elif port == PORT_PURGE:
+                self._handle_purge(update, now)
+            else:
+                raise ValueError(f"unknown port {port!r} on node {self.node_id}")
+
+    # -- base-tuple provenance variables -------------------------------------------------
+    def _base_variable_key(self, tuple_: Tuple) -> object:
+        """The provenance-variable name for the current incarnation of a base tuple."""
+        version = self._base_versions.get(tuple_.key, 0)
+        return (tuple_.key, version)
+
+    def _retire_base_variable(self, tuple_: Tuple) -> object:
+        """Return the variable of the deleted incarnation and bump the version."""
+        version = self._base_versions.get(tuple_.key, 0)
+        self._base_versions[tuple_.key] = version + 1
+        return (tuple_.key, version)
+
+    # -- base relation (edge) updates -------------------------------------------------
+    def _handle_base(self, update: Update, now: float) -> None:
+        """A base edge update arriving at its owner node (the DistributedScan)."""
+        if update.is_insert:
+            annotation = (
+                self.store.base_annotation(self._base_variable_key(update.tuple))
+                if self.strategy.uses_provenance
+                else self.store.one()
+            )
+            annotated = update.with_provenance(annotation)
+            self._route_base_insert(annotated, now)
+            return
+        if self.strategy.uses_provenance:
+            self._broadcast_purge(update, now)
+        else:
+            # DRed over-deletion: the deletion follows the same routes as an insert.
+            self._route_base_insert(update.with_provenance(None), now)
+
+    def _route_base_insert(self, update: Update, now: float) -> None:
+        """Send the base-case view tuple and the join copy of the edge to their owners."""
+        base_tuple = self.plan.base_tuple_for(update.tuple)
+        if base_tuple is not None:
+            view_update = Update(
+                update.type, base_tuple, provenance=update.provenance, timestamp=now
+            )
+            destination = self.partitioner.node_for(self.plan.result_partition_value(base_tuple))
+            self._send(destination, PORT_VIEW, [view_update], now)
+        join_destination = self.partitioner.node_for(self.plan.edge_join_value(update.tuple))
+        self._send(join_destination, PORT_EDGE, [update], now)
+
+    # -- seeds (base-case view tuples provided directly, e.g. region seeds) -------------
+    def _handle_seed(self, update: Update, now: float) -> None:
+        if update.is_insert:
+            annotation = (
+                self.store.base_annotation(self._base_variable_key(update.tuple))
+                if self.strategy.uses_provenance
+                else self.store.one()
+            )
+            view_update = update.with_provenance(annotation)
+            destination = self.partitioner.node_for(
+                self.plan.result_partition_value(update.tuple)
+            )
+            self._send(destination, PORT_VIEW, [view_update], now)
+            return
+        if self.strategy.uses_provenance:
+            self._broadcast_purge(update, now)
+        else:
+            destination = self.partitioner.node_for(
+                self.plan.result_partition_value(update.tuple)
+            )
+            self._send(destination, PORT_VIEW, [update.with_provenance(None)], now)
+
+    # -- join input (edge side) ------------------------------------------------------------
+    def _handle_edge(self, update: Update, now: float) -> None:
+        update = self._filter_stale(update)
+        if update is None:
+            return
+        joined = self.join.process_left(update)
+        self._ship_view_updates(joined, now)
+
+    # -- view / fixpoint input ----------------------------------------------------------------
+    def _handle_view(self, update: Update, now: float) -> None:
+        update = self._filter_stale(update)
+        if update is None:
+            return
+        changed = self.fixpoint.process(update)
+        for delta in changed:
+            joined = self.join.process_right(delta)
+            self._ship_view_updates(joined, now)
+
+    def _filter_stale(self, update: Update) -> Optional[Update]:
+        """Drop deleted base variables from in-flight insertion annotations.
+
+        A message sent before its sender processed a purge can still mention
+        deleted base tuples; re-restricting on arrival keeps the maintained
+        provenance equivalent to what a fully synchronised system would hold.
+        Returns None when nothing derivable remains in the annotation.
+        """
+        if (
+            not self._deleted_base_keys
+            or not update.is_insert
+            or update.provenance is None
+            or not self.strategy.uses_provenance
+        ):
+            return update
+        restricted = self.store.remove_base(update.provenance, self._deleted_base_keys)
+        if self.store.is_zero(restricted):
+            return None
+        if self.store.equals(restricted, update.provenance):
+            return update
+        return update.with_provenance(restricted)
+
+    # -- broadcast deletions ----------------------------------------------------------------------
+    def _broadcast_purge(self, update: Update, now: float) -> None:
+        """Announce the deletion of a base tuple to every node (including ourselves).
+
+        The purge message names the provenance *variable* being retired (the
+        tuple key plus its incarnation version) in its ``provenance`` field, so
+        receivers zero out exactly the deleted incarnation.
+        """
+        variable_key = self._retire_base_variable(update.tuple)
+        purge_update = Update(
+            UpdateType.DEL, update.tuple, provenance=variable_key, timestamp=now
+        )
+        # A purge message carries the tuple plus a small variable identifier;
+        # it is sized explicitly because its "provenance" is a variable name,
+        # not an annotation the store can measure.
+        purge_size = purge_update.tuple.size_bytes() + 9
+        for destination in range(self.network.node_count):
+            if destination == self.node_id:
+                continue
+            self.network.send(
+                self.node_id, destination, PORT_PURGE, [purge_update], purge_size, at_time=now
+            )
+        self._handle_purge(purge_update, now)
+
+    def _handle_purge(self, update: Update, now: float) -> None:
+        """Zero out the deleted base tuple's variable in every local operator."""
+        variable_key = update.provenance
+        if variable_key is None:
+            variable_key = (update.tuple.key, 0)
+        base_keys = [variable_key]
+        self._deleted_base_keys.add(variable_key)
+        self.join.purge_base(base_keys)
+        self.fixpoint.purge_base(base_keys)
+        released = self.ship.purge_base(base_keys)
+        self._route_view_updates(released, now)
+
+    # -- shipping helpers ------------------------------------------------------------------------------
+    def _ship_view_updates(self, updates: Iterable[Update], now: float) -> None:
+        """Push join outputs through (Min)Ship and route whatever it releases."""
+        released: List[Update] = []
+        for update in updates:
+            released.extend(self.ship.process(update))
+        self._route_view_updates(released, now)
+
+    def flush_ship(self, now: float) -> int:
+        """Flush the ship operator's buffers (periodic timer tick); returns #updates sent."""
+        released = self.ship.flush()
+        self._route_view_updates(released, now)
+        return len(released)
+
+    def _route_view_updates(self, updates: Iterable[Update], now: float) -> None:
+        by_destination: Dict[int, List[Update]] = defaultdict(list)
+        for update in updates:
+            destination = self.partitioner.node_for(
+                self.plan.result_partition_value(update.tuple)
+            )
+            by_destination[destination].append(update)
+        for destination, batch in by_destination.items():
+            self._send(destination, PORT_VIEW, batch, now)
+
+    def _send(self, destination: int, port: str, updates: Sequence[Update], now: float) -> None:
+        if not updates:
+            return
+        size = 0
+        for update in updates:
+            annotation = update.provenance
+            annotation_bytes = (
+                self.store.size_bytes(annotation) if annotation is not None else 0
+            )
+            size += update.size_bytes(provenance_bytes=annotation_bytes)
+            if destination != self.node_id:
+                self.network.stats.record_provenance(annotation_bytes, 1)
+        self.network.send(self.node_id, destination, port, updates, size, at_time=now)
+
+    # -- introspection ---------------------------------------------------------------------------------------
+    def view_tuples(self) -> List[Tuple]:
+        """This node's partition of the recursive view."""
+        return self.fixpoint.view_tuples()
+
+    def state_bytes(self) -> int:
+        """State held by all operators on this node (Section 7 metric)."""
+        return self.join.state_bytes() + self.fixpoint.state_bytes() + self.ship.state_bytes()
+
+    def operator_stats(self) -> Dict[str, object]:
+        """Per-operator counters (diagnostics)."""
+        return {
+            "join": self.join.stats,
+            "fixpoint": self.fixpoint.stats,
+            "ship": self.ship.stats,
+        }

@@ -1,0 +1,43 @@
+"""Experiment harness: one driver per table/figure of the paper's evaluation.
+
+* :mod:`repro.harness.config` — scaled-down default experiment sizes (the
+  simulator is pure Python; EXPERIMENTS.md records the scaling);
+* :mod:`repro.harness.experiments` — `run_figure7` ... `run_figure14` plus the
+  ablations, each returning a list of result rows;
+* :mod:`repro.harness.report` — table formatting matching the figures' series.
+"""
+
+from repro.harness.config import ExperimentConfig, DEFAULT_CONFIG, QUICK_CONFIG
+from repro.harness.experiments import (
+    run_ablation_centralized_maintenance,
+    run_ablation_minship_batch,
+    run_ablation_provenance_encoding,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+)
+from repro.harness.report import format_rows, rows_to_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "QUICK_CONFIG",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_ablation_minship_batch",
+    "run_ablation_provenance_encoding",
+    "run_ablation_centralized_maintenance",
+    "format_rows",
+    "rows_to_csv",
+]

@@ -1,0 +1,114 @@
+"""Command-line entry point for the experiment harness.
+
+Runs one or more of the paper's figures (or the ablations) outside pytest and
+prints the same tables the benchmarks print, optionally writing CSV::
+
+    python -m repro.harness figure7 figure8
+    python -m repro.harness --quick --csv-dir results/ all
+    python -m repro.harness --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness import experiments
+from repro.harness.config import DEFAULT_CONFIG, PAPER_SCALE_CONFIG, QUICK_CONFIG, ExperimentConfig
+from repro.harness.report import format_rows, rows_to_csv
+
+#: Mapping from CLI experiment name to (driver, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "figure7": (experiments.run_figure7, "reachable view, insertion-ratio sweep"),
+    "figure8": (experiments.run_figure8, "reachable view, deletion-ratio sweep"),
+    "figure9": (experiments.run_figure9, "region query, insertion-ratio sweep"),
+    "figure10": (experiments.run_figure10, "region query, deletion-ratio sweep"),
+    "figure11": (experiments.run_figure11, "scaling links, insertions (dense vs sparse)"),
+    "figure12": (experiments.run_figure12, "scaling links, deleting 20% (dense vs sparse)"),
+    "figure13": (experiments.run_figure13, "scaling query-processor nodes"),
+    "figure14": (experiments.run_figure14, "aggregate selections on the path query"),
+    "ablation-minship": (experiments.run_ablation_minship_batch, "MinShip batch-size sweep"),
+    "ablation-encoding": (
+        experiments.run_ablation_provenance_encoding,
+        "BDD vs sum-of-products provenance encoding",
+    ),
+    "ablation-centralized": (
+        experiments.run_ablation_centralized_maintenance,
+        "distributed incremental vs centralized recompute",
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the evaluation figures of Liu et al., ICDE 2009.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="smallest (smoke-test) scale")
+    scale.add_argument(
+        "--paper-scale", action="store_true", help="the paper's original data sizes (slow)"
+    )
+    parser.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write one CSV file per experiment"
+    )
+    return parser
+
+
+def _select_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.quick:
+        return QUICK_CONFIG
+    if args.paper_scale:
+        return PAPER_SCALE_CONFIG
+    return DEFAULT_CONFIG
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the requested experiments; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"  {name:22s} {description}")
+        print("  all                    run every experiment above")
+        return 0
+
+    requested: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            requested.extend(EXPERIMENTS)
+        elif name in EXPERIMENTS:
+            requested.append(name)
+        else:
+            parser.error(f"unknown experiment {name!r}; use --list to see the choices")
+
+    config = _select_config(args)
+    print(f"# configuration: {config.describe()}")
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in requested:
+        driver, description = EXPERIMENTS[name]
+        rows = driver(config)
+        print()
+        print(format_rows(rows, title=f"{name}: {description}"))
+        if args.csv_dir is not None:
+            target = args.csv_dir / f"{name}.csv"
+            target.write_text(rows_to_csv(rows))
+            print(f"(wrote {target})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Event-driven simulation of the distributed query-processor cluster.
+
+The paper evaluates its techniques on a Java query processor running over a
+FreePastry DHT across 12-24 physical machines.  This package substitutes a
+deterministic, event-driven **simulated cluster**:
+
+* :class:`~repro.net.message.Message` — a batch of updates shipped from one
+  processor node to another, with byte-level size accounting;
+* :class:`~repro.net.latency.LatencyModel` — per-pair message latencies
+  (intra-cluster, inter-cluster, or custom);
+* :class:`~repro.net.simulator.SimulatedNetwork` — a virtual-time event loop
+  with reliable in-order (FIFO) delivery between node pairs, per-update
+  processing costs and quiescence detection (the distributed fixpoint);
+* :class:`~repro.net.stats.NetworkStats` — the communication-overhead and
+  convergence-time metrics reported in Section 7;
+* :mod:`repro.net.partition` — DHT-style key partitioning of relations across
+  processor nodes.
+
+Because all four evaluation metrics of the paper are functions of *which*
+tuples and annotations get shipped and stored — not of the physical NIC — the
+simulation preserves the comparative results while remaining laptop-scale.
+"""
+
+from repro.net.latency import ClusterLatencyModel, LatencyModel, UniformLatencyModel
+from repro.net.message import Message
+from repro.net.partition import HashPartitioner
+from repro.net.simulator import SimulatedNetwork
+from repro.net.stats import NetworkStats
+
+__all__ = [
+    "Message",
+    "LatencyModel",
+    "UniformLatencyModel",
+    "ClusterLatencyModel",
+    "HashPartitioner",
+    "SimulatedNetwork",
+    "NetworkStats",
+]

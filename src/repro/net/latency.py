@@ -1,0 +1,58 @@
+"""Latency models for the simulated cluster.
+
+The paper's testbed consists of a 16-node cluster and an 8-node cluster
+connected by a slower shared campus link; latency between query processors is
+dominated by whether the two processors sit in the same cluster.  The models
+here reproduce that structure (and show up as the latency jump between 16 and
+24 processors in Figure 13).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class LatencyModel(abc.ABC):
+    """Maps a (src node, dst node) pair to a one-way message latency in seconds."""
+
+    @abc.abstractmethod
+    def latency(self, src: int, dst: int) -> float:
+        """One-way latency from ``src`` to ``dst``."""
+
+    def __call__(self, src: int, dst: int) -> float:
+        return self.latency(src, dst)
+
+
+@dataclass(frozen=True)
+class UniformLatencyModel(LatencyModel):
+    """Constant latency between distinct nodes; local delivery is free."""
+
+    delay: float = 0.001
+
+    def latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.delay
+
+
+@dataclass(frozen=True)
+class ClusterLatencyModel(LatencyModel):
+    """Two clusters: fast Gigabit links inside each, a slower shared link between them.
+
+    Nodes ``0 .. primary_cluster_size-1`` form the first (fast) cluster;
+    everything beyond belongs to the second cluster, reachable only over the
+    inter-cluster link.  Defaults follow the paper's setup: a 16-node primary
+    cluster with Gigabit interconnect and a 100 Mbps shared campus link to the
+    secondary cluster.
+    """
+
+    primary_cluster_size: int = 16
+    intra_cluster_delay: float = 0.0005
+    inter_cluster_delay: float = 0.010
+
+    def latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        same_cluster = (src < self.primary_cluster_size) == (dst < self.primary_cluster_size)
+        return self.intra_cluster_delay if same_cluster else self.inter_cluster_delay

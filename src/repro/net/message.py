@@ -1,0 +1,49 @@
+"""Messages exchanged between simulated query-processor nodes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.update import Update
+
+_message_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A batch of updates shipped from ``src`` to ``dst`` addressed to ``port``.
+
+    ``port`` names the receiving operator on the destination node (for
+    example ``"fixpoint"`` or ``"join.link"``), mirroring how the paper's
+    query plan wires DistributedScan / MinShip outputs to remote operators.
+
+    ``size_bytes`` is the wire size computed by the sender: tuple payloads
+    plus the encoded provenance annotations.  It is what the communication-
+    overhead metric aggregates.
+    """
+
+    src: int
+    dst: int
+    port: str
+    updates: Sequence[Update]
+    size_bytes: int
+    sent_at: float
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def is_local(self) -> bool:
+        """True when the message never leaves the node (not counted as traffic)."""
+        return self.src == self.dst
+
+    @property
+    def update_count(self) -> int:
+        """Number of updates carried."""
+        return len(self.updates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.message_id} {self.src}->{self.dst} port={self.port!r} "
+            f"{self.update_count} updates, {self.size_bytes}B)"
+        )

@@ -1,0 +1,50 @@
+"""DHT-style key partitioning of relations across processor nodes.
+
+The paper stores every relation horizontally partitioned by a key attribute —
+``link(src, dst)`` lives at the node responsible for ``src``, the recursive
+``reachable`` view at the node responsible for its ``src``, and joins require
+shipping tuples to the node that owns the join key (Figure 4).  In the real
+system the mapping from key to node is a FreePastry DHT; here it is a stable
+hash modulo the processor count, optionally with an explicit override used by
+the worked-example tests (where node A literally stores ``src = A``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.data.relation import stable_hash
+
+
+class HashPartitioner:
+    """Maps partition-key values to processor node ids."""
+
+    def __init__(
+        self,
+        node_count: int,
+        overrides: Optional[Dict[Any, int]] = None,
+    ) -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        self.node_count = node_count
+        self._overrides = dict(overrides or {})
+
+    def node_for(self, key: Any) -> int:
+        """Processor node responsible for ``key``."""
+        if key in self._overrides:
+            return self._overrides[key]
+        return stable_hash(key) % self.node_count
+
+    def __call__(self, key: Any) -> int:
+        return self.node_for(key)
+
+    def assign(self, key: Any, node: int) -> None:
+        """Pin ``key`` to an explicit node (used by the paper's worked example)."""
+        if not 0 <= node < self.node_count:
+            raise ValueError(f"node {node} out of range for {self.node_count} nodes")
+        self._overrides[key] = node
+
+    @staticmethod
+    def identity(node_count: int, keys: Dict[Any, int]) -> "HashPartitioner":
+        """A partitioner that places exactly the given keys at the given nodes."""
+        return HashPartitioner(node_count, overrides=keys)

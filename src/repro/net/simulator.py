@@ -1,0 +1,213 @@
+"""A deterministic, event-driven network simulator.
+
+The simulator owns a priority queue of pending message deliveries in virtual
+time.  Every processor node registers a handler; delivering a message invokes
+the handler, which may send further messages (continuing the distributed
+computation).  The run ends when the queue drains — exactly the distributed
+quiescence/fixpoint condition the paper relies on — and the time of the last
+processed event is the **convergence time** metric.
+
+Modelled behaviour:
+
+* **Reliable in-order delivery** per (src, dst) pair, as assumed in
+  Section 3.1: a later message between the same pair is never delivered
+  before an earlier one, even if latencies would allow it.
+* **Per-update processing cost**: a node is busy for ``processing_cost``
+  seconds per update it handles, so nodes with more tuples take longer and
+  adding processors reduces convergence time (Figure 13).
+* **Byte accounting** for every non-local message via
+  :class:`~repro.net.stats.NetworkStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.update import Update
+from repro.net.latency import LatencyModel, UniformLatencyModel
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+
+#: A node handler receives (port, updates, virtual time) and reacts by calling
+#: :meth:`SimulatedNetwork.send` zero or more times.
+NodeHandler = Callable[[str, Sequence[Update], float], None]
+
+
+class SimulationError(Exception):
+    """Raised on misconfiguration (unknown node, missing handler) or runaway runs."""
+
+
+class SimulationBudgetExceeded(SimulationError):
+    """Raised when a run exceeds its event or wall-clock budget.
+
+    This is how the harness reproduces the paper's "did not complete within 5
+    minutes" data points (e.g. Relative Eager at high insertion ratios, Eager
+    propagation on dense 800-link topologies) without actually waiting: the
+    run is cut off and reported as not converged.
+    """
+
+
+class SimulatedNetwork:
+    """Virtual-time message-passing substrate for the distributed engine."""
+
+    def __init__(
+        self,
+        node_count: int,
+        latency_model: Optional[LatencyModel] = None,
+        processing_cost: float = 0.00002,
+        max_events: int = 20_000_000,
+        max_wall_seconds: Optional[float] = None,
+    ) -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        self.node_count = node_count
+        self.latency_model = latency_model or UniformLatencyModel()
+        self.processing_cost = processing_cost
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
+        self._wall_deadline: Optional[float] = None
+        self.stats = NetworkStats(node_count=node_count)
+        self._handlers: Dict[int, NodeHandler] = {}
+        self._queue: List[Tuple[float, int, Message]] = []
+        self._sequence = itertools.count()
+        #: FIFO watermark: latest delivery time scheduled per (src, dst) pair.
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        #: Time at which each node finishes its currently scheduled work.
+        self._node_busy_until: Dict[int, float] = {node: 0.0 for node in range(node_count)}
+        self._now = 0.0
+        self._events_processed = 0
+
+    # -- wiring -----------------------------------------------------------------
+    def register(self, node: int, handler: NodeHandler) -> None:
+        """Install the update handler for ``node``."""
+        self._validate_node(node)
+        self._handlers[node] = handler
+
+    def _validate_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise SimulationError(f"node {node} out of range (0..{self.node_count - 1})")
+
+    # -- clock -------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of messages delivered so far."""
+        return self._events_processed
+
+    # -- sending ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        port: str,
+        updates: Sequence[Update],
+        size_bytes: int,
+        at_time: Optional[float] = None,
+    ) -> Message:
+        """Ship a batch of updates from ``src`` to ``dst``.
+
+        Local sends (``src == dst``) are delivered after the processing delay
+        only; remote sends additionally incur the latency-model delay and are
+        counted as network traffic.  Delivery respects FIFO ordering per
+        (src, dst) channel.
+        """
+        self._validate_node(src)
+        self._validate_node(dst)
+        if not updates:
+            raise SimulationError("refusing to send an empty message")
+        sent_at = self._now if at_time is None else at_time
+        message = Message(
+            src=src, dst=dst, port=port, updates=tuple(updates),
+            size_bytes=size_bytes, sent_at=sent_at,
+        )
+        self.stats.record_message(message)
+        arrival = sent_at + self.latency_model.latency(src, dst)
+        fifo_key = (src, dst)
+        arrival = max(arrival, self._last_delivery.get(fifo_key, 0.0))
+        self._last_delivery[fifo_key] = arrival
+        heapq.heappush(self._queue, (arrival, next(self._sequence), message))
+        return message
+
+    def inject(
+        self,
+        dst: int,
+        port: str,
+        updates: Sequence[Update],
+        at_time: float = 0.0,
+        size_bytes: int = 0,
+    ) -> None:
+        """Inject external base-data updates at ``dst`` (not counted as traffic).
+
+        This models data arriving from the node's own sub-network (sensors,
+        local routing state) rather than from a peer query processor.
+        """
+        self._validate_node(dst)
+        if not updates:
+            return
+        message = Message(
+            src=dst, dst=dst, port=port, updates=tuple(updates),
+            size_bytes=size_bytes, sent_at=at_time,
+        )
+        heapq.heappush(self._queue, (at_time, next(self._sequence), message))
+
+    # -- running --------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> NetworkStats:
+        """Deliver events until the queue drains (or virtual time exceeds ``until``).
+
+        Returns the accumulated statistics; the convergence-time watermark is
+        the completion time of the last piece of work performed.
+        """
+        while self._queue:
+            arrival, _, message = heapq.heappop(self._queue)
+            if until is not None and arrival > until:
+                heapq.heappush(self._queue, (arrival, next(self._sequence), message))
+                break
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimulationBudgetExceeded(
+                    f"exceeded {self.max_events} events; the computation is not converging"
+                )
+            if (
+                self._wall_deadline is not None
+                and self._events_processed % 32 == 0
+                and time.monotonic() > self._wall_deadline
+            ):
+                raise SimulationBudgetExceeded(
+                    f"exceeded the wall-clock budget of {self.max_wall_seconds} seconds"
+                )
+            handler = self._handlers.get(message.dst)
+            if handler is None:
+                raise SimulationError(f"no handler registered for node {message.dst}")
+            start = max(arrival, self._node_busy_until[message.dst])
+            completion = start + self.processing_cost * max(len(message.updates), 1)
+            self._node_busy_until[message.dst] = completion
+            self._now = completion
+            self.stats.record_time(completion)
+            handler(message.port, message.updates, completion)
+        return self.stats
+
+    def arm_wall_budget(self) -> None:
+        """Start (or restart) the wall-clock budget for the current workload phase.
+
+        The budget spans every ``run`` call until it is re-armed, so a phase
+        that alternates between draining the queue and flushing ship buffers
+        cannot exceed it by resetting the clock.
+        """
+        if self.max_wall_seconds is not None:
+            self._wall_deadline = time.monotonic() + self.max_wall_seconds
+
+    def pending_events(self) -> int:
+        """Number of undelivered messages (useful in tests)."""
+        return len(self._queue)
+
+    def reset_stats(self) -> None:
+        """Start a fresh statistics accumulator (e.g. between insert and delete phases)."""
+        self.stats = NetworkStats(node_count=self.node_count)
+        self.stats.record_time(self._now)

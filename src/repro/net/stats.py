@@ -1,0 +1,126 @@
+"""Communication and convergence statistics.
+
+These are the evaluation metrics of Section 7.1:
+
+* **communication overhead (MB)** — total size of messages exchanged between
+  *distinct* nodes while executing the query to completion;
+* **per-tuple provenance overhead (B)** — average size of the provenance
+  annotation attached to each shipped tuple;
+* **convergence time (s)** — the (virtual) time at which the distributed
+  computation quiesces;
+* per-node breakdowns of the above, plus message counts, which Section 7.3
+  uses when scaling the number of query processors.
+
+Operator state (the fourth metric) is collected separately by the engine from
+the operators themselves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.net.message import Message
+
+
+@dataclass
+class NetworkStats:
+    """Mutable accumulator of traffic statistics for one experiment run."""
+
+    node_count: int = 0
+    total_bytes: int = 0
+    total_messages: int = 0
+    total_updates_shipped: int = 0
+    local_bytes: int = 0
+    local_messages: int = 0
+    provenance_bytes: int = 0
+    provenance_annotations: int = 0
+    bytes_sent_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_received_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages_by_port: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    convergence_time: float = 0.0
+
+    # -- recording ------------------------------------------------------------
+    def record_message(self, message: Message) -> None:
+        """Record one shipped message (local messages tracked separately)."""
+        if message.is_local:
+            self.local_messages += 1
+            self.local_bytes += message.size_bytes
+            return
+        self.total_messages += 1
+        self.total_bytes += message.size_bytes
+        self.total_updates_shipped += message.update_count
+        self.bytes_sent_by_node[message.src] += message.size_bytes
+        self.bytes_received_by_node[message.dst] += message.size_bytes
+        self.messages_by_port[message.port] += message.update_count
+
+    def record_provenance(self, annotation_bytes: int, count: int = 1) -> None:
+        """Record the size of provenance annotations attached to shipped tuples."""
+        self.provenance_bytes += annotation_bytes
+        self.provenance_annotations += count
+
+    def record_time(self, now: float) -> None:
+        """Advance the convergence-time watermark."""
+        if now > self.convergence_time:
+            self.convergence_time = now
+
+    # -- derived metrics ----------------------------------------------------------
+    @property
+    def communication_mb(self) -> float:
+        """Total inter-node traffic in megabytes."""
+        return self.total_bytes / 1_000_000.0
+
+    @property
+    def per_node_communication_mb(self) -> float:
+        """Average inter-node traffic per processor node in megabytes."""
+        if self.node_count == 0:
+            return self.communication_mb
+        return self.communication_mb / self.node_count
+
+    @property
+    def per_tuple_provenance_bytes(self) -> float:
+        """Average provenance annotation size per shipped tuple (bytes)."""
+        if self.provenance_annotations == 0:
+            return 0.0
+        return self.provenance_bytes / self.provenance_annotations
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        """Combine statistics from two phases of the same experiment."""
+        merged = NetworkStats(node_count=max(self.node_count, other.node_count))
+        merged.total_bytes = self.total_bytes + other.total_bytes
+        merged.total_messages = self.total_messages + other.total_messages
+        merged.total_updates_shipped = (
+            self.total_updates_shipped + other.total_updates_shipped
+        )
+        merged.local_bytes = self.local_bytes + other.local_bytes
+        merged.local_messages = self.local_messages + other.local_messages
+        merged.provenance_bytes = self.provenance_bytes + other.provenance_bytes
+        merged.provenance_annotations = (
+            self.provenance_annotations + other.provenance_annotations
+        )
+        for node, value in list(self.bytes_sent_by_node.items()) + list(
+            other.bytes_sent_by_node.items()
+        ):
+            merged.bytes_sent_by_node[node] += value
+        for node, value in list(self.bytes_received_by_node.items()) + list(
+            other.bytes_received_by_node.items()
+        ):
+            merged.bytes_received_by_node[node] += value
+        for port, value in list(self.messages_by_port.items()) + list(
+            other.messages_by_port.items()
+        ):
+            merged.messages_by_port[port] += value
+        merged.convergence_time = max(self.convergence_time, other.convergence_time)
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary dictionary used by the experiment harness."""
+        return {
+            "communication_mb": self.communication_mb,
+            "per_node_communication_mb": self.per_node_communication_mb,
+            "messages": float(self.total_messages),
+            "updates_shipped": float(self.total_updates_shipped),
+            "per_tuple_provenance_bytes": self.per_tuple_provenance_bytes,
+            "convergence_time_s": self.convergence_time,
+        }

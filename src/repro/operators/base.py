@@ -1,0 +1,91 @@
+"""Common operator machinery.
+
+Every stateful operator in the plan:
+
+* consumes :class:`~repro.data.update.Update` objects through ``process`` and
+  returns the updates it emits downstream;
+* can be told that a set of *base tuples* has been deleted
+  (``purge_base``), which is how broadcast deletions reach provenance state
+  (Section 4's "zero out the variable everywhere" step);
+* reports the size of the state it maintains (``state_bytes``) — the
+  "state within operators" metric of Section 7.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, List, Sequence
+
+from repro.data.update import Update
+from repro.provenance.tracker import ProvenanceStore
+
+
+@dataclass
+class OperatorStats:
+    """Counters every operator keeps about its own activity."""
+
+    updates_processed: int = 0
+    updates_emitted: int = 0
+    insertions_seen: int = 0
+    deletions_seen: int = 0
+    suppressed: int = 0
+
+    def record_input(self, update: Update) -> None:
+        """Count one consumed update."""
+        self.updates_processed += 1
+        if update.is_insert:
+            self.insertions_seen += 1
+        else:
+            self.deletions_seen += 1
+
+    def record_outputs(self, outputs: Sequence[Update]) -> None:
+        """Count emitted updates."""
+        self.updates_emitted += len(outputs)
+
+
+class Operator(abc.ABC):
+    """Base class for streaming operators."""
+
+    def __init__(self, name: str, store: ProvenanceStore) -> None:
+        self.name = name
+        self.store = store
+        self.stats = OperatorStats()
+
+    @abc.abstractmethod
+    def process(self, update: Update) -> List[Update]:
+        """Consume one update and return the updates to emit downstream."""
+
+    def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
+        """React to a broadcast deletion of base tuples.
+
+        The default implementation does nothing; provenance-holding operators
+        override it to zero out the deleted variables in their state and emit
+        any resulting updates (for example MinShip releasing buffered
+        alternative derivations).
+        """
+        return []
+
+    def flush(self) -> List[Update]:
+        """Emit any buffered state (end-of-stream / batch boundary)."""
+        return []
+
+    @abc.abstractmethod
+    def state_bytes(self) -> int:
+        """Approximate bytes of operator-held state (Section 7 metric)."""
+
+    def _record(self, update: Update, outputs: List[Update]) -> List[Update]:
+        """Bookkeeping helper used by subclasses before returning outputs."""
+        self.stats.record_input(update)
+        self.stats.record_outputs(outputs)
+        if not outputs:
+            self.stats.suppressed += 1
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def annotation_state_bytes(store: ProvenanceStore, annotations: Iterable) -> int:
+    """Total encoded size of a collection of annotations."""
+    return sum(store.size_bytes(annotation) for annotation in annotations)

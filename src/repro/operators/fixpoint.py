@@ -1,0 +1,146 @@
+"""The Fixpoint operator (Algorithm 1).
+
+The Fixpoint operator is the anchor of a recursive view: it receives updates
+from the *base* stream (the non-recursive branch of the view definition) and
+from the *recursive* stream (results of joining the view with edge tuples),
+maintains the hash map ``P : tuple -> provenance``, and propagates an update
+downstream only when the tuple's absorbed provenance actually changed.
+
+Unlike classical semi-naive evaluation it never blocks on rounds: updates are
+processed in arrival order (pipelined semi-naive evaluation), which is what
+makes it usable in an asynchronous distributed setting.
+
+Deletion handling depends on the provenance store:
+
+* with **absorption / relative provenance** a broadcast base-tuple deletion
+  reaches :meth:`FixpointOperator.purge_base`, which zeroes the deleted
+  variables in every stored annotation and removes tuples whose annotation
+  became unsatisfiable — no over-deletion, no re-derivation;
+* with **no provenance** (DRed / set semantics) an explicit DEL update on the
+  input stream removes the tuple if present and is propagated so that the
+  over-deletion phase can cascade; re-derivation is orchestrated by the
+  engine-level DRed coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+from repro.operators.aggsel import AggregateSelection
+from repro.operators.base import Operator, annotation_state_bytes
+from repro.provenance.tracker import ProvenanceStore
+
+
+class FixpointOperator(Operator):
+    """Maintains one partition of the recursive view with provenance annotations."""
+
+    def __init__(
+        self,
+        name: str,
+        store: ProvenanceStore,
+        aggregate_selection: Optional[AggregateSelection] = None,
+    ) -> None:
+        super().__init__(name, store)
+        #: ``P`` of Algorithm 1: tuple -> absorbed provenance of all known derivations.
+        self.provenance: Dict[Tuple, object] = {}
+        #: Optional aggregate-selection module "pushed into" the fixpoint (Section 6).
+        self.aggregate_selection = aggregate_selection
+
+    # -- view access -----------------------------------------------------------
+    def view_tuples(self) -> List[Tuple]:
+        """Current contents of this partition of the recursive view."""
+        return list(self.provenance)
+
+    def __contains__(self, tuple_: Tuple) -> bool:
+        return tuple_ in self.provenance
+
+    def annotation_of(self, tuple_: Tuple):
+        """Provenance annotation currently associated with ``tuple_`` (or None)."""
+        return self.provenance.get(tuple_)
+
+    # -- stream processing --------------------------------------------------------
+    def process(self, update: Update) -> List[Update]:
+        """Algorithm 1: merge an update into the view, emit only real changes."""
+        pending = [update]
+        if self.aggregate_selection is not None:
+            pending = self.aggregate_selection.process(update)
+        outputs: List[Update] = []
+        for current in pending:
+            if current.is_insert:
+                outputs.extend(self._process_insert(current))
+            else:
+                outputs.extend(self._process_delete(current))
+        return self._record(update, outputs)
+
+    def _process_insert(self, update: Update) -> List[Update]:
+        annotation = update.provenance
+        if annotation is None:
+            annotation = self.store.one()
+        existing = self.provenance.get(update.tuple)
+        if existing is None:
+            # First derivation of a brand-new view tuple: store and propagate.
+            self.provenance[update.tuple] = annotation
+            return [update.with_provenance(annotation)]
+        merged = self.store.disjoin(existing, annotation)
+        if self.store.equals(merged, existing):
+            # The new derivation is absorbed by what we already know: suppress.
+            return []
+        self.provenance[update.tuple] = merged
+        delta = self.store.difference(merged, existing)
+        return [update.with_provenance(delta)]
+
+    def _process_delete(self, update: Update) -> List[Update]:
+        if not self.store.supports_deletion or update.provenance is None:
+            # Set-semantics (DRed) deletion: remove if present and cascade.
+            if update.tuple in self.provenance:
+                del self.provenance[update.tuple]
+                return [update]
+            return []
+        # Provenance-carrying DEL on the input stream (e.g. produced by a
+        # set-oriented upstream operator): treat it like a purge of the
+        # specific derivation it names.
+        existing = self.provenance.get(update.tuple)
+        if existing is None:
+            return []
+        remaining = self.store.conjoin(existing, self.store.difference(self.store.one(), update.provenance))
+        if self.store.equals(remaining, existing):
+            return []
+        if self.store.is_zero(remaining):
+            del self.provenance[update.tuple]
+            return [update]
+        self.provenance[update.tuple] = remaining
+        return []
+
+    # -- broadcast deletions ---------------------------------------------------------
+    def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
+        """Zero out deleted base tuples in every stored annotation (Algorithm 1, lines 27-35)."""
+        if not self.store.supports_deletion:
+            return []
+        removed_keys = list(base_keys)
+        outputs: List[Update] = []
+        dead: List[Tuple] = []
+        for tuple_, annotation in self.provenance.items():
+            restricted = self.store.remove_base(annotation, removed_keys)
+            if self.store.equals(restricted, annotation):
+                continue
+            if self.store.is_zero(restricted):
+                dead.append(tuple_)
+            else:
+                self.provenance[tuple_] = restricted
+        for tuple_ in dead:
+            del self.provenance[tuple_]
+            outputs.append(Update(UpdateType.DEL, tuple_, provenance=self.store.zero()))
+        if self.aggregate_selection is not None:
+            outputs.extend(self.aggregate_selection.purge_base(removed_keys))
+        return outputs
+
+    # -- metrics ----------------------------------------------------------------------
+    def state_bytes(self) -> int:
+        """Tuples plus their provenance annotations, plus any embedded AggSel state."""
+        total = sum(t.size_bytes() for t in self.provenance)
+        total += annotation_state_bytes(self.store, self.provenance.values())
+        if self.aggregate_selection is not None:
+            total += self.aggregate_selection.state_bytes()
+        return total

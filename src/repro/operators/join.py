@@ -1,0 +1,257 @@
+"""The provenance-aware pipelined (symmetric) hash join — Algorithm 2.
+
+Each side of the join keeps two hash tables: one from join-key to tuples
+(``hR`` / ``hS``) and one from tuple to its absorbed provenance (``pR`` /
+``pS``).  Processing an update on one side probes the other side and emits
+joined results whose provenance is the conjunction ``u.pv AND pv(other)``;
+deletions either carry provenance (provenance strategies) or cascade in set
+semantics (DRed).
+
+The combiner that builds the output tuple is pluggable (``combine``) so the
+same operator implements the recursive rules of all three use cases:
+
+* ``reachable(x, y) :- link(x, z), reachable(z, y)``
+* ``path(x, y, p, c, l) :- link(x, z, c0), path(z, y, p1, c1, l1), ...``
+* ``activeRegion(r, y) :- proximity(x, y), activeRegion(r, x), ...``
+
+``combine`` may return ``None`` to reject a pairing (for example to cut off
+cyclic paths or enforce a hop bound), which plays the role of the rule's extra
+selection predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+from repro.data.window import SlidingWindow
+from repro.operators.base import Operator, annotation_state_bytes
+from repro.provenance.tracker import ProvenanceStore
+
+#: Builds the joined output tuple from (edge-side tuple, recursive-side tuple);
+#: returns None when the pairing is rejected.
+Combiner = Callable[[Tuple, Tuple], Optional[Tuple]]
+
+
+class _JoinSide:
+    """State for one input of the symmetric hash join."""
+
+    __slots__ = ("key_fn", "by_key", "provenance", "window")
+
+    def __init__(self, key_fn: Callable[[Tuple], Any], window: Optional[SlidingWindow]) -> None:
+        self.key_fn = key_fn
+        #: ``h``: join-key -> set of tuples with that key.
+        self.by_key: Dict[Any, Set[Tuple]] = {}
+        #: ``p``: tuple -> provenance annotation.
+        self.provenance: Dict[Tuple, object] = {}
+        self.window = window
+
+    def add(self, tuple_: Tuple) -> None:
+        self.by_key.setdefault(self.key_fn(tuple_), set()).add(tuple_)
+
+    def remove(self, tuple_: Tuple) -> None:
+        key = self.key_fn(tuple_)
+        bucket = self.by_key.get(key)
+        if bucket is not None:
+            bucket.discard(tuple_)
+            if not bucket:
+                del self.by_key[key]
+
+    def matches(self, key: Any) -> Set[Tuple]:
+        return self.by_key.get(key, set())
+
+    def state_bytes(self, store: ProvenanceStore) -> int:
+        total = sum(t.size_bytes() for t in self.provenance)
+        total += annotation_state_bytes(store, self.provenance.values())
+        if self.window is not None:
+            total += self.window.state_bytes()
+        return total
+
+
+class PipelinedHashJoin(Operator):
+    """Symmetric hash join over two update streams ("left" and "right")."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    def __init__(
+        self,
+        name: str,
+        store: ProvenanceStore,
+        left_key: Callable[[Tuple], Any],
+        right_key: Callable[[Tuple], Any],
+        combine: Combiner,
+        left_window: Optional[SlidingWindow] = None,
+        right_window: Optional[SlidingWindow] = None,
+    ) -> None:
+        super().__init__(name, store)
+        self._left = _JoinSide(left_key, left_window)
+        self._right = _JoinSide(right_key, right_window)
+        self._combine = combine
+
+    # -- public entry points ----------------------------------------------------
+    def process(self, update: Update) -> List[Update]:
+        """Updates default to the left input; use process_left/right explicitly."""
+        return self.process_left(update)
+
+    def process_left(self, update: Update) -> List[Update]:
+        """Consume an update on the left (edge) input."""
+        outputs = self._process_side(update, self._left, self._right, left_is_update=True)
+        return self._record(update, outputs)
+
+    def process_right(self, update: Update) -> List[Update]:
+        """Consume an update on the right (recursive) input."""
+        outputs = self._process_side(update, self._right, self._left, left_is_update=False)
+        return self._record(update, outputs)
+
+    # -- core HalfPipeIns / HalfPipeDel logic ------------------------------------------
+    def _process_side(
+        self,
+        update: Update,
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
+        outputs: List[Update] = []
+        if update.is_insert:
+            outputs.extend(self._half_pipe_ins(update, mine, other, left_is_update))
+        else:
+            outputs.extend(self._half_pipe_del(update, mine, other, left_is_update))
+        outputs.extend(self._apply_window(update, mine, other, left_is_update))
+        return outputs
+
+    def _half_pipe_ins(
+        self, update: Update, mine: _JoinSide, other: _JoinSide, left_is_update: bool
+    ) -> List[Update]:
+        annotation = update.provenance if update.provenance is not None else self.store.one()
+        existing = mine.provenance.get(update.tuple)
+        if existing is None:
+            mine.provenance[update.tuple] = annotation
+            mine.add(update.tuple)
+            changed = True
+            delta = annotation
+        else:
+            merged = self.store.disjoin(existing, annotation)
+            changed = not self.store.equals(merged, existing)
+            mine.provenance[update.tuple] = merged
+            delta = annotation
+        if not changed:
+            return []
+        return self._probe(update, UpdateType.INS, delta, mine, other, left_is_update)
+
+    def _half_pipe_del(
+        self, update: Update, mine: _JoinSide, other: _JoinSide, left_is_update: bool
+    ) -> List[Update]:
+        existing = mine.provenance.get(update.tuple)
+        if existing is None:
+            return []
+        if self.store.supports_deletion and update.provenance is not None:
+            remaining = self.store.conjoin(
+                existing, self.store.difference(self.store.one(), update.provenance)
+            )
+            changed = not self.store.equals(remaining, existing)
+            if self.store.is_zero(remaining):
+                del mine.provenance[update.tuple]
+                mine.remove(update.tuple)
+            else:
+                mine.provenance[update.tuple] = remaining
+            delta = update.provenance
+        else:
+            # Set semantics: remove the tuple outright and cascade the deletion.
+            del mine.provenance[update.tuple]
+            mine.remove(update.tuple)
+            changed = True
+            delta = self.store.one()
+        if not changed:
+            return []
+        return self._probe(update, UpdateType.DEL, delta, mine, other, left_is_update)
+
+    def _probe(
+        self,
+        update: Update,
+        out_type: UpdateType,
+        delta: object,
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
+        outputs: List[Update] = []
+        key = mine.key_fn(update.tuple)
+        for match in sorted(other.matches(key), key=lambda t: t.key):
+            if left_is_update:
+                joined = self._combine(update.tuple, match)
+            else:
+                joined = self._combine(match, update.tuple)
+            if joined is None:
+                continue
+            other_annotation = other.provenance.get(match, self.store.one())
+            annotation = self.store.conjoin(delta, other_annotation)
+            if self.store.is_zero(annotation):
+                continue
+            outputs.append(
+                Update(out_type, joined, provenance=annotation, timestamp=update.timestamp)
+            )
+        return outputs
+
+    # -- windows (tuple expirations, Section 4.3.3) -----------------------------------------
+    def _apply_window(
+        self, update: Update, mine: _JoinSide, other: _JoinSide, left_is_update: bool
+    ) -> List[Update]:
+        if mine.window is None:
+            return []
+        outputs: List[Update] = []
+        for expiration in mine.window.observe(update):
+            expired = Update(
+                UpdateType.DEL,
+                expiration.tuple,
+                provenance=mine.provenance.get(expiration.tuple),
+                timestamp=expiration.expired_at,
+            )
+            outputs.extend(self._half_pipe_del(expired, mine, other, left_is_update))
+        return outputs
+
+    # -- broadcast deletions --------------------------------------------------------------------
+    def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
+        """Zero out deleted base tuples in both sides' provenance tables."""
+        if not self.store.supports_deletion:
+            return []
+        removed = list(base_keys)
+        for side in (self._left, self._right):
+            dead: List[Tuple] = []
+            for tuple_, annotation in side.provenance.items():
+                restricted = self.store.remove_base(annotation, removed)
+                if self.store.equals(restricted, annotation):
+                    continue
+                if self.store.is_zero(restricted):
+                    dead.append(tuple_)
+                else:
+                    side.provenance[tuple_] = restricted
+            for tuple_ in dead:
+                del side.provenance[tuple_]
+                side.remove(tuple_)
+        return []
+
+    # -- DRed support ------------------------------------------------------------------------------
+    def clear_left(self) -> None:
+        """Drop the left-side (edge) state.
+
+        Used by the DRed coordinator before its re-derivation phase: the live
+        edges are re-scanned and re-shipped, so they must probe the surviving
+        view tuples again rather than be suppressed as duplicates.
+        """
+        self._left.by_key.clear()
+        self._left.provenance.clear()
+
+    # -- introspection -----------------------------------------------------------------------------
+    def left_tuples(self) -> List[Tuple]:
+        """Tuples currently stored on the left side."""
+        return list(self._left.provenance)
+
+    def right_tuples(self) -> List[Tuple]:
+        """Tuples currently stored on the right side."""
+        return list(self._right.provenance)
+
+    def state_bytes(self) -> int:
+        """Both hash tables plus their provenance annotations."""
+        return self._left.state_bytes(self.store) + self._right.state_bytes(self.store)

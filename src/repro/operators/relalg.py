@@ -1,0 +1,146 @@
+"""Relational-algebra building blocks over update streams.
+
+Selection, projection, union and duplicate elimination with provenance
+composition following Figure 6 of the paper:
+
+* selection keeps the annotation unchanged;
+* projection ORs the annotations of all input tuples collapsing onto the same
+  output tuple;
+* union ORs the annotations coming from either input;
+* duplicate elimination is projection onto all attributes.
+
+These are used by the centralized Datalog substrate and by the non-recursive
+"final view" stages of the example queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.data.tuples import Schema, Tuple
+from repro.data.update import Update, UpdateType
+from repro.operators.base import Operator, annotation_state_bytes
+from repro.provenance.tracker import ProvenanceStore
+
+
+class Selection(Operator):
+    """``sigma_theta``: forwards updates whose tuples satisfy the predicate."""
+
+    def __init__(self, name: str, store: ProvenanceStore, predicate: Callable[[Tuple], bool]) -> None:
+        super().__init__(name, store)
+        self.predicate = predicate
+
+    def process(self, update: Update) -> List[Update]:
+        outputs = [update] if self.predicate(update.tuple) else []
+        return self._record(update, outputs)
+
+    def state_bytes(self) -> int:
+        return 0
+
+
+class _ProvenanceMerging(Operator):
+    """Shared machinery for operators that OR together alternative derivations."""
+
+    def __init__(self, name: str, store: ProvenanceStore) -> None:
+        super().__init__(name, store)
+        self.provenance: Dict[Tuple, object] = {}
+
+    def _merge_insert(self, output_tuple: Tuple, update: Update) -> List[Update]:
+        annotation = update.provenance if update.provenance is not None else self.store.one()
+        existing = self.provenance.get(output_tuple)
+        if existing is None:
+            self.provenance[output_tuple] = annotation
+            return [Update(UpdateType.INS, output_tuple, provenance=annotation,
+                           timestamp=update.timestamp)]
+        merged = self.store.disjoin(existing, annotation)
+        if self.store.equals(merged, existing):
+            return []
+        self.provenance[output_tuple] = merged
+        delta = self.store.difference(merged, existing)
+        return [Update(UpdateType.INS, output_tuple, provenance=delta,
+                       timestamp=update.timestamp)]
+
+    def _merge_delete(self, output_tuple: Tuple, update: Update) -> List[Update]:
+        existing = self.provenance.get(output_tuple)
+        if existing is None:
+            return []
+        if self.store.supports_deletion and update.provenance is not None:
+            remaining = self.store.conjoin(
+                existing, self.store.difference(self.store.one(), update.provenance)
+            )
+            if self.store.equals(remaining, existing):
+                return []
+            if self.store.is_zero(remaining):
+                del self.provenance[output_tuple]
+                return [Update(UpdateType.DEL, output_tuple, provenance=update.provenance,
+                               timestamp=update.timestamp)]
+            self.provenance[output_tuple] = remaining
+            return []
+        del self.provenance[output_tuple]
+        return [Update(UpdateType.DEL, output_tuple, timestamp=update.timestamp)]
+
+    def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
+        if not self.store.supports_deletion:
+            return []
+        removed = list(base_keys)
+        outputs: List[Update] = []
+        dead: List[Tuple] = []
+        for tuple_, annotation in self.provenance.items():
+            restricted = self.store.remove_base(annotation, removed)
+            if self.store.equals(restricted, annotation):
+                continue
+            if self.store.is_zero(restricted):
+                dead.append(tuple_)
+            else:
+                self.provenance[tuple_] = restricted
+        for tuple_ in dead:
+            del self.provenance[tuple_]
+            outputs.append(Update(UpdateType.DEL, tuple_, provenance=self.store.zero()))
+        return outputs
+
+    def current_tuples(self) -> List[Tuple]:
+        """Output tuples currently derivable."""
+        return list(self.provenance)
+
+    def state_bytes(self) -> int:
+        total = sum(t.size_bytes() for t in self.provenance)
+        total += annotation_state_bytes(self.store, self.provenance.values())
+        return total
+
+
+class Projection(_ProvenanceMerging):
+    """``Pi_A``: projects tuples onto a subset of attributes, ORing provenance."""
+
+    def __init__(
+        self,
+        name: str,
+        store: ProvenanceStore,
+        output_schema: Schema,
+        attributes: Sequence[str],
+    ) -> None:
+        super().__init__(name, store)
+        self.output_schema = output_schema
+        self.attributes = tuple(attributes)
+
+    def process(self, update: Update) -> List[Update]:
+        projected = update.tuple.project(self.output_schema, self.attributes)
+        if update.is_insert:
+            outputs = self._merge_insert(projected, update)
+        else:
+            outputs = self._merge_delete(projected, update)
+        return self._record(update, outputs)
+
+
+class UnionOperator(_ProvenanceMerging):
+    """Set union of several input streams producing tuples of one schema."""
+
+    def process(self, update: Update) -> List[Update]:
+        if update.is_insert:
+            outputs = self._merge_insert(update.tuple, update)
+        else:
+            outputs = self._merge_delete(update.tuple, update)
+        return self._record(update, outputs)
+
+
+class DuplicateElimination(UnionOperator):
+    """Set-semantics duplicate elimination (union with a single input)."""

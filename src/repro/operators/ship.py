@@ -1,0 +1,225 @@
+"""Ship and MinShip operators (Algorithm 3, Section 5).
+
+A conventional Ship operator forwards every update it receives to a remote
+node.  With provenance, that is wasteful: every *new derivation* of an
+already-known tuple would cross the network even though the receiver usually
+does not need it.  MinShip therefore:
+
+* always ships the **first** derivation of a tuple immediately (the receiver
+  needs to learn the tuple exists);
+* **buffers** subsequent derivations, merging them into a single absorbed
+  provenance expression (``Pins``);
+* in **eager** mode, flushes the buffer whenever it reaches the batch size
+  ``W`` (or on an explicit flush), so the receiver eventually holds the full
+  provenance;
+* in **lazy** mode, keeps alternate derivations local and only releases them
+  when the derivation previously shipped for that tuple is invalidated by a
+  deletion — the receiver then learns the surviving alternative instead of
+  wrongly dropping the tuple.
+
+The operator does not talk to sockets here; it returns the updates that must
+be shipped and the engine runtime routes them to the destination node,
+recording message sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update, UpdateType
+from repro.operators.aggsel import AggregateSelection
+from repro.operators.base import Operator, annotation_state_bytes
+from repro.provenance.tracker import ProvenanceStore
+
+
+class ShipMode(enum.Enum):
+    """Propagation policy for buffered derivations."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class ShipOperator(Operator):
+    """The conventional ship operator: forwards everything unchanged."""
+
+    def __init__(self, name: str, store: ProvenanceStore) -> None:
+        super().__init__(name, store)
+
+    def process(self, update: Update) -> List[Update]:
+        return self._record(update, [update])
+
+    def state_bytes(self) -> int:
+        return 0
+
+
+class MinShipOperator(Operator):
+    """Provenance-buffering ship operator (Algorithm 3)."""
+
+    def __init__(
+        self,
+        name: str,
+        store: ProvenanceStore,
+        mode: ShipMode = ShipMode.LAZY,
+        batch_size: int = 50,
+        aggregate_selection: Optional[AggregateSelection] = None,
+    ) -> None:
+        super().__init__(name, store)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.mode = mode
+        self.batch_size = batch_size
+        self.aggregate_selection = aggregate_selection
+        #: ``Bsent``: tuple -> provenance already shipped to the consumer.
+        self.sent: Dict[Tuple, object] = {}
+        #: ``Pins``: tuple -> buffered (absorbed) provenance not yet shipped.
+        self.pending_insertions: Dict[Tuple, object] = {}
+        #: ``Pdel``: tuple -> buffered deletion provenance.
+        self.pending_deletions: Dict[Tuple, object] = {}
+
+    # -- stream processing --------------------------------------------------------
+    def process(self, update: Update) -> List[Update]:
+        pending = [update]
+        if self.aggregate_selection is not None:
+            pending = self.aggregate_selection.process(update)
+        outputs: List[Update] = []
+        for current in pending:
+            outputs.extend(self._process_one(current))
+        if self._buffered_count() >= self.batch_size:
+            outputs.extend(self.flush())
+        return self._record(update, outputs)
+
+    def _process_one(self, update: Update) -> List[Update]:
+        annotation = update.provenance if update.provenance is not None else self.store.one()
+        previously_sent = self.sent.get(update.tuple)
+        if previously_sent is None:
+            # First time we see this tuple at all: ship right away (base case).
+            if update.is_insert:
+                self.sent[update.tuple] = annotation
+                return [update.with_provenance(annotation)]
+            # A deletion for a tuple we never shipped: nothing to suppress.
+            return [update]
+        if update.is_insert:
+            merged = self.store.disjoin(previously_sent, annotation)
+            if self.store.equals(merged, previously_sent):
+                # Fully absorbed by what the consumer already knows: suppress.
+                return []
+            buffered = self.pending_insertions.get(update.tuple, self.store.zero())
+            self.pending_insertions[update.tuple] = self.store.disjoin(buffered, annotation)
+            if self.mode is ShipMode.EAGER:
+                return []  # will go out with the next batch flush
+            return []
+        # Deletion of a tuple we have shipped before.
+        if self.store.supports_deletion and update.provenance is not None:
+            return self._buffer_deletion(update)
+        # Set semantics: just forward the deletion.
+        self.sent.pop(update.tuple, None)
+        self.pending_insertions.pop(update.tuple, None)
+        return [update]
+
+    def _buffer_deletion(self, update: Update) -> List[Update]:
+        annotation = update.provenance
+        # Remove the deleted derivations from anything still buffered (Alg 3 lines 20-25).
+        not_deleted = self.store.difference(self.store.one(), annotation)
+        stale: List[Tuple] = []
+        for tuple_, buffered in self.pending_insertions.items():
+            remaining = self.store.conjoin(buffered, not_deleted)
+            if self.store.is_zero(remaining):
+                stale.append(tuple_)
+            else:
+                self.pending_insertions[tuple_] = remaining
+        for tuple_ in stale:
+            del self.pending_insertions[tuple_]
+        existing = self.pending_deletions.get(update.tuple, self.store.zero())
+        self.pending_deletions[update.tuple] = self.store.disjoin(existing, annotation)
+        if self.mode is ShipMode.EAGER:
+            return []
+        return []
+
+    # -- flush / batched shipping -----------------------------------------------------
+    def _buffered_count(self) -> int:
+        return len(self.pending_insertions) + len(self.pending_deletions)
+
+    def flush(self) -> List[Update]:
+        """Ship buffered state according to the mode (BatchShipEager / BatchShipLazy)."""
+        if self.mode is ShipMode.EAGER:
+            return self._flush_eager()
+        return self._flush_lazy()
+
+    def _flush_eager(self) -> List[Update]:
+        outputs: List[Update] = []
+        for tuple_, annotation in list(self.pending_insertions.items()):
+            outputs.append(Update(UpdateType.INS, tuple_, provenance=annotation))
+            self.sent[tuple_] = self.store.disjoin(
+                self.sent.get(tuple_, self.store.zero()), annotation
+            )
+        self.pending_insertions.clear()
+        for tuple_, annotation in list(self.pending_deletions.items()):
+            outputs.append(Update(UpdateType.DEL, tuple_, provenance=annotation))
+        self.pending_deletions.clear()
+        return outputs
+
+    def _flush_lazy(self) -> List[Update]:
+        outputs: List[Update] = []
+        for tuple_, annotation in list(self.pending_deletions.items()):
+            outputs.append(Update(UpdateType.DEL, tuple_, provenance=annotation))
+            buffered = self.pending_insertions.pop(tuple_, None)
+            if buffered is not None and not self.store.is_zero(buffered):
+                outputs.append(Update(UpdateType.INS, tuple_, provenance=buffered))
+                self.sent[tuple_] = self.store.disjoin(
+                    self.sent.get(tuple_, self.store.zero()), buffered
+                )
+        self.pending_deletions.clear()
+        return outputs
+
+    # -- broadcast deletions --------------------------------------------------------------
+    def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
+        """React to deleted base tuples: release buffered alternate derivations.
+
+        The consumer also receives the broadcast and zeroes the deleted
+        variables in its own state; what it *cannot* know about are the
+        alternative derivations this MinShip buffered and never shipped.  For
+        every tuple whose already-shipped provenance was affected, ship the
+        surviving buffered derivations so the consumer does not lose the tuple.
+        """
+        if not self.store.supports_deletion:
+            return []
+        removed = list(base_keys)
+        outputs: List[Update] = []
+        # Restrict buffered insertions first.
+        stale: List[Tuple] = []
+        for tuple_, buffered in self.pending_insertions.items():
+            restricted = self.store.remove_base(buffered, removed)
+            if self.store.is_zero(restricted):
+                stale.append(tuple_)
+            else:
+                self.pending_insertions[tuple_] = restricted
+        for tuple_ in stale:
+            del self.pending_insertions[tuple_]
+        # For every affected shipped tuple, release surviving buffered derivations.
+        for tuple_, shipped in list(self.sent.items()):
+            restricted = self.store.remove_base(shipped, removed)
+            if self.store.equals(restricted, shipped):
+                continue
+            self.sent[tuple_] = restricted
+            buffered = self.pending_insertions.pop(tuple_, None)
+            if buffered is not None and not self.store.is_zero(buffered):
+                outputs.append(Update(UpdateType.INS, tuple_, provenance=buffered))
+                self.sent[tuple_] = self.store.disjoin(self.sent[tuple_], buffered)
+            if self.store.is_zero(self.sent[tuple_]) and buffered is None:
+                del self.sent[tuple_]
+        if self.aggregate_selection is not None:
+            outputs.extend(self.aggregate_selection.purge_base(removed))
+        return outputs
+
+    # -- metrics -----------------------------------------------------------------------------
+    def state_bytes(self) -> int:
+        """Sent, buffered-insert and buffered-delete provenance tables."""
+        total = 0
+        for table in (self.sent, self.pending_insertions, self.pending_deletions):
+            total += sum(t.size_bytes() for t in table)
+            total += annotation_state_bytes(self.store, table.values())
+        if self.aggregate_selection is not None:
+            total += self.aggregate_selection.state_bytes()
+        return total

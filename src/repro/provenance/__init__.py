@@ -1,0 +1,51 @@
+"""Provenance models for incremental maintenance of recursive views.
+
+The paper's key idea (Section 4) is *absorption provenance*: annotate every
+view tuple with a Boolean expression over base-tuple variables, stored as a
+BDD so that Boolean absorption keeps annotations minimal and deletion handling
+becomes "set the deleted variable to false and drop tuples whose annotation
+becomes false".  For comparison the paper measures *relative provenance*
+(derivation-graph provenance from update-exchange systems) and plain
+set-semantics maintenance via DRed.
+
+This package provides all of those as pluggable provenance trackers, plus the
+generic provenance-semiring framework they specialise:
+
+* :mod:`repro.provenance.semiring` — provenance semirings (PosBool, counting,
+  why-provenance, lineage, tropical) over abstract annotations;
+* :mod:`repro.provenance.absorption` — BDD-backed absorption provenance store;
+* :mod:`repro.provenance.relative` — derivation-graph (relative) provenance
+  with reachability-based derivability checks;
+* :mod:`repro.provenance.counting` — derivation counting (classic
+  non-recursive view maintenance);
+* :mod:`repro.provenance.tracker` — the common tracker interface used by
+  operators, and a factory keyed by maintenance strategy.
+"""
+
+from repro.provenance.absorption import AbsorptionProvenanceStore
+from repro.provenance.counting import CountingProvenanceStore
+from repro.provenance.relative import DerivationEdge, RelativeProvenanceStore
+from repro.provenance.semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    Semiring,
+    TropicalSemiring,
+    WhySemiring,
+)
+from repro.provenance.tracker import ProvenanceStore, provenance_store_for
+
+__all__ = [
+    "AbsorptionProvenanceStore",
+    "RelativeProvenanceStore",
+    "CountingProvenanceStore",
+    "DerivationEdge",
+    "ProvenanceStore",
+    "provenance_store_for",
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "WhySemiring",
+    "LineageSemiring",
+    "TropicalSemiring",
+]

@@ -1,0 +1,155 @@
+"""Provenance semirings.
+
+The paper's absorption provenance is "a compact encoding of the PosBool
+provenance semiring" of Green, Karvounarakis and Tannen (PODS 2007).  This
+module implements the general semiring framework so that:
+
+* the Datalog substrate can evaluate queries under any provenance semiring
+  (PosBool / counting / why / lineage / tropical cost), which is the
+  theoretical foundation Section 4 builds on;
+* tests can check that the BDD-based absorption store agrees with a direct
+  PosBool evaluation.
+
+A commutative semiring is ``(K, plus, times, zero, one)``; annotations combine
+with ``times`` across joins and ``plus`` across alternative derivations
+(union / projection), per Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Generic, Hashable, Iterable, TypeVar
+
+from repro.bdd.expr import BoolExpr
+
+K = TypeVar("K")
+
+
+@dataclass(frozen=True)
+class Semiring(Generic[K]):
+    """A commutative semiring over annotation domain ``K``."""
+
+    name: str
+    zero: K
+    one: K
+    plus: Callable[[K, K], K]
+    times: Callable[[K, K], K]
+    #: Maps a base-tuple identifier to its initial annotation.
+    of_base: Callable[[Hashable], K]
+
+    def plus_all(self, annotations: Iterable[K]) -> K:
+        """Fold ``plus`` over a collection (empty -> zero)."""
+        result = self.zero
+        for annotation in annotations:
+            result = self.plus(result, annotation)
+        return result
+
+    def times_all(self, annotations: Iterable[K]) -> K:
+        """Fold ``times`` over a collection (empty -> one)."""
+        result = self.one
+        for annotation in annotations:
+            result = self.times(result, annotation)
+        return result
+
+    def is_zero(self, annotation: K) -> bool:
+        """True when the annotation means "not present / not derivable"."""
+        return annotation == self.zero
+
+
+# -- PosBool: positive Boolean expressions (absorption provenance) -------------
+
+def _bool_plus(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    return left | right
+
+
+def _bool_times(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    return left & right
+
+
+#: The PosBool semiring over minimised DNF expressions.  The paper's absorption
+#: provenance is this semiring with BDDs as the physical encoding.
+BooleanSemiring: Semiring[BoolExpr] = Semiring(
+    name="PosBool",
+    zero=BoolExpr.false(),
+    one=BoolExpr.true(),
+    plus=_bool_plus,
+    times=_bool_times,
+    of_base=BoolExpr.variable,
+)
+
+
+# -- Counting: number of derivations -------------------------------------------
+
+CountingSemiring: Semiring[int] = Semiring(
+    name="counting",
+    zero=0,
+    one=1,
+    plus=lambda left, right: left + right,
+    times=lambda left, right: left * right,
+    of_base=lambda _base: 1,
+)
+
+
+# -- Why-provenance: sets of witness sets ---------------------------------------
+
+Witness = FrozenSet[Hashable]
+WhyAnnotation = FrozenSet[Witness]
+
+
+def _why_plus(left: WhyAnnotation, right: WhyAnnotation) -> WhyAnnotation:
+    return left | right
+
+
+def _why_times(left: WhyAnnotation, right: WhyAnnotation) -> WhyAnnotation:
+    return frozenset(a | b for a in left for b in right)
+
+
+WhySemiring: Semiring[WhyAnnotation] = Semiring(
+    name="why",
+    zero=frozenset(),
+    one=frozenset({frozenset()}),
+    plus=_why_plus,
+    times=_why_times,
+    of_base=lambda base: frozenset({frozenset({base})}),
+)
+
+
+# -- Lineage: flat set of contributing base tuples -------------------------------
+
+LineageAnnotation = FrozenSet[Hashable]
+
+
+def _lineage_plus(left: LineageAnnotation, right: LineageAnnotation) -> LineageAnnotation:
+    return left | right
+
+
+#: Lineage (Cui-style) flattens everything to the set of base tuples involved.
+#: Note there is no distinguished "one" other than the empty set, which is why
+#: lineage cannot support deletions (the paper's Section 4 motivation).
+LineageSemiring: Semiring[LineageAnnotation] = Semiring(
+    name="lineage",
+    zero=frozenset(),
+    one=frozenset(),
+    plus=_lineage_plus,
+    times=_lineage_plus,
+    of_base=lambda base: frozenset({base}),
+)
+
+
+# -- Tropical: min-cost provenance (shortest paths) -------------------------------
+
+_INFINITY = float("inf")
+
+TropicalSemiring: Semiring[float] = Semiring(
+    name="tropical",
+    zero=_INFINITY,
+    one=0.0,
+    plus=min,
+    times=lambda left, right: left + right,
+    of_base=lambda _base: 0.0,
+)
+
+
+def posbool_of_why(annotation: WhyAnnotation) -> BoolExpr:
+    """Convert a why-provenance annotation to the equivalent PosBool expression."""
+    return BoolExpr.from_products(annotation)

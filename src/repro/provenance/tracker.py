@@ -1,0 +1,143 @@
+"""The provenance-store interface shared by all maintenance strategies.
+
+Operators (Fixpoint, PipelinedHashJoin, MinShip, AggSel) are written against
+this small algebra of annotations rather than against BDDs directly, so the
+same operator code runs under:
+
+* **absorption provenance** (BDD annotations, the paper's contribution),
+* **relative provenance** (derivation-set annotations without absorption,
+  the comparison system from update exchange),
+* **counting** (integers; classical non-recursive maintenance), and
+* **none** (set semantics; what DRed runs on).
+
+The store interprets annotations: it knows how to create a fresh annotation
+for a base tuple, combine annotations across joins (``conjoin``) and across
+alternative derivations (``disjoin``), zero out deleted base tuples
+(``remove_base``), test emptiness and measure encoded size.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterable, Optional
+
+Annotation = Any
+
+
+class ProvenanceStore(abc.ABC):
+    """Abstract provenance algebra used by the provenance-aware operators."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "abstract"
+    #: Whether annotations carry enough information to decide derivability
+    #: directly on deletion (True for absorption/relative, False for none).
+    supports_deletion: bool = True
+
+    @abc.abstractmethod
+    def base_annotation(self, base_key: Hashable) -> Annotation:
+        """Annotation of a freshly inserted base tuple identified by ``base_key``."""
+
+    @abc.abstractmethod
+    def zero(self) -> Annotation:
+        """The "not derivable" annotation."""
+
+    @abc.abstractmethod
+    def one(self) -> Annotation:
+        """The neutral annotation for conjunction (no constraints)."""
+
+    @abc.abstractmethod
+    def conjoin(self, left: Annotation, right: Annotation) -> Annotation:
+        """Combine annotations of joined tuples (Figure 6: join rule)."""
+
+    @abc.abstractmethod
+    def disjoin(self, left: Annotation, right: Annotation) -> Annotation:
+        """Merge an alternative derivation (Figure 6: union/projection rule)."""
+
+    @abc.abstractmethod
+    def remove_base(self, annotation: Annotation, base_keys: Iterable[Hashable]) -> Annotation:
+        """Zero out the given base tuples inside ``annotation`` (deletion)."""
+
+    @abc.abstractmethod
+    def is_zero(self, annotation: Annotation) -> bool:
+        """True when the annotation certifies the tuple is no longer derivable."""
+
+    @abc.abstractmethod
+    def size_bytes(self, annotation: Annotation) -> int:
+        """Encoded size of the annotation in bytes (per-tuple overhead metric)."""
+
+    def equals(self, left: Annotation, right: Annotation) -> bool:
+        """Whether two annotations are equal (used to detect "provenance changed")."""
+        return left == right
+
+    def difference(self, new: Annotation, old: Annotation) -> Annotation:
+        """The part of ``new`` not implied by ``old`` (the ``deltaPv`` of Algorithm 1).
+
+        The default implementation simply returns ``new``; the absorption
+        store overrides it with ``new AND NOT old``.
+        """
+        return new
+
+    def describe(self, annotation: Annotation) -> str:
+        """Human-readable rendering used by examples and debugging."""
+        return repr(annotation)
+
+
+class NullProvenanceStore(ProvenanceStore):
+    """Set-semantics execution: no annotations at all (DRed's data model).
+
+    ``None`` plays the role of "present"; emptiness can never be decided from
+    the annotation, which is exactly why DRed has to over-delete and
+    re-derive.
+    """
+
+    name = "none"
+    supports_deletion = False
+
+    def base_annotation(self, base_key: Hashable) -> Annotation:
+        return True
+
+    def zero(self) -> Annotation:
+        return False
+
+    def one(self) -> Annotation:
+        return True
+
+    def conjoin(self, left: Annotation, right: Annotation) -> Annotation:
+        return bool(left) and bool(right)
+
+    def disjoin(self, left: Annotation, right: Annotation) -> Annotation:
+        return bool(left) or bool(right)
+
+    def remove_base(self, annotation: Annotation, base_keys: Iterable[Hashable]) -> Annotation:
+        return annotation
+
+    def is_zero(self, annotation: Annotation) -> bool:
+        return not annotation
+
+    def size_bytes(self, annotation: Annotation) -> int:
+        return 0
+
+    def describe(self, annotation: Annotation) -> str:
+        return "present" if annotation else "absent"
+
+
+def provenance_store_for(kind: str, **options: Any) -> ProvenanceStore:
+    """Factory: build a provenance store from a strategy keyword.
+
+    ``kind`` is one of ``"absorption"``, ``"relative"``, ``"counting"`` or
+    ``"none"`` (case-insensitive).
+    """
+    from repro.provenance.absorption import AbsorptionProvenanceStore
+    from repro.provenance.counting import CountingProvenanceStore
+    from repro.provenance.relative import RelativeProvenanceStore
+
+    normalised = kind.strip().lower()
+    if normalised == "absorption":
+        return AbsorptionProvenanceStore(**options)
+    if normalised == "relative":
+        return RelativeProvenanceStore(**options)
+    if normalised == "counting":
+        return CountingProvenanceStore(**options)
+    if normalised in ("none", "set", "dred"):
+        return NullProvenanceStore()
+    raise ValueError(f"unknown provenance store kind: {kind!r}")

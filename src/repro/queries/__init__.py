@@ -1,0 +1,65 @@
+"""The paper's example queries as distributed recursive view plans.
+
+* :mod:`repro.queries.reachability` — Query 1: network reachability
+  (transitive closure of ``link``);
+* :mod:`repro.queries.shortest_path` — Query 2: path enumeration with
+  cost/hop aggregate selections and the derived views ``minCost``,
+  ``minHops``, ``cheapestPath``, ``fewestHops``, ``shortestCheapestPath``;
+* :mod:`repro.queries.regions` — Query 3: contiguous triggered sensor regions
+  seeded from reference sensors, with ``regionSizes`` / ``largestRegion``;
+* :mod:`repro.queries.builder` — convenience constructors for executors.
+"""
+
+from repro.queries.builder import build_executor
+from repro.queries.reachability import (
+    LINK_SCHEMA,
+    REACHABLE_SCHEMA,
+    link,
+    reachability_plan,
+    reachable,
+)
+from repro.queries.regions import (
+    ACTIVE_REGION_SCHEMA,
+    PROXIMITY_SCHEMA,
+    active_region,
+    largest_regions,
+    proximity,
+    region_plan,
+    region_sizes,
+)
+from repro.queries.shortest_path import (
+    PATH_LINK_SCHEMA,
+    PATH_SCHEMA,
+    cheapest_paths,
+    cost_link,
+    fewest_hop_paths,
+    min_costs,
+    min_hops,
+    shortest_cheapest_paths,
+    shortest_path_plan,
+)
+
+__all__ = [
+    "build_executor",
+    "LINK_SCHEMA",
+    "REACHABLE_SCHEMA",
+    "link",
+    "reachable",
+    "reachability_plan",
+    "PATH_LINK_SCHEMA",
+    "PATH_SCHEMA",
+    "cost_link",
+    "shortest_path_plan",
+    "min_costs",
+    "min_hops",
+    "cheapest_paths",
+    "fewest_hop_paths",
+    "shortest_cheapest_paths",
+    "PROXIMITY_SCHEMA",
+    "ACTIVE_REGION_SCHEMA",
+    "proximity",
+    "active_region",
+    "region_plan",
+    "region_sizes",
+    "largest_regions",
+]

@@ -1,0 +1,55 @@
+"""Convenience constructors for distributed executors.
+
+Most callers (examples, benchmarks, tests) build an executor the same way:
+pick a plan, pick a strategy by its figure label, choose the cluster size.
+``build_executor`` packages that, including the paper's default of 12 query
+processors and the two-cluster latency model used when scaling beyond 16.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.engine.executor import DistributedViewExecutor
+from repro.engine.plan import RecursiveViewPlan
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.latency import ClusterLatencyModel, LatencyModel
+from repro.net.partition import HashPartitioner
+
+#: Default number of query processors (the paper's default setting).
+DEFAULT_NODE_COUNT = 12
+
+
+def build_executor(
+    plan: RecursiveViewPlan,
+    strategy: Union[str, ExecutionStrategy],
+    node_count: int = DEFAULT_NODE_COUNT,
+    latency_model: Optional[LatencyModel] = None,
+    partitioner: Optional[HashPartitioner] = None,
+    processing_cost: float = 0.00002,
+    max_events: int = 5_000_000,
+    max_wall_seconds: Optional[float] = None,
+    experiment: str = "experiment",
+) -> DistributedViewExecutor:
+    """Build a ready-to-run executor for ``plan`` under ``strategy``.
+
+    ``strategy`` may be an :class:`ExecutionStrategy` or one of the figure
+    labels (``"DRed"``, ``"Absorption Lazy"``, ...).  The latency model
+    defaults to the paper's two-cluster topology (Gigabit inside the first 16
+    nodes, a slower shared link to any nodes beyond).
+    """
+    if isinstance(strategy, str):
+        strategy = ExecutionStrategy.by_name(strategy)
+    if latency_model is None:
+        latency_model = ClusterLatencyModel(primary_cluster_size=min(node_count, 16))
+    return DistributedViewExecutor(
+        plan=plan,
+        strategy=strategy,
+        node_count=node_count,
+        latency_model=latency_model,
+        partitioner=partitioner,
+        processing_cost=processing_cost,
+        max_events=max_events,
+        max_wall_seconds=max_wall_seconds,
+        experiment=experiment,
+    )

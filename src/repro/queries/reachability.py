@@ -1,0 +1,92 @@
+"""Query 1 — network reachability (transitive closure of the ``link`` relation).
+
+Datalog, as in Section 2 of the paper::
+
+    reachable(x, y) :- link(x, y).
+    reachable(x, y) :- link(x, z), reachable(z, y).
+
+Both relations are partitioned on their first attribute; computing the view
+requires shipping ``link`` tuples to the node owning their ``dst`` (to join
+with ``reachable.src``) and shipping join results to the node owning their new
+``src`` (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.data.tuples import Tuple, make_schema
+from repro.engine.plan import RecursiveViewPlan
+
+#: ``link(src, dst)`` — router link state, partitioned by ``src``.
+LINK_SCHEMA = make_schema("link", ["src", "dst"])
+#: ``reachable(src, dst)`` — the recursive view, partitioned by ``src``.
+REACHABLE_SCHEMA = make_schema("reachable", ["src", "dst"])
+
+
+def link(src: Any, dst: Any) -> Tuple:
+    """Build a ``link`` tuple."""
+    return LINK_SCHEMA.tuple(src, dst)
+
+
+def reachable(src: Any, dst: Any) -> Tuple:
+    """Build a ``reachable`` tuple."""
+    return REACHABLE_SCHEMA.tuple(src, dst)
+
+
+def _base_case(edge: Tuple) -> Tuple:
+    """``reachable(x, y) :- link(x, y)``."""
+    return reachable(edge["src"], edge["dst"])
+
+
+def _recursive_case(edge: Tuple, view: Tuple) -> Optional[Tuple]:
+    """``reachable(x, y) :- link(x, z), reachable(z, y)`` (join key already matched)."""
+    return reachable(edge["src"], view["dst"])
+
+
+def reachability_plan(max_hops: Optional[int] = None) -> RecursiveViewPlan:
+    """The distributed plan for Query 1.
+
+    ``max_hops`` optionally bounds the radius (the "reachable pairs within a
+    radius" enhancement mentioned in Section 2); when set, the view schema
+    gains a ``hops`` attribute and the recursion stops at the bound.
+    """
+    if max_hops is None:
+        return RecursiveViewPlan(
+            name="reachable",
+            edge_schema=LINK_SCHEMA,
+            result_schema=REACHABLE_SCHEMA,
+            edge_join_attribute="dst",
+            result_join_attribute="src",
+            make_base=_base_case,
+            combine=_recursive_case,
+        )
+    return _bounded_reachability_plan(max_hops)
+
+
+#: ``reachableWithin(src, dst, hops)`` — radius-bounded variant of the view.
+BOUNDED_REACHABLE_SCHEMA = make_schema("reachableWithin", ["src", "dst", "hops"])
+
+
+def _bounded_reachability_plan(max_hops: int) -> RecursiveViewPlan:
+    if max_hops <= 0:
+        raise ValueError("max_hops must be positive")
+
+    def base(edge: Tuple) -> Tuple:
+        return BOUNDED_REACHABLE_SCHEMA.tuple(edge["src"], edge["dst"], 1)
+
+    def step(edge: Tuple, view: Tuple) -> Optional[Tuple]:
+        hops = view["hops"] + 1
+        if hops > max_hops:
+            return None
+        return BOUNDED_REACHABLE_SCHEMA.tuple(edge["src"], view["dst"], hops)
+
+    return RecursiveViewPlan(
+        name=f"reachableWithin{max_hops}",
+        edge_schema=LINK_SCHEMA,
+        result_schema=BOUNDED_REACHABLE_SCHEMA,
+        edge_join_attribute="dst",
+        result_join_attribute="src",
+        make_base=base,
+        combine=step,
+    )

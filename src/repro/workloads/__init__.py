@@ -1,0 +1,24 @@
+"""Workload generators for the experiments of Section 7.
+
+* :mod:`repro.workloads.topology` — GT-ITM-style transit-stub Internet
+  topologies (the declarative-networking workload), dense and sparse variants;
+* :mod:`repro.workloads.sensors` — simulated sensor fields with seed groups
+  and trigger/untrigger event streams (the sensor-region workload);
+* :mod:`repro.workloads.updates` — insertion/deletion schedules by ratio, with
+  deterministic seeded randomness so experiment runs are reproducible.
+"""
+
+from repro.workloads.sensors import SensorField, SensorWorkload
+from repro.workloads.topology import TransitStubConfig, TransitStubTopology, generate_topology
+from repro.workloads.updates import UpdateSchedule, deletion_sample, insertion_prefix
+
+__all__ = [
+    "TransitStubConfig",
+    "TransitStubTopology",
+    "generate_topology",
+    "SensorField",
+    "SensorWorkload",
+    "UpdateSchedule",
+    "insertion_prefix",
+    "deletion_sample",
+]

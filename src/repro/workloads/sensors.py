@@ -1,0 +1,210 @@
+"""Simulated sensor fields and trigger workloads (the region query's input).
+
+The paper's second workload (Section 7.1) is a simulated 100 m x 100 m grid of
+sensors reporting to their local query processor.  Five "seed" groups are
+initialised with one reference device each; the recursive view adds every
+triggered sensor within ``k`` metres (default 20 m) of a sensor already in a
+region — and removes sensors that are no longer triggered.
+
+:class:`SensorField` places the sensors and knows the proximity relation;
+:class:`SensorWorkload` turns *trigger* / *untrigger* events into the base-
+relation deltas the distributed engine consumes:
+
+* a triggered sensor contributes directed ``proximity(src, dst)`` edges from
+  itself to every sensor within ``k`` metres (the edge means "src is triggered
+  and dst is nearby", matching the rule's ``isTriggered(x)`` subgoal), and
+* a triggered *seed* sensor contributes an ``activeRegion`` seed tuple.
+
+Untriggering a sensor deletes exactly those tuples, so region maintenance is
+exercised through the same insert/delete machinery as the networking workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.queries.regions import active_region, proximity
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """One sensor with an id and a position in metres."""
+
+    sensor_id: str
+    x: float
+    y: float
+
+    def distance_to(self, other: "Sensor") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass
+class SensorField:
+    """A set of sensors on a square field, with seed-group assignments."""
+
+    sensors: List[Sensor]
+    seed_sensors: Dict[str, str]  # sensor id -> region id
+    proximity_radius: float
+
+    @staticmethod
+    def grid(
+        side_metres: float = 100.0,
+        spacing_metres: float = 10.0,
+        proximity_radius: float = 20.0,
+        seed_groups: int = 5,
+        rng_seed: int = 11,
+    ) -> "SensorField":
+        """A regular grid of sensors with ``seed_groups`` spread-out reference sensors."""
+        sensors: List[Sensor] = []
+        per_side = int(side_metres // spacing_metres) + 1
+        for row in range(per_side):
+            for column in range(per_side):
+                sensors.append(
+                    Sensor(f"s{row}_{column}", column * spacing_metres, row * spacing_metres)
+                )
+        rng = random.Random(rng_seed)
+        chosen = rng.sample(sensors, min(seed_groups, len(sensors)))
+        seeds = {sensor.sensor_id: f"region{index}" for index, sensor in enumerate(chosen)}
+        return SensorField(sensors=sensors, seed_sensors=seeds, proximity_radius=proximity_radius)
+
+    def __post_init__(self) -> None:
+        self._by_id = {sensor.sensor_id: sensor for sensor in self.sensors}
+        self._neighbors: Dict[str, List[str]] = {}
+        for sensor in self.sensors:
+            nearby = [
+                other.sensor_id
+                for other in self.sensors
+                if other.sensor_id != sensor.sensor_id
+                and sensor.distance_to(other) < self.proximity_radius
+            ]
+            self._neighbors[sensor.sensor_id] = nearby
+
+    @property
+    def sensor_ids(self) -> List[str]:
+        """All sensor ids."""
+        return [sensor.sensor_id for sensor in self.sensors]
+
+    def neighbors_of(self, sensor_id: str) -> List[str]:
+        """Sensors within the proximity radius of ``sensor_id``."""
+        return self._neighbors[sensor_id]
+
+    def is_seed(self, sensor_id: str) -> bool:
+        """True when the sensor is one of the reference (seed) sensors."""
+        return sensor_id in self.seed_sensors
+
+    def region_of_seed(self, sensor_id: str) -> Optional[str]:
+        """Region id of a seed sensor (None for ordinary sensors)."""
+        return self.seed_sensors.get(sensor_id)
+
+
+@dataclass
+class BaseDelta:
+    """Base-relation changes produced by one trigger/untrigger event."""
+
+    proximity_inserts: List[Tuple] = field(default_factory=list)
+    proximity_deletes: List[Tuple] = field(default_factory=list)
+    seed_inserts: List[Tuple] = field(default_factory=list)
+    seed_deletes: List[Tuple] = field(default_factory=list)
+
+    def merge(self, other: "BaseDelta") -> "BaseDelta":
+        """Concatenate two deltas (batching several events into one phase)."""
+        return BaseDelta(
+            proximity_inserts=self.proximity_inserts + other.proximity_inserts,
+            proximity_deletes=self.proximity_deletes + other.proximity_deletes,
+            seed_inserts=self.seed_inserts + other.seed_inserts,
+            seed_deletes=self.seed_deletes + other.seed_deletes,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return not (
+            self.proximity_inserts
+            or self.proximity_deletes
+            or self.seed_inserts
+            or self.seed_deletes
+        )
+
+
+class SensorWorkload:
+    """Tracks trigger state and derives base-relation deltas for the region query."""
+
+    def __init__(self, sensor_field: SensorField) -> None:
+        self.field = sensor_field
+        self.triggered: Set[str] = set()
+
+    # -- event -> base-relation delta -----------------------------------------------
+    def trigger(self, sensor_id: str) -> BaseDelta:
+        """Mark ``sensor_id`` as triggered; return the base tuples to insert."""
+        if sensor_id in self.triggered:
+            return BaseDelta()
+        self.triggered.add(sensor_id)
+        delta = BaseDelta()
+        for neighbor in self.field.neighbors_of(sensor_id):
+            delta.proximity_inserts.append(proximity(sensor_id, neighbor))
+        region = self.field.region_of_seed(sensor_id)
+        if region is not None:
+            delta.seed_inserts.append(active_region(sensor_id, region))
+        return delta
+
+    def untrigger(self, sensor_id: str) -> BaseDelta:
+        """Mark ``sensor_id`` as no longer triggered; return the base tuples to delete."""
+        if sensor_id not in self.triggered:
+            return BaseDelta()
+        self.triggered.discard(sensor_id)
+        delta = BaseDelta()
+        for neighbor in self.field.neighbors_of(sensor_id):
+            delta.proximity_deletes.append(proximity(sensor_id, neighbor))
+        region = self.field.region_of_seed(sensor_id)
+        if region is not None:
+            delta.seed_deletes.append(active_region(sensor_id, region))
+        return delta
+
+    def trigger_many(self, sensor_ids: Iterable[str]) -> BaseDelta:
+        """Trigger a batch of sensors, merging their deltas."""
+        delta = BaseDelta()
+        for sensor_id in sensor_ids:
+            delta = delta.merge(self.trigger(sensor_id))
+        return delta
+
+    def untrigger_many(self, sensor_ids: Iterable[str]) -> BaseDelta:
+        """Untrigger a batch of sensors, merging their deltas."""
+        delta = BaseDelta()
+        for sensor_id in sensor_ids:
+            delta = delta.merge(self.untrigger(sensor_id))
+        return delta
+
+    # -- ground truth -------------------------------------------------------------------
+    def live_proximity_pairs(self) -> Set[PyTuple[str, str]]:
+        """Current directed proximity edges (src triggered, dst within radius)."""
+        pairs: Set[PyTuple[str, str]] = set()
+        for sensor_id in self.triggered:
+            for neighbor in self.field.neighbors_of(sensor_id):
+                pairs.add((sensor_id, neighbor))
+        return pairs
+
+    def live_seeds(self) -> Dict[str, str]:
+        """Currently triggered seed sensors mapped to their region ids."""
+        return {
+            sensor_id: region
+            for sensor_id, region in self.field.seed_sensors.items()
+            if sensor_id in self.triggered
+        }
+
+    def expected_regions(self) -> Dict[str, Set[str]]:
+        """Ground-truth region membership from the current trigger state.
+
+        A sensor belongs to a region when it is the region's triggered seed or
+        reachable from it over proximity edges whose sources are triggered —
+        matching Query 3's semantics (a region can temporarily include the
+        untriggered fringe of triggered sensors, exactly as the recursive rule
+        derives it).
+        """
+        from repro.baselines.networkx_ref import connected_regions
+
+        return connected_regions(self.live_seeds(), self.live_proximity_pairs())

@@ -1,0 +1,206 @@
+"""GT-ITM-style transit-stub Internet topologies.
+
+The paper generates its declarative-networking inputs with GT-ITM
+"transit-stub" topologies: a small set of *transit domains* whose routers are
+densely connected form the backbone; each transit router attaches several
+*stub domains* whose routers carry end hosts.  The default configuration in
+Section 7.1 is eight nodes per stub, three stubs per transit node and four
+nodes per transit domain, giving a 100-node network with roughly 200
+bidirectional links (400 directed ``link`` tuples); latencies are 50 ms
+between transit nodes, 10 ms transit-to-stub and 2 ms inside a stub.
+
+GT-ITM itself is a C package we cannot ship, so :func:`generate_topology`
+reproduces the same structural family with a seeded random generator:
+
+* transit routers within a domain form a connected random backbone
+  (ring plus random chords, "dense" doubles the chords);
+* every transit router owns ``stubs_per_transit`` stub domains;
+* stub routers within a stub form a connected sparse graph
+  ("dense" adds extra intra-stub edges);
+* all links are bidirectional (two directed ``link`` tuples).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.queries.reachability import link
+from repro.queries.shortest_path import cost_link
+
+#: Latency classes from the paper (milliseconds).
+TRANSIT_TRANSIT_LATENCY_MS = 50.0
+TRANSIT_STUB_LATENCY_MS = 10.0
+INTRA_STUB_LATENCY_MS = 2.0
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of a transit-stub topology (defaults follow Section 7.1)."""
+
+    transit_domains: int = 1
+    transit_nodes_per_domain: int = 4
+    stubs_per_transit: int = 3
+    nodes_per_stub: int = 8
+    dense: bool = True
+    seed: int = 7
+
+    @property
+    def node_count(self) -> int:
+        """Total number of routers in the generated network."""
+        transit = self.transit_domains * self.transit_nodes_per_domain
+        return transit + transit * self.stubs_per_transit * self.nodes_per_stub
+
+
+@dataclass
+class TransitStubTopology:
+    """A generated topology: node names and undirected weighted edges."""
+
+    config: TransitStubConfig
+    nodes: List[str]
+    #: Undirected edges as (u, v, latency_ms) with u < v.
+    edges: List[PyTuple[str, str, float]]
+
+    # -- conversions to base relations ---------------------------------------------
+    def link_tuples(self) -> List[Tuple]:
+        """Directed ``link(src, dst)`` tuples (two per undirected edge)."""
+        tuples: List[Tuple] = []
+        for u, v, _latency in self.edges:
+            tuples.append(link(u, v))
+            tuples.append(link(v, u))
+        return tuples
+
+    def cost_link_tuples(self) -> List[Tuple]:
+        """Directed ``link(src, dst, cost)`` tuples with the latency as cost."""
+        tuples: List[Tuple] = []
+        for u, v, latency in self.edges:
+            tuples.append(cost_link(u, v, latency))
+            tuples.append(cost_link(v, u, latency))
+        return tuples
+
+    def edge_pairs(self) -> List[PyTuple[str, str]]:
+        """Directed (src, dst) pairs, for ground-truth computations."""
+        pairs: List[PyTuple[str, str]] = []
+        for u, v, _latency in self.edges:
+            pairs.append((u, v))
+            pairs.append((v, u))
+        return pairs
+
+    @property
+    def directed_link_count(self) -> int:
+        """Number of directed ``link`` tuples."""
+        return 2 * len(self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitStubTopology({len(self.nodes)} nodes, {len(self.edges)} undirected links, "
+            f"{'dense' if self.config.dense else 'sparse'})"
+        )
+
+
+def _connected_random_graph(
+    nodes: Sequence[str], extra_edges: int, rng: random.Random
+) -> Set[PyTuple[str, str]]:
+    """A connected undirected graph: a ring backbone plus random chords."""
+    edges: Set[PyTuple[str, str]] = set()
+    if len(nodes) <= 1:
+        return edges
+    ordering = list(nodes)
+    rng.shuffle(ordering)
+    for index in range(len(ordering)):
+        u = ordering[index]
+        v = ordering[(index + 1) % len(ordering)]
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    attempts = 0
+    while extra_edges > 0 and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u, v = rng.sample(list(nodes), 2)
+        edge = (min(u, v), max(u, v))
+        if edge not in edges:
+            edges.add(edge)
+            extra_edges -= 1
+    return edges
+
+
+def generate_topology(config: TransitStubConfig = TransitStubConfig()) -> TransitStubTopology:
+    """Generate a transit-stub topology for the given configuration."""
+    rng = random.Random(config.seed)
+    nodes: List[str] = []
+    edges: List[PyTuple[str, str, float]] = []
+
+    transit_by_domain: List[List[str]] = []
+    for domain in range(config.transit_domains):
+        domain_nodes = [
+            f"t{domain}.{index}" for index in range(config.transit_nodes_per_domain)
+        ]
+        transit_by_domain.append(domain_nodes)
+        nodes.extend(domain_nodes)
+        chords = config.transit_nodes_per_domain if config.dense else max(
+            config.transit_nodes_per_domain // 2, 1
+        )
+        for u, v in _connected_random_graph(domain_nodes, chords, rng):
+            edges.append((u, v, TRANSIT_TRANSIT_LATENCY_MS))
+
+    # Connect transit domains into a backbone ring.
+    for domain in range(1, config.transit_domains):
+        u = transit_by_domain[domain - 1][0]
+        v = transit_by_domain[domain][0]
+        edges.append((min(u, v), max(u, v), TRANSIT_TRANSIT_LATENCY_MS))
+
+    for domain_nodes in transit_by_domain:
+        for transit_node in domain_nodes:
+            for stub in range(config.stubs_per_transit):
+                stub_nodes = [
+                    f"s{transit_node}.{stub}.{index}"
+                    for index in range(config.nodes_per_stub)
+                ]
+                nodes.extend(stub_nodes)
+                extra = config.nodes_per_stub if config.dense else max(
+                    config.nodes_per_stub // 4, 1
+                )
+                for u, v in _connected_random_graph(stub_nodes, extra, rng):
+                    edges.append((u, v, INTRA_STUB_LATENCY_MS))
+                # Attach the stub to its transit router.
+                gateway = rng.choice(stub_nodes)
+                edges.append(
+                    (min(transit_node, gateway), max(transit_node, gateway), TRANSIT_STUB_LATENCY_MS)
+                )
+
+    deduped = sorted(set(edges))
+    return TransitStubTopology(config=config, nodes=sorted(set(nodes)), edges=deduped)
+
+
+def topology_with_link_budget(
+    directed_links: int, dense: bool = True, seed: int = 7
+) -> TransitStubTopology:
+    """Generate a topology whose directed-link count approximates ``directed_links``.
+
+    Used by the scalability experiments (Figures 11 and 12), which sweep the
+    total number of links in the network {100, 200, 400, 800} for dense and
+    sparse variants.  The stub size is scaled until the generated topology
+    reaches the requested budget (within the granularity the generator allows).
+    """
+    if directed_links < 20:
+        raise ValueError("directed_links too small for a transit-stub topology")
+    best: TransitStubTopology | None = None
+    for nodes_per_stub in range(2, 40):
+        config = TransitStubConfig(
+            transit_domains=1,
+            transit_nodes_per_domain=4,
+            stubs_per_transit=3,
+            nodes_per_stub=nodes_per_stub,
+            dense=dense,
+            seed=seed,
+        )
+        candidate = generate_topology(config)
+        if best is None or abs(candidate.directed_link_count - directed_links) < abs(
+            best.directed_link_count - directed_links
+        ):
+            best = candidate
+        if candidate.directed_link_count >= directed_links:
+            break
+    assert best is not None
+    return best

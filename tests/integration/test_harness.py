@@ -1,0 +1,57 @@
+"""Smoke tests of the experiment harness and report formatting.
+
+The full per-figure sweeps live in ``benchmarks/``; these tests only check
+that the drivers produce well-formed rows at the smallest scale and that the
+report helpers render them.
+"""
+
+from repro.harness import (
+    format_rows,
+    rows_to_csv,
+    run_ablation_centralized_maintenance,
+    run_ablation_provenance_encoding,
+    run_figure13,
+)
+from repro.harness.config import QUICK_CONFIG, ExperimentConfig
+
+METRIC_COLUMNS = {"per_tuple_provenance_B", "communication_MB", "state_MB", "convergence_time_s"}
+
+
+def test_figure13_driver_produces_rows_per_processor_count():
+    config = ExperimentConfig(
+        node_count=4,
+        nodes_per_stub=2,
+        stubs_per_transit=2,
+        processor_counts=(2, 4),
+        max_wall_seconds=60.0,
+    )
+    rows = run_figure13(config)
+    assert {row["processors"] for row in rows} == {2, 4}
+    assert {row["scheme"] for row in rows} == {"DRed", "Absorption Lazy"}
+    for row in rows:
+        assert METRIC_COLUMNS <= set(row)
+        assert row["converged"]
+
+
+def test_provenance_encoding_ablation_rows():
+    rows = run_ablation_provenance_encoding(QUICK_CONFIG)
+    assert len(rows) == 2
+    assert all(row["mean_per_tuple_B"] > 0 for row in rows)
+
+
+def test_centralized_ablation_views_agree():
+    rows = run_ablation_centralized_maintenance(QUICK_CONFIG)
+    assert len({row["view_size"] for row in rows}) == 1
+
+
+def test_report_formatting_roundtrip():
+    rows = [
+        {"scheme": "DRed", "communication_MB": 1.5, "converged": True},
+        {"scheme": "Absorption Lazy", "communication_MB": 0.25, "converged": True},
+    ]
+    table = format_rows(rows, title="demo")
+    assert "demo" in table and "Absorption Lazy" in table
+    csv_text = rows_to_csv(rows)
+    assert csv_text.splitlines()[0] == "scheme,communication_MB,converged"
+    assert format_rows([]) == "(no rows)"
+    assert rows_to_csv([]) == ""

@@ -1,0 +1,166 @@
+"""Property-based tests: the BDD manager against an independent Boolean oracle.
+
+Random Boolean expressions are generated as syntax trees, then evaluated both
+through the BDD manager and through direct Python evaluation over every
+assignment of their (small) variable set.  Canonicity means two expressions
+are semantically equal iff their BDD nodes coincide.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.bdd.expr import BoolExpr
+
+VARIABLES = ["p1", "p2", "p3", "p4"]
+
+
+# -- random expression trees --------------------------------------------------------
+
+def _expressions():
+    leaves = st.sampled_from(VARIABLES).map(lambda name: ("var", name)) | st.sampled_from(
+        [("const", True), ("const", False)]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def _to_bdd(tree, manager: BDDManager):
+    kind = tree[0]
+    if kind == "var":
+        return manager.variable(tree[1])
+    if kind == "const":
+        return manager.true if tree[1] else manager.false
+    if kind == "not":
+        return ~_to_bdd(tree[1], manager)
+    left = _to_bdd(tree[1], manager)
+    right = _to_bdd(tree[2], manager)
+    return (left & right) if kind == "and" else (left | right)
+
+
+def _evaluate(tree, assignment):
+    kind = tree[0]
+    if kind == "var":
+        return assignment[tree[1]]
+    if kind == "const":
+        return tree[1]
+    if kind == "not":
+        return not _evaluate(tree[1], assignment)
+    left = _evaluate(tree[1], assignment)
+    right = _evaluate(tree[2], assignment)
+    return (left and right) if kind == "and" else (left or right)
+
+
+def _all_assignments():
+    for values in itertools.product([False, True], repeat=len(VARIABLES)):
+        yield dict(zip(VARIABLES, values))
+
+
+@settings(max_examples=120, deadline=None)
+@given(_expressions())
+def test_bdd_agrees_with_direct_evaluation(tree):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    for assignment in _all_assignments():
+        assert bdd.evaluate(assignment) == _evaluate(tree, assignment)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_expressions(), _expressions())
+def test_canonicity_equivalence_iff_same_node(left_tree, right_tree):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    left = _to_bdd(left_tree, manager)
+    right = _to_bdd(right_tree, manager)
+    semantically_equal = all(
+        _evaluate(left_tree, assignment) == _evaluate(right_tree, assignment)
+        for assignment in _all_assignments()
+    )
+    assert (left.node == right.node) == semantically_equal
+
+
+@settings(max_examples=120, deadline=None)
+@given(_expressions(), st.sampled_from(VARIABLES), st.booleans())
+def test_restrict_matches_semantics(tree, variable, value):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    restricted = bdd.restrict({variable: value})
+    for assignment in _all_assignments():
+        forced = dict(assignment)
+        forced[variable] = value
+        assert restricted.evaluate(assignment) == _evaluate(tree, forced)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions())
+def test_negation_involution_and_complement(tree):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    assert ~~bdd == bdd
+    assert (bdd | ~bdd).is_true()
+    assert (bdd & ~bdd).is_false()
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions())
+def test_sat_count_matches_enumeration(tree):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    expected = sum(1 for assignment in _all_assignments() if _evaluate(tree, assignment))
+    assert bdd.sat_count() == expected
+
+
+# -- monotone expressions: BDD vs the sum-of-products oracle --------------------------
+
+def _products():
+    return st.lists(
+        st.lists(st.sampled_from(VARIABLES), min_size=1, max_size=3).map(frozenset),
+        min_size=0,
+        max_size=5,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(_products())
+def test_monotone_bdd_matches_boolexpr(products):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = manager.from_products(products)
+    expr = BoolExpr.from_products(products)
+    for assignment in _all_assignments():
+        assert bdd.evaluate(assignment) == expr.evaluate(assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_products(), st.sets(st.sampled_from(VARIABLES)))
+def test_deleting_base_tuples_commutes_with_encoding(products, deleted):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = manager.from_products(products).without(deleted)
+    expr = BoolExpr.from_products(products).without(deleted)
+    assert bdd.is_false() == expr.is_false()
+    for assignment in _all_assignments():
+        assert bdd.evaluate(assignment) == expr.evaluate(assignment)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_products(), _products())
+def test_absorption_idempotent_algebra(left_products, right_products):
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    left = manager.from_products(left_products)
+    right = manager.from_products(right_products)
+    assert (left | (left & right)) == left
+    assert (left & (left | right)) == left

@@ -1,0 +1,178 @@
+"""Property-based tests of the maintenance invariants.
+
+The central invariant of the paper: after any interleaving of base insertions
+and deletions, the incrementally maintained view equals the view recomputed
+from scratch over the live base data — under every maintenance strategy, and
+the absorption-provenance annotation of a tuple is satisfiable exactly when
+the tuple is derivable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import CentralizedRecursiveEvaluator, reachable_pairs
+from repro.bdd.expr import BoolExpr
+from repro.datalog import SemiNaiveEvaluator, parse_program
+from repro.engine.strategy import ExecutionStrategy
+from repro.operators.aggsel import AggregateFunctionKind, AggregateSelection, AggregateSpec
+from repro.operators.fixpoint import FixpointOperator
+from repro.provenance import AbsorptionProvenanceStore
+from repro.provenance.semiring import BooleanSemiring
+from repro.queries import build_executor, link, reachability_plan
+from repro.data.tuples import make_schema
+from repro.data.update import insert
+
+NODES = ["n0", "n1", "n2", "n3", "n4"]
+
+#: A small universe of possible directed links over five nodes.
+ALL_LINKS = [(a, b) for a in NODES for b in NODES if a != b]
+
+link_strategy = st.sampled_from(ALL_LINKS)
+
+
+def _script():
+    """A random interleaving of insert/delete operations over the link universe."""
+    return st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), link_strategy), min_size=1, max_size=14
+    )
+
+
+def _apply_script(script):
+    """The live link set after applying the script sequentially."""
+    live = set()
+    for action, pair in script:
+        if action == "ins":
+            live.add(pair)
+        else:
+            live.discard(pair)
+    return live
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(_script(), st.sampled_from(["DRed", "Absorption Lazy", "Absorption Eager"]))
+def test_view_equals_recomputation_after_any_script(script, scheme):
+    executor = build_executor(
+        reachability_plan(), ExecutionStrategy.by_name(scheme), node_count=4
+    )
+    live = set()
+    for action, (src, dst) in script:
+        if action == "ins":
+            if (src, dst) not in live:
+                executor.insert_edges([link(src, dst)])
+                live.add((src, dst))
+        else:
+            if (src, dst) in live:
+                executor.delete_edges([link(src, dst)])
+                live.discard((src, dst))
+    assert executor.view_values() == reachable_pairs(live)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(_script())
+def test_eager_and_lazy_agree_on_final_state(script):
+    lazy = build_executor(reachability_plan(), "Absorption Lazy", node_count=4)
+    eager = build_executor(reachability_plan(), "Absorption Eager", node_count=4)
+    live = set()
+    for action, (src, dst) in script:
+        if action == "ins" and (src, dst) not in live:
+            lazy.insert_edges([link(src, dst)])
+            eager.insert_edges([link(src, dst)])
+            live.add((src, dst))
+        elif action == "del" and (src, dst) in live:
+            lazy.delete_edges([link(src, dst)])
+            eager.delete_edges([link(src, dst)])
+            live.discard((src, dst))
+    assert lazy.view_values() == eager.view_values()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(link_strategy, min_size=1, max_size=10, unique=True))
+def test_provenance_annotation_satisfiable_iff_derivable(links):
+    """Every stored annotation must be satisfiable, and its restriction to the
+    live base tuples must evaluate to true (the tuple is actually derivable)."""
+    executor = build_executor(reachability_plan(), "Absorption Eager", node_count=3)
+    executor.insert_edges([link(src, dst) for src, dst in links])
+    live_variables = {(link(src, dst).key, 0) for src, dst in links}
+    for node in executor.nodes:
+        for view_tuple in node.fixpoint.view_tuples():
+            annotation = node.fixpoint.annotation_of(view_tuple)
+            assert annotation.is_satisfiable()
+            assignment = {name: name in live_variables for name in annotation.support_names()}
+            assert annotation.evaluate(assignment)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(link_strategy, min_size=1, max_size=12, unique=True))
+def test_distributed_provenance_matches_datalog_semiring(links):
+    """The distributed engine's absorption provenance agrees with the PosBool
+    semiring evaluation of the same Datalog program (same minimal products)."""
+    program = parse_program(
+        "reachable(x, y) :- link(x, y). reachable(x, y) :- link(x, z), reachable(z, y)."
+    )
+    annotations = SemiNaiveEvaluator(program).evaluate_with_provenance(
+        {"link": set(links)}, BooleanSemiring
+    )
+    executor = build_executor(reachability_plan(), "Absorption Eager", node_count=3)
+    executor.insert_edges([link(src, dst) for src, dst in links])
+    for node in executor.nodes:
+        for view_tuple in node.fixpoint.view_tuples():
+            pair = (view_tuple["src"], view_tuple["dst"])
+            expected = annotations["reachable"][pair]
+            actual = node.fixpoint.annotation_of(view_tuple)
+            actual_products = {
+                frozenset(("link",) + key[0][1:] for key in product)
+                for product in actual.iter_products()
+            }
+            expected_minimal = expected.products
+            # Same minimal witness sets (absorption on both sides).
+            assert BoolExpr.from_products(actual_products) == BoolExpr(expected_minimal)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 30), st.integers(1, 6)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_aggregate_selection_never_suppresses_the_minimum(entries):
+    """Whatever the arrival order, the best-so-far tuple always gets through AggSel."""
+    schema = make_schema("path", ["src", "dst", "cost", "length"])
+    store = AbsorptionProvenanceStore()
+    aggsel = AggregateSelection(
+        store, [AggregateSpec(("src", "dst"), "cost", AggregateFunctionKind.MIN)]
+    )
+    emitted_costs = {}
+    best = {}
+    for index, (dst, cost, length) in enumerate(entries):
+        tuple_ = schema.tuple("s", dst, cost, length)
+        outputs = aggsel.process(
+            insert(tuple_, provenance=store.base_annotation(f"p{index}"))
+        )
+        for update in outputs:
+            if update.is_insert:
+                emitted_costs.setdefault(("s", update.tuple["dst"]), []).append(
+                    update.tuple["cost"]
+                )
+        key = ("s", dst)
+        best[key] = min(best.get(key, cost), cost)
+    for key, minimum in best.items():
+        assert minimum in emitted_costs.get(key, []), "the minimum must never be pruned"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["x", "y", "z"]), st.integers(0, 5)), max_size=30))
+def test_fixpoint_is_idempotent_under_redundant_insertions(pairs):
+    """Re-inserting identical derivations never changes the view or its provenance."""
+    schema = make_schema("reachable", ["src", "dst"])
+    store = AbsorptionProvenanceStore()
+    fixpoint = FixpointOperator("fp", store)
+    for src, index in pairs:
+        tuple_ = schema.tuple(src, f"d{index}")
+        annotation = store.base_annotation((src, index))
+        fixpoint.process(insert(tuple_, provenance=annotation))
+        snapshot = dict(fixpoint.provenance)
+        outputs = fixpoint.process(insert(tuple_, provenance=annotation))
+        assert outputs == []
+        assert fixpoint.provenance == snapshot

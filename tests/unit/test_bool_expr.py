@@ -1,0 +1,111 @@
+"""Unit tests for the sum-of-products expression encoding (repro.bdd.expr)."""
+
+import pytest
+
+from repro.bdd.expr import (
+    FALSE_EXPR,
+    TRUE_EXPR,
+    BoolExpr,
+    Conjunction,
+    Disjunction,
+    Literal,
+)
+
+
+class TestConstruction:
+    def test_false_has_no_products(self):
+        assert BoolExpr.false().is_false()
+        assert not BoolExpr.false().is_true()
+
+    def test_true_contains_empty_product(self):
+        assert BoolExpr.true().is_true()
+        assert not BoolExpr.true().is_false()
+
+    def test_variable(self):
+        expr = BoolExpr.variable("p")
+        assert expr.variables() == frozenset({"p"})
+        assert not expr.is_false()
+
+    def test_from_products_applies_absorption(self):
+        expr = BoolExpr.from_products([["p1"], ["p1", "p2"]])
+        assert expr == BoolExpr.variable("p1")
+
+    def test_literal_and_conjunction_helpers(self):
+        assert Literal("x") == BoolExpr.variable("x")
+        assert Conjunction("x", "y") == BoolExpr.from_products([["x", "y"]])
+
+    def test_disjunction_helper(self):
+        expr = Disjunction(Literal("a"), Conjunction("a", "b"), Literal("c"))
+        assert expr == BoolExpr.from_products([["a"], ["c"]])
+
+
+class TestAlgebra:
+    def test_or_absorbs(self):
+        a, b = Literal("a"), Literal("b")
+        assert (a | (a & b)) == a
+
+    def test_and_distributes(self):
+        a, b, c = Literal("a"), Literal("b"), Literal("c")
+        assert (a & (b | c)) == ((a & b) | (a & c))
+
+    def test_and_with_false(self):
+        assert (Literal("a") & FALSE_EXPR).is_false()
+
+    def test_or_with_true(self):
+        assert (Literal("a") | TRUE_EXPR).is_true()
+
+    def test_true_is_and_identity(self):
+        a = Literal("a")
+        assert (a & TRUE_EXPR) == a
+
+    def test_false_is_or_identity(self):
+        a = Literal("a")
+        assert (a | FALSE_EXPR) == a
+
+    def test_idempotent(self):
+        a = Conjunction("a", "b")
+        assert (a | a) == a
+        assert (a & a) == a
+
+
+class TestRestriction:
+    def test_without_drops_products(self):
+        expr = BoolExpr.from_products([["p1", "p2"], ["p3"]])
+        assert expr.without(["p3"]) == Conjunction("p1", "p2")
+        assert expr.without(["p1", "p3"]).is_false()
+
+    def test_restrict_true_shrinks_product(self):
+        expr = Conjunction("p1", "p2")
+        assert expr.restrict({"p1": True}) == Literal("p2")
+
+    def test_restrict_false_removes_product(self):
+        expr = BoolExpr.from_products([["p1", "p2"], ["p3"]])
+        assert expr.restrict({"p1": False}) == Literal("p3")
+
+    def test_evaluate(self):
+        expr = BoolExpr.from_products([["p1", "p2"], ["p3"]])
+        assert expr.evaluate({"p3": True})
+        assert expr.evaluate({"p1": True, "p2": True})
+        assert not expr.evaluate({"p1": True})
+        assert not expr.evaluate({})
+
+
+class TestMetrics:
+    def test_literal_count(self):
+        expr = BoolExpr.from_products([["p1", "p2"], ["p3"]])
+        assert expr.literal_count() == 3
+
+    def test_size_bytes_positive(self):
+        assert FALSE_EXPR.size_bytes() > 0
+        assert Conjunction("a", "b").size_bytes() > Literal("a").size_bytes()
+
+    def test_repr(self):
+        assert "False" in repr(FALSE_EXPR)
+        assert "True" in repr(TRUE_EXPR)
+        assert "a" in repr(Literal("a"))
+
+    def test_hashable_and_frozen(self):
+        expr = Conjunction("a", "b")
+        assert expr in {expr}
+        with pytest.raises(AttributeError):
+            expr.products = frozenset()

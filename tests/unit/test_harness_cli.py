@@ -1,0 +1,65 @@
+"""Unit tests for the harness CLI, report helpers and configuration."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, main
+from repro.harness.config import DEFAULT_CONFIG, PAPER_SCALE_CONFIG, QUICK_CONFIG
+from repro.harness.report import format_rows, print_figure, rows_to_csv
+
+
+class TestConfig:
+    def test_default_scales_are_ordered(self):
+        assert QUICK_CONFIG.nodes_per_stub <= DEFAULT_CONFIG.nodes_per_stub
+        assert DEFAULT_CONFIG.nodes_per_stub <= PAPER_SCALE_CONFIG.nodes_per_stub
+        assert PAPER_SCALE_CONFIG.link_budgets[-1] == 800
+
+    def test_describe_mentions_processors(self):
+        assert "processors" in DEFAULT_CONFIG.describe()
+
+
+class TestReport:
+    def test_format_rows_aligns_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy", "c": 3.14159}]
+        table = format_rows(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "3.142" in table
+
+    def test_rows_to_csv_includes_all_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        csv_text = rows_to_csv(rows)
+        assert csv_text.splitlines()[0] == "a,b"
+
+    def test_print_figure(self, capsys):
+        print_figure([{"a": 1}], title="demo title")
+        captured = capsys.readouterr().out
+        assert "demo title" in captured
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure7" in output and "ablation-encoding" in output
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_registry_matches_drivers(self):
+        assert set(EXPERIMENTS) >= {f"figure{n}" for n in range(7, 15)}
+        for driver, description in EXPERIMENTS.values():
+            assert callable(driver) and description
+
+    def test_runs_quick_experiment_and_writes_csv(self, tmp_path, capsys):
+        exit_code = main(["--quick", "--csv-dir", str(tmp_path), "ablation-encoding"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ablation-encoding" in output
+        written = list(tmp_path.glob("*.csv"))
+        assert len(written) == 1
+        assert "encoding" in written[0].read_text()

@@ -1,0 +1,183 @@
+"""Unit tests for the simulated network, latency models, partitioning and stats."""
+
+import pytest
+
+from repro.data.tuples import make_schema
+from repro.data.update import insert
+from repro.net import (
+    ClusterLatencyModel,
+    HashPartitioner,
+    Message,
+    NetworkStats,
+    SimulatedNetwork,
+    UniformLatencyModel,
+)
+from repro.net.simulator import SimulationBudgetExceeded, SimulationError
+
+SCHEMA = make_schema("link", ["src", "dst"])
+
+
+def _update(src="A", dst="B"):
+    return insert(SCHEMA.tuple(src, dst))
+
+
+class TestLatencyModels:
+    def test_uniform(self):
+        model = UniformLatencyModel(delay=0.005)
+        assert model(0, 0) == 0.0
+        assert model(0, 1) == 0.005
+
+    def test_cluster_model(self):
+        model = ClusterLatencyModel(primary_cluster_size=4, intra_cluster_delay=0.001,
+                                    inter_cluster_delay=0.02)
+        assert model(0, 3) == 0.001
+        assert model(4, 5) == 0.001
+        assert model(0, 4) == 0.02
+        assert model(5, 1) == 0.02
+        assert model(2, 2) == 0.0
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        partitioner = HashPartitioner(8)
+        assert partitioner("x") == partitioner("x")
+        assert 0 <= partitioner("x") < 8
+
+    def test_overrides(self):
+        partitioner = HashPartitioner.identity(3, {"A": 0, "B": 1})
+        assert partitioner("A") == 0 and partitioner("B") == 1
+        partitioner.assign("C", 2)
+        assert partitioner("C") == 2
+        with pytest.raises(ValueError):
+            partitioner.assign("D", 9)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestNetworkStats:
+    def test_records_remote_messages_only(self):
+        stats = NetworkStats(node_count=2)
+        remote = Message(src=0, dst=1, port="view", updates=(_update(),), size_bytes=100, sent_at=0.0)
+        local = Message(src=1, dst=1, port="view", updates=(_update(),), size_bytes=50, sent_at=0.0)
+        stats.record_message(remote)
+        stats.record_message(local)
+        assert stats.total_messages == 1
+        assert stats.total_bytes == 100
+        assert stats.local_messages == 1
+        assert stats.local_bytes == 50
+
+    def test_provenance_average(self):
+        stats = NetworkStats()
+        stats.record_provenance(100, 1)
+        stats.record_provenance(300, 1)
+        assert stats.per_tuple_provenance_bytes == 200
+
+    def test_merge(self):
+        first, second = NetworkStats(node_count=2), NetworkStats(node_count=2)
+        first.record_message(Message(0, 1, "p", (_update(),), 10, 0.0))
+        second.record_message(Message(1, 0, "p", (_update(),), 20, 0.0))
+        second.record_time(5.0)
+        merged = first.merge(second)
+        assert merged.total_bytes == 30
+        assert merged.convergence_time == 5.0
+
+    def test_summary_keys(self):
+        summary = NetworkStats(node_count=4).summary()
+        assert {"communication_mb", "messages", "convergence_time_s"} <= set(summary)
+
+
+class TestSimulatedNetwork:
+    def test_message_delivery_and_clock(self):
+        network = SimulatedNetwork(node_count=2, latency_model=UniformLatencyModel(0.01),
+                                   processing_cost=0.001)
+        received = []
+        network.register(0, lambda port, updates, now: received.append((port, len(updates), now)))
+        network.register(1, lambda port, updates, now: None)
+        network.inject(0, "view", [_update()], at_time=0.0)
+        stats = network.run()
+        assert received and received[0][0] == "view"
+        assert stats.convergence_time >= 0.001
+
+    def test_fifo_ordering_per_pair(self):
+        network = SimulatedNetwork(node_count=2, latency_model=UniformLatencyModel(0.01))
+        order = []
+        network.register(1, lambda port, updates, now: order.append(port))
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "first", [_update()], 10, at_time=0.0)
+        network.send(0, 1, "second", [_update()], 10, at_time=0.0)
+        network.run()
+        assert order == ["first", "second"]
+
+    def test_handler_can_send_more_messages(self):
+        network = SimulatedNetwork(node_count=2)
+
+        def forward(port, updates, now):
+            if port == "start":
+                network.send(0, 1, "hop", list(updates), 10, at_time=now)
+
+        seen = []
+        network.register(0, forward)
+        network.register(1, lambda port, updates, now: seen.append(port))
+        network.inject(0, "start", [_update()], at_time=0.0)
+        network.run()
+        assert seen == ["hop"]
+        assert network.stats.total_messages == 1
+
+    def test_missing_handler_raises(self):
+        network = SimulatedNetwork(node_count=2)
+        network.inject(1, "view", [_update()])
+        with pytest.raises(SimulationError):
+            network.run()
+
+    def test_empty_send_rejected(self):
+        network = SimulatedNetwork(node_count=2)
+        with pytest.raises(SimulationError):
+            network.send(0, 1, "view", [], 0)
+
+    def test_unknown_node_rejected(self):
+        network = SimulatedNetwork(node_count=2)
+        with pytest.raises(SimulationError):
+            network.send(0, 5, "view", [_update()], 10)
+
+    def test_event_budget(self):
+        network = SimulatedNetwork(node_count=2, max_events=3)
+
+        def ping_pong(port, updates, now):
+            destination = 1 if port == "to1" else 0
+            network.send(destination ^ 1, destination, f"to{destination}", list(updates), 1, at_time=now)
+
+        network.register(0, lambda port, updates, now: network.send(0, 1, "to1", list(updates), 1, at_time=now))
+        network.register(1, lambda port, updates, now: network.send(1, 0, "to0", list(updates), 1, at_time=now))
+        network.inject(0, "start", [_update()], at_time=0.0)
+        with pytest.raises(SimulationBudgetExceeded):
+            network.run()
+
+    def test_reset_stats(self):
+        network = SimulatedNetwork(node_count=2)
+        network.register(1, lambda port, updates, now: None)
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "view", [_update()], 10)
+        network.run()
+        assert network.stats.total_messages == 1
+        network.reset_stats()
+        assert network.stats.total_messages == 0
+
+    def test_run_until_time_limit(self):
+        network = SimulatedNetwork(node_count=2, latency_model=UniformLatencyModel(1.0))
+        network.register(1, lambda port, updates, now: None)
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.run(until=0.5)
+        assert network.pending_events() == 1
+        network.run()
+        assert network.pending_events() == 0
+
+
+class TestMessage:
+    def test_local_flag_and_counts(self):
+        message = Message(src=2, dst=2, port="p", updates=(_update(), _update()), size_bytes=7, sent_at=1.0)
+        assert message.is_local
+        assert message.update_count == 2
+        assert "p" in repr(message)

@@ -1,6 +1,15 @@
-"""Calibration script: how long do the figure-style experiments take at various scales?"""
+"""Calibration script: how long do the figure-style experiments take at various scales?
 
-import sys
+Besides the human-readable table it always emits a machine-readable
+``BENCH_perf_check.json`` (override with ``--output``) so the performance
+trajectory can be tracked across PRs::
+
+    PYTHONPATH=src python scripts/perf_check.py --nodes-per-stub 3 --strategies "DRed,Absorption Lazy"
+"""
+
+import argparse
+import json
+import platform
 import time
 
 from repro.engine.strategy import ExecutionStrategy
@@ -14,24 +23,76 @@ def run(nodes_per_stub, dense, strategies):
     topo = generate_topology(config)
     links = topo.link_tuples()
     print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
+    results = []
     for strategy in strategies:
         executor = build_executor(reachability_plan(), strategy, node_count=12)
         t0 = time.time()
         ins = executor.insert_edges(links)
         t1 = time.time()
         dels = deletion_sample(links, 0.2)
-        executor.delete_edges(dels)
+        del_phase = executor.delete_edges(dels)
         t2 = time.time()
         print(
             f"{strategy.label:18s} insert {t1-t0:6.2f}s ({ins.updates_shipped} shipped, "
             f"{executor.network.events_processed} events) delete20% {t2-t1:6.2f}s view={len(executor.view())}",
             flush=True,
         )
+        results.append(
+            {
+                "strategy": strategy.label,
+                "insert_wall_seconds": round(t1 - t0, 4),
+                "delete_wall_seconds": round(t2 - t1, 4),
+                "insert_updates_shipped": ins.updates_shipped,
+                "insert_communication_MB": round(ins.communication_mb, 6),
+                "delete_communication_MB": round(del_phase.communication_mb, 6),
+                "insert_convergence_s": round(ins.convergence_time_s, 6),
+                "delete_convergence_s": round(del_phase.convergence_time_s, 6),
+                "events_processed": executor.network.events_processed,
+                "view_size": len(executor.view()),
+            }
+        )
+    return {
+        "topology": {
+            "router_nodes": len(topo.nodes),
+            "directed_links": topo.directed_link_count,
+            "nodes_per_stub": nodes_per_stub,
+            "dense": dense,
+        },
+        "results": results,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes-per-stub", type=int, default=3)
+    parser.add_argument("--density", choices=["dense", "sparse"], default="dense")
+    parser.add_argument(
+        "--strategies",
+        default="DRed,Absorption Lazy,Absorption Eager",
+        help="comma-separated strategy labels",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_perf_check.json",
+        help="machine-readable result file (JSON)",
+    )
+    args = parser.parse_args()
+
+    strategies = [ExecutionStrategy.by_name(label) for label in args.strategies.split(",")]
+    report = run(args.nodes_per_stub, args.density == "dense", strategies)
+    report.update(
+        {
+            "benchmark": "perf_check",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"(wrote {args.output})")
 
 
 if __name__ == "__main__":
-    nodes_per_stub = int(sys.argv[1]) if len(sys.argv) > 1 else 3
-    dense = (sys.argv[2] != "sparse") if len(sys.argv) > 2 else True
-    labels = sys.argv[3].split(",") if len(sys.argv) > 3 else ["DRed", "Absorption Lazy", "Absorption Eager"]
-    strategies = [ExecutionStrategy.by_name(label) for label in labels]
-    run(nodes_per_stub, dense, strategies)
+    main()

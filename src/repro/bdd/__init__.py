@@ -12,10 +12,19 @@ The public surface mirrors what the paper uses from JavaBDD:
 * :class:`~repro.bdd.manager.BDD` — an immutable handle to a Boolean function.
 * :mod:`repro.bdd.expr` — a symbolic sum-of-products representation used as a
   comparison point (ablation) and for human-readable provenance dumps.
+* :mod:`repro.bdd.serialize` — a compact manager-independent encoding used by
+  the fault-tolerance subsystem to checkpoint provenance annotations.
 """
 
 from repro.bdd.manager import BDD, BDDManager
 from repro.bdd.expr import BoolExpr, Conjunction, Disjunction, Literal, FALSE_EXPR, TRUE_EXPR
+from repro.bdd.serialize import (
+    SerializedBDD,
+    bdd_from_bytes,
+    bdd_to_bytes,
+    deserialize_bdd,
+    serialize_bdd,
+)
 
 __all__ = [
     "BDD",
@@ -26,4 +35,9 @@ __all__ = [
     "Literal",
     "TRUE_EXPR",
     "FALSE_EXPR",
+    "SerializedBDD",
+    "serialize_bdd",
+    "deserialize_bdd",
+    "bdd_to_bytes",
+    "bdd_from_bytes",
 ]

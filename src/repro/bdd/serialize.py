@@ -1,0 +1,135 @@
+"""Compact, manager-independent serialization of BDDs.
+
+A :class:`~repro.bdd.manager.BDD` handle is only meaningful inside the manager
+that hash-consed it, so provenance annotations cannot be checkpointed (or
+shipped to a restarted node) as-is.  This module flattens a BDD into a
+self-contained :class:`SerializedBDD` — the reachable decision nodes in
+bottom-up order, each as a ``(variable, low, high)`` triple over *variable
+names* rather than manager-local indices — plus a packed byte encoding
+(12 bytes per node before the name table) for durable storage.
+
+Deserialization rebuilds the function **semantically**, composing
+``ite(var, high, low)`` bottom-up through the target manager's ``apply``
+machinery.  That makes round-trips safe even when the target manager declares
+its variables in a different order than the source manager did (the node ids
+differ, but the function — and therefore the absorption-provenance semantics —
+is identical).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple as PyTuple
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.node import FALSE, TRUE
+
+#: Struct format of one encoded decision node: (name_ref, low_ref, high_ref).
+_NODE_FORMAT = "<III"
+_NODE_SIZE = struct.calcsize(_NODE_FORMAT)
+_HEADER_FORMAT = "<II"
+_HEADER_SIZE = struct.calcsize(_HEADER_FORMAT)
+
+
+@dataclass(frozen=True)
+class SerializedBDD:
+    """A manager-independent description of a Boolean function.
+
+    ``nodes`` lists the decision nodes in bottom-up (children-first) order.
+    Node references use a uniform encoding: ``0`` is the FALSE terminal, ``1``
+    the TRUE terminal, and ``i + 2`` refers to ``nodes[i]``.  ``names`` is the
+    table of variable names; each node stores an index into it.
+    """
+
+    names: PyTuple[Hashable, ...]
+    nodes: PyTuple[PyTuple[int, int, int], ...]
+    root: int
+
+    @property
+    def node_count(self) -> int:
+        """Number of decision nodes in the serialized function."""
+        return len(self.nodes)
+
+    def size_bytes(self) -> int:
+        """Size of the byte encoding produced by :func:`bdd_to_bytes`."""
+        return _HEADER_SIZE + _NODE_SIZE * len(self.nodes) + len(
+            pickle.dumps(self.names, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+
+def serialize_bdd(bdd: BDD) -> SerializedBDD:
+    """Flatten ``bdd`` into a :class:`SerializedBDD` (shared subgraphs kept shared)."""
+    manager = bdd.manager
+    table = manager._table
+    root = bdd.node
+    if root == FALSE:
+        return SerializedBDD((), (), FALSE)
+    if root == TRUE:
+        return SerializedBDD((), (), TRUE)
+
+    names: List[Hashable] = []
+    name_refs: dict = {}
+    nodes: List[PyTuple[int, int, int]] = []
+    node_refs: dict = {}  # manager node id -> serialized reference
+
+    stack: List[PyTuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node <= TRUE or node in node_refs:
+            continue
+        var, low, high = table.triple(node)
+        if not expanded:
+            stack.append((node, True))
+            stack.append((high, False))
+            stack.append((low, False))
+            continue
+        name = manager.name_of(var)
+        name_ref = name_refs.get(name)
+        if name_ref is None:
+            name_ref = len(names)
+            name_refs[name] = name_ref
+            names.append(name)
+        low_ref = low if low <= TRUE else node_refs[low]
+        high_ref = high if high <= TRUE else node_refs[high]
+        node_refs[node] = len(nodes) + 2
+        nodes.append((name_ref, low_ref, high_ref))
+
+    return SerializedBDD(tuple(names), tuple(nodes), node_refs[root])
+
+
+def deserialize_bdd(serialized: SerializedBDD, manager: BDDManager) -> BDD:
+    """Rebuild the serialized function inside ``manager``.
+
+    Unknown variable names are declared on the fly; known names reuse the
+    manager's existing variables, so annotations restored after a restart keep
+    referring to the same base tuples.
+    """
+    built: List[BDD] = [manager.false, manager.true]
+    variables = [manager.variable(name) for name in serialized.names]
+    for name_ref, low_ref, high_ref in serialized.nodes:
+        built.append(
+            manager.ite(variables[name_ref], built[high_ref], built[low_ref])
+        )
+    return built[serialized.root]
+
+
+def bdd_to_bytes(bdd: BDD) -> bytes:
+    """Encode ``bdd`` as bytes: a packed node array followed by the name table."""
+    serialized = serialize_bdd(bdd)
+    header = struct.pack(_HEADER_FORMAT, serialized.root, len(serialized.nodes))
+    body = b"".join(struct.pack(_NODE_FORMAT, *triple) for triple in serialized.nodes)
+    names = pickle.dumps(serialized.names, protocol=pickle.HIGHEST_PROTOCOL)
+    return header + body + names
+
+
+def bdd_from_bytes(data: bytes, manager: BDDManager) -> BDD:
+    """Inverse of :func:`bdd_to_bytes`."""
+    root, count = struct.unpack_from(_HEADER_FORMAT, data)
+    nodes = tuple(
+        struct.unpack_from(_NODE_FORMAT, data, _HEADER_SIZE + index * _NODE_SIZE)
+        for index in range(count)
+    )
+    names = pickle.loads(data[_HEADER_SIZE + count * _NODE_SIZE :])
+    return deserialize_bdd(SerializedBDD(names, nodes, root), manager)

@@ -59,8 +59,7 @@ class DistributedViewExecutor:
             max_wall_seconds=max_wall_seconds,
         )
         self.nodes: List[ProcessorNode] = [
-            ProcessorNode(node_id, plan, strategy, self.store, self.partitioner, self.network)
-            for node_id in range(node_count)
+            self._make_node(node_id) for node_id in range(node_count)
         ]
         for node in self.nodes:
             self.network.register(node.node_id, node.handle)
@@ -69,6 +68,12 @@ class DistributedViewExecutor:
         self.live_edges: Set[Tuple] = set()
         self.live_seeds: Set[Tuple] = set()
         self.metrics = ExperimentMetrics(experiment=experiment, scheme=strategy.label)
+
+    def _make_node(self, node_id: int) -> ProcessorNode:
+        """Build one processor node (also used to rebuild a node after a crash)."""
+        return ProcessorNode(
+            node_id, self.plan, self.strategy, self.store, self.partitioner, self.network
+        )
 
     # -- workload API -----------------------------------------------------------------
     def insert_edges(self, edges: Iterable[Tuple], label: str = "insert") -> PhaseMetrics:
@@ -200,6 +205,8 @@ class DistributedViewExecutor:
             self.network.run()
             released = 0
             for node in self.nodes:
+                if self.network.is_down(node.node_id):
+                    continue  # a crashed node gets no timer ticks
                 if isinstance(node.ship, MinShipOperator) and node.ship.mode is ShipMode.EAGER:
                     released += node.flush_ship(self.network.now)
             if released == 0:

@@ -17,6 +17,19 @@ Every processor node hosts:
 
 The node talks to its peers exclusively through the simulated network, which
 performs the byte and latency accounting.
+
+**Fault tolerance.**  A node can be crashed and recovered through the
+simulator's ``crash(node, t)`` / ``recover(node, t)`` events (see
+:mod:`repro.fault`).  To support that, every node is *snapshottable*:
+:meth:`ProcessorNode.snapshot_state` captures the view partition, join state,
+(Min)Ship buffers and the base-variable bookkeeping with provenance
+annotations flattened into a manager-independent form, and
+:meth:`ProcessorNode.restore_state` re-interns them after a restart.  Under
+the *checkpoint+replay* recovery policy the restored snapshot is brought
+forward by replaying the node's update log; under *provenance-purge* the
+node's base tuples are first absorbed cluster-wide as deletions (the paper's
+zero-out-the-variable path) and peers then reseed the cold node through
+:meth:`ProcessorNode.reseed_base_into` and :meth:`ProcessorNode.reship_sent_to`.
 """
 
 from __future__ import annotations
@@ -134,16 +147,17 @@ class ProcessorNode:
         self._base_versions[tuple_.key] = version + 1
         return (tuple_.key, version)
 
+    def _base_annotation_for(self, tuple_: Tuple) -> object:
+        """Annotation of the current incarnation of a base tuple owned here."""
+        if self.strategy.uses_provenance:
+            return self.store.base_annotation(self._base_variable_key(tuple_))
+        return self.store.one()
+
     # -- base relation (edge) updates -------------------------------------------------
     def _handle_base(self, update: Update, now: float) -> None:
         """A base edge update arriving at its owner node (the DistributedScan)."""
         if update.is_insert:
-            annotation = (
-                self.store.base_annotation(self._base_variable_key(update.tuple))
-                if self.strategy.uses_provenance
-                else self.store.one()
-            )
-            annotated = update.with_provenance(annotation)
+            annotated = update.with_provenance(self._base_annotation_for(update.tuple))
             self._route_base_insert(annotated, now)
             return
         if self.strategy.uses_provenance:
@@ -167,12 +181,7 @@ class ProcessorNode:
     # -- seeds (base-case view tuples provided directly, e.g. region seeds) -------------
     def _handle_seed(self, update: Update, now: float) -> None:
         if update.is_insert:
-            annotation = (
-                self.store.base_annotation(self._base_variable_key(update.tuple))
-                if self.strategy.uses_provenance
-                else self.store.one()
-            )
-            view_update = update.with_provenance(annotation)
+            view_update = update.with_provenance(self._base_annotation_for(update.tuple))
             destination = self.partitioner.node_for(
                 self.plan.result_partition_value(update.tuple)
             )
@@ -299,6 +308,124 @@ class ProcessorNode:
             if destination != self.node_id:
                 self.network.stats.record_provenance(annotation_bytes, 1)
         self.network.send(self.node_id, destination, port, updates, size, at_time=now)
+
+    # -- durability (checkpoint / recovery support) ----------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture all operator and bookkeeping state, annotations encoded.
+
+        The result contains no handles into shared in-memory structures (BDD
+        annotations are flattened through the provenance store's codec), so it
+        can be pickled to durable storage and restored after a process loss.
+        """
+        encode = self.store.encode_annotation
+        return {
+            "node_id": self.node_id,
+            "deleted_base_keys": set(self._deleted_base_keys),
+            "base_versions": dict(self._base_versions),
+            "join": self.join.export_state(encode),
+            "fixpoint": self.fixpoint.export_state(encode),
+            "ship": self.ship.export_state(encode),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`snapshot_state`."""
+        if state["node_id"] != self.node_id:
+            raise ValueError(
+                f"snapshot of node {state['node_id']} cannot restore node {self.node_id}"
+            )
+        decode = self.store.decode_annotation
+        self._deleted_base_keys = set(state["deleted_base_keys"])
+        self._base_versions = dict(state["base_versions"])
+        self.join.import_state(state["join"], decode)
+        self.fixpoint.import_state(state["fixpoint"], decode)
+        self.ship.import_state(state["ship"], decode)
+
+    def set_base_versions(self, versions: Dict[object, int]) -> None:
+        """Seed the base-tuple incarnation counters (cold restart after a purge).
+
+        A node restarted under the provenance-purge policy must not reuse the
+        variable of a purged incarnation — surviving peers hold tombstones for
+        it — so the recovery manager installs the next free version numbers
+        before the node's base data is re-injected.
+        """
+        self._base_versions = dict(versions)
+
+    def add_deletion_tombstones(self, variable_keys: Iterable[object]) -> None:
+        """Merge known-deleted base variables (recovery: tombstone resync)."""
+        self._deleted_base_keys.update(variable_keys)
+
+    def deletion_tombstones(self) -> frozenset:
+        """The base variables this node knows to be deleted (recovery: resync source)."""
+        return frozenset(self._deleted_base_keys)
+
+    def reseed_base_into(
+        self,
+        destination: int,
+        edges: Iterable[Tuple],
+        seeds: Iterable[Tuple],
+        now: float,
+    ) -> int:
+        """Re-ship this node's live base data along the routes leading to ``destination``.
+
+        Used when ``destination`` restarts empty: the edge copies and base-case
+        view tuples it owned are recomputed from this node's live base
+        relation and re-sent with their *current* incarnation variables.
+        Routes to other nodes are skipped — their state already absorbed these
+        derivations.  Returns the number of updates re-shipped.
+        """
+        view_batch: List[Update] = []
+        edge_batch: List[Update] = []
+        for edge in edges:
+            annotation = self._base_annotation_for(edge)
+            base_tuple = self.plan.base_tuple_for(edge)
+            if base_tuple is not None:
+                owner = self.partitioner.node_for(self.plan.result_partition_value(base_tuple))
+                if owner == destination:
+                    view_batch.append(
+                        Update(UpdateType.INS, base_tuple, provenance=annotation, timestamp=now)
+                    )
+            join_owner = self.partitioner.node_for(self.plan.edge_join_value(edge))
+            if join_owner == destination:
+                edge_batch.append(
+                    Update(UpdateType.INS, edge, provenance=annotation, timestamp=now)
+                )
+        for seed in seeds:
+            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
+            if owner != destination:
+                continue
+            view_batch.append(
+                Update(
+                    UpdateType.INS,
+                    seed,
+                    provenance=self._base_annotation_for(seed),
+                    timestamp=now,
+                )
+            )
+        self._send(destination, PORT_VIEW, view_batch, now)
+        self._send(destination, PORT_EDGE, edge_batch, now)
+        return len(view_batch) + len(edge_batch)
+
+    def reship_sent_to(self, destination: int, now: float) -> int:
+        """Re-ship every derivation this node's MinShip already sent to ``destination``.
+
+        ``Bsent`` records exactly what the consumer learned from us; after the
+        consumer lost its state, replaying it (post-purge, so the annotations
+        are already restricted to live base tuples) rebuilds the consumer's
+        partition without recomputing the joins.  Returns #updates re-shipped.
+        """
+        if not isinstance(self.ship, MinShipOperator):
+            return 0
+        batch: List[Update] = []
+        for tuple_, annotation in self.ship.sent.items():
+            if self.store.is_zero(annotation):
+                continue
+            owner = self.partitioner.node_for(self.plan.result_partition_value(tuple_))
+            if owner == destination:
+                batch.append(
+                    Update(UpdateType.INS, tuple_, provenance=annotation, timestamp=now)
+                )
+        self._send(destination, PORT_VIEW, batch, now)
+        return len(batch)
 
     # -- introspection ---------------------------------------------------------------------------------------
     def view_tuples(self) -> List[Tuple]:

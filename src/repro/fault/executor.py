@@ -1,0 +1,195 @@
+"""A distributed executor whose processor nodes are durable and killable.
+
+:class:`FaultTolerantExecutor` extends the plain
+:class:`~repro.engine.executor.DistributedViewExecutor` with the machinery of
+this package: every node is fronted by a :class:`DurableNodeRuntime` that
+write-ahead-logs each delivered batch and takes periodic checkpoints, a
+:class:`~repro.fault.recovery.RecoveryManager` is registered as the
+network's fault listener, and ``schedule_crash`` / ``schedule_recovery``
+inject ``crash(node, t)`` / ``recover(node, t)`` events into the simulation.
+Failure events interleave with ordinary message deliveries in virtual time,
+so a crash scheduled mid-phase genuinely interrupts the update stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.data.update import Update
+from repro.engine.executor import DistributedViewExecutor
+from repro.engine.plan import RecursiveViewPlan
+from repro.engine.runtime import ProcessorNode
+from repro.engine.strategy import ExecutionStrategy
+from repro.fault.recovery import RecoveryManager, RecoveryPolicy
+from repro.fault.snapshot import CheckpointStore, capture_node_state
+from repro.fault.wal import UpdateLog
+from repro.net.latency import ClusterLatencyModel, LatencyModel
+from repro.net.partition import HashPartitioner
+
+
+class FaultToleranceError(Exception):
+    """Raised on unsupported fault-tolerance configurations."""
+
+
+class DurableNodeRuntime:
+    """The durability shim between the network and one processor node.
+
+    Delivered batches are appended to the node's write-ahead log *before* the
+    node processes them; every ``checkpoint_interval`` deliveries the node's
+    state is checkpointed and the log prefix the checkpoint covers is
+    truncated.
+    """
+
+    def __init__(
+        self,
+        node: ProcessorNode,
+        wal: UpdateLog,
+        checkpoints: CheckpointStore,
+        checkpoint_interval: int,
+    ) -> None:
+        self.node = node
+        self.wal = wal
+        self.checkpoints = checkpoints
+        self.checkpoint_interval = checkpoint_interval
+        self._deliveries = 0
+
+    @property
+    def node_id(self) -> int:
+        """The wrapped node's id."""
+        return self.node.node_id
+
+    def handle(self, port: str, updates: Sequence[Update], now: float) -> None:
+        """Log the delivery, apply it, and checkpoint on the configured cadence."""
+        self.wal.append(self.node_id, port, updates, now)
+        self.node.handle(port, updates, now)
+        self._deliveries += 1
+        if self.checkpoint_interval and self._deliveries % self.checkpoint_interval == 0:
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> int:
+        """Snapshot the node now; truncate the covered log prefix. Returns bytes."""
+        sequence = self.wal.last_sequence(self.node_id)
+        size = self.checkpoints.save(capture_node_state(self.node, sequence))
+        self.wal.truncate(self.node_id, sequence)
+        return size
+
+
+class FaultTolerantExecutor(DistributedViewExecutor):
+    """A :class:`DistributedViewExecutor` that survives processor crashes."""
+
+    def __init__(
+        self,
+        plan: RecursiveViewPlan,
+        strategy: ExecutionStrategy,
+        recovery_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.CHECKPOINT_REPLAY,
+        checkpoint_interval: int = 25,
+        retain_wal_entries: Optional[bool] = None,
+        **kwargs: object,
+    ) -> None:
+        if isinstance(recovery_policy, str):
+            recovery_policy = RecoveryPolicy.by_name(recovery_policy)
+        if (
+            recovery_policy is RecoveryPolicy.PROVENANCE_PURGE
+            and not strategy.uses_provenance
+        ):
+            raise FaultToleranceError(
+                "the provenance-purge recovery policy requires a provenance-"
+                "carrying strategy (DRed cannot absorb a node loss)"
+            )
+        super().__init__(plan, strategy, **kwargs)
+        self.recovery_policy = recovery_policy
+        # Only checkpoint+replay ever replays log entries; the purge policy
+        # needs just the live-base trackers, so it skips entry retention by
+        # default.  ``retain_wal_entries`` overrides (e.g. a no-crash baseline
+        # run can drop retention entirely).
+        if retain_wal_entries is None:
+            retain_wal_entries = recovery_policy is RecoveryPolicy.CHECKPOINT_REPLAY
+        self.wal = UpdateLog(retain_entries=retain_wal_entries)
+        self.checkpoints = CheckpointStore()
+        self.runtimes: List[DurableNodeRuntime] = [
+            DurableNodeRuntime(node, self.wal, self.checkpoints, checkpoint_interval)
+            for node in self.nodes
+        ]
+        # Reroute deliveries through the durability shims.
+        for runtime in self.runtimes:
+            self.network.register(runtime.node_id, runtime.handle)
+        self.recovery = RecoveryManager(self, recovery_policy)
+        self.network.set_fault_listener(self.recovery)
+
+    # -- failure injection --------------------------------------------------------------
+    def schedule_crash(self, node_id: int, at_time: float) -> None:
+        """Crash ``node_id`` at virtual time ``at_time`` (during the next phase)."""
+        self.network.crash(node_id, at_time=at_time)
+
+    def schedule_recovery(self, node_id: int, at_time: float) -> None:
+        """Recover ``node_id`` at virtual time ``at_time`` under the configured policy."""
+        self.network.recover(node_id, at_time=at_time)
+
+    # -- recovery support ----------------------------------------------------------------
+    def rebuild_node(self, node_id: int) -> ProcessorNode:
+        """Replace a crashed node with a fresh (empty) instance and return it.
+
+        The in-memory state of the old instance is deliberately discarded —
+        that is the failure model; recovery rebuilds state exclusively from
+        checkpoints, the write-ahead log and the surviving peers.
+        """
+        fresh = self._make_node(node_id)
+        self.nodes[node_id] = fresh
+        self.runtimes[node_id].node = fresh
+        return fresh
+
+    def checkpoint_all(self) -> int:
+        """Force an immediate checkpoint of every live node; returns total bytes."""
+        total = 0
+        for runtime in self.runtimes:
+            if not self.network.is_down(runtime.node_id):
+                total += runtime.take_checkpoint()
+        return total
+
+    # -- diagnostics ----------------------------------------------------------------------
+    def fault_stats(self) -> Dict[str, object]:
+        """Counters describing the run's failure and recovery activity."""
+        return {
+            "policy": self.recovery_policy.value,
+            "crashes": self.recovery.crash_count,
+            "recoveries": self.recovery.recovery_count,
+            "wal_entries": self.wal.total_entries(),
+            "checkpoints_taken": self.checkpoints.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoints.total_bytes(),
+            "dropped_messages": self.network.dropped_messages,
+        }
+
+
+def fault_tolerant_executor(
+    plan: RecursiveViewPlan,
+    strategy: Union[str, ExecutionStrategy],
+    recovery_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.CHECKPOINT_REPLAY,
+    checkpoint_interval: int = 25,
+    retain_wal_entries: Optional[bool] = None,
+    node_count: int = 12,
+    latency_model: Optional[LatencyModel] = None,
+    partitioner: Optional[HashPartitioner] = None,
+    processing_cost: float = 0.00002,
+    max_events: int = 5_000_000,
+    max_wall_seconds: Optional[float] = None,
+    experiment: str = "experiment",
+) -> FaultTolerantExecutor:
+    """Convenience constructor mirroring :func:`repro.queries.builder.build_executor`."""
+    if isinstance(strategy, str):
+        strategy = ExecutionStrategy.by_name(strategy)
+    if latency_model is None:
+        latency_model = ClusterLatencyModel(primary_cluster_size=min(node_count, 16))
+    return FaultTolerantExecutor(
+        plan=plan,
+        strategy=strategy,
+        recovery_policy=recovery_policy,
+        checkpoint_interval=checkpoint_interval,
+        retain_wal_entries=retain_wal_entries,
+        node_count=node_count,
+        latency_model=latency_model,
+        partitioner=partitioner,
+        processing_cost=processing_cost,
+        max_events=max_events,
+        max_wall_seconds=max_wall_seconds,
+        experiment=experiment,
+    )

@@ -1,0 +1,213 @@
+"""Per-node update logs (write-ahead logs) with monotone sequence numbers.
+
+Every delivered update batch is appended to the receiving node's log *before*
+the node processes it (write-ahead discipline).  The log serves three
+purposes in the recovery protocols of :mod:`repro.fault.recovery`:
+
+* **replay** — under checkpoint+replay, the suffix of entries after the
+  restored checkpoint's sequence number is re-applied to bring the node back
+  to its pre-crash state (re-emitted messages are absorbed by the receivers'
+  provenance, so replay is idempotent end to end);
+* **live base state** — the log incrementally tracks each node's live base
+  relation (inserts minus deletes on the ``base``/``seed`` ports) and the
+  incarnation version of every base tuple, which is what the provenance-purge
+  policy consults to know *which* variables to zero out cluster-wide when the
+  node dies and what to re-inject when it returns;
+* **truncation** — once a checkpoint covers a prefix of the log, that prefix
+  can be dropped; the live-base tracker survives truncation because it is
+  maintained incrementally.
+
+Entries keep in-memory references to the delivered updates (BDD annotations
+stay hash-consed in the shared manager — the analogue of an asynchronous
+group commit); :meth:`UpdateLog.serialize_node` flattens a node's log through
+the provenance store's codec when a durable byte form is needed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update
+from repro.engine.runtime import PORT_BASE, PORT_SEED
+from repro.provenance.tracker import ProvenanceStore
+
+
+class WALError(Exception):
+    """Raised on misuse of the update log (non-monotone appends, bad truncation)."""
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One delivered batch: ``(sequence, port, updates, virtual time)``."""
+
+    sequence: int
+    port: str
+    updates: PyTuple[Update, ...]
+    time: float
+
+
+class _NodeLog:
+    """Log state for a single node."""
+
+    __slots__ = ("entries", "next_sequence", "live_edges", "live_seeds", "versions")
+
+    def __init__(self) -> None:
+        self.entries: List[LogEntry] = []
+        self.next_sequence = 1
+        #: Live base tuples injected at this node (``base`` port).
+        self.live_edges: Dict[Tuple, bool] = {}
+        #: Live seed tuples injected at this node (``seed`` port).
+        self.live_seeds: Dict[Tuple, bool] = {}
+        #: Incarnation version per base-tuple key (bumped on every deletion,
+        #: and by the recovery manager when an incarnation is purged).
+        self.versions: Dict[Hashable, int] = {}
+
+
+class UpdateLog:
+    """Write-ahead update logs for every node of one cluster.
+
+    ``retain_entries=False`` keeps only the incremental live-base/version
+    trackers and the sequence counters, discarding the per-delivery entries.
+    The provenance-purge recovery policy never replays entries, so its
+    executors run the log in this mode to avoid unbounded retention.
+    """
+
+    def __init__(self, retain_entries: bool = True) -> None:
+        self._logs: Dict[int, _NodeLog] = {}
+        self.retain_entries = retain_entries
+
+    def _log(self, node_id: int) -> _NodeLog:
+        log = self._logs.get(node_id)
+        if log is None:
+            log = _NodeLog()
+            self._logs[node_id] = log
+        return log
+
+    # -- appending ----------------------------------------------------------------
+    def append(
+        self, node_id: int, port: str, updates: Sequence[Update], time: float
+    ) -> int:
+        """Record one delivered batch; returns its (monotone) sequence number."""
+        log = self._log(node_id)
+        sequence = log.next_sequence
+        log.next_sequence += 1
+        if self.retain_entries:
+            log.entries.append(LogEntry(sequence, port, tuple(updates), time))
+        if port in (PORT_BASE, PORT_SEED):
+            live = log.live_edges if port == PORT_BASE else log.live_seeds
+            for update in updates:
+                if update.is_insert:
+                    live[update.tuple] = True
+                else:
+                    live.pop(update.tuple, None)
+                    log.versions[update.tuple.key] = (
+                        log.versions.get(update.tuple.key, 0) + 1
+                    )
+        return sequence
+
+    # -- reading ------------------------------------------------------------------
+    def last_sequence(self, node_id: int) -> int:
+        """Highest sequence number appended for ``node_id`` (0 when empty)."""
+        return self._log(node_id).next_sequence - 1
+
+    def entries(self, node_id: int) -> List[LogEntry]:
+        """All retained entries of ``node_id`` in sequence order."""
+        return list(self._log(node_id).entries)
+
+    def replay(self, node_id: int, after_sequence: int = 0) -> List[LogEntry]:
+        """Entries with ``sequence > after_sequence`` (the recovery suffix)."""
+        return [
+            entry
+            for entry in self._log(node_id).entries
+            if entry.sequence > after_sequence
+        ]
+
+    def live_base_state(
+        self, node_id: int
+    ) -> PyTuple[List[Tuple], List[Tuple], Dict[Hashable, int]]:
+        """The node's live base/seed tuples and per-key incarnation versions.
+
+        ``versions[key]`` is the version of the *current* incarnation of a
+        live tuple (0 for a never-deleted tuple), or the next version to use
+        for a currently deleted key.
+        """
+        log = self._log(node_id)
+        return list(log.live_edges), list(log.live_seeds), dict(log.versions)
+
+    # -- maintenance ---------------------------------------------------------------
+    def truncate(self, node_id: int, upto_sequence: int) -> int:
+        """Drop entries with ``sequence <= upto_sequence``; returns #dropped.
+
+        Called after a checkpoint at ``upto_sequence`` — the checkpoint now
+        covers that prefix.  The live-base tracker is unaffected.
+        """
+        log = self._log(node_id)
+        if upto_sequence > log.next_sequence - 1:
+            raise WALError(
+                f"cannot truncate node {node_id} past its last sequence "
+                f"({upto_sequence} > {log.next_sequence - 1})"
+            )
+        before = len(log.entries)
+        log.entries = [e for e in log.entries if e.sequence > upto_sequence]
+        return before - len(log.entries)
+
+    def note_incarnation_bump(self, node_id: int, keys: Iterable[Hashable]) -> None:
+        """Record that the current incarnations of ``keys`` were retired.
+
+        The provenance-purge recovery retires every live incarnation of a dead
+        node outside the normal deletion path; this keeps the log's version
+        counters aligned with the variables actually in use.
+        """
+        log = self._log(node_id)
+        for key in keys:
+            log.versions[key] = log.versions.get(key, 0) + 1
+
+    # -- durability ----------------------------------------------------------------
+    def serialize_node(self, node_id: int, store: ProvenanceStore) -> bytes:
+        """Byte form of one node's retained log (annotations flattened)."""
+        encoded = [
+            (
+                entry.sequence,
+                entry.port,
+                tuple(
+                    (
+                        u.type,
+                        u.tuple,
+                        store.encode_annotation(u.provenance),
+                        u.timestamp,
+                        u.origin_node,
+                    )
+                    for u in entry.updates
+                ),
+                entry.time,
+            )
+            for entry in self._log(node_id).entries
+        ]
+        return pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize_node(
+        self, node_id: int, data: bytes, store: ProvenanceStore
+    ) -> List[LogEntry]:
+        """Decode a byte log produced by :meth:`serialize_node` (does not mutate)."""
+        entries = []
+        for sequence, port, updates, time in pickle.loads(data):
+            entries.append(
+                LogEntry(
+                    sequence,
+                    port,
+                    tuple(
+                        Update(kind, tuple_, store.decode_annotation(pv), timestamp, origin)
+                        for kind, tuple_, pv, timestamp, origin in updates
+                    ),
+                    time,
+                )
+            )
+        return entries
+
+    # -- metrics -------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Retained entries across all nodes."""
+        return sum(len(log.entries) for log in self._logs.values())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -29,6 +30,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "figure12": (experiments.run_figure12, "scaling links, deleting 20% (dense vs sparse)"),
     "figure13": (experiments.run_figure13, "scaling query-processor nodes"),
     "figure14": (experiments.run_figure14, "aggregate selections on the path query"),
+    "churn": (
+        experiments.run_churn_recovery,
+        "node crashes mid-stream: recovery-policy comparison",
+    ),
     "ablation-minship": (experiments.run_ablation_minship_batch, "MinShip batch-size sweep"),
     "ablation-encoding": (
         experiments.run_ablation_provenance_encoding,
@@ -61,15 +66,45 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv-dir", type=Path, default=None, help="also write one CSV file per experiment"
     )
+    churn = parser.add_argument_group("churn experiment")
+    churn.add_argument(
+        "--churn-cycles",
+        type=int,
+        default=None,
+        help="crash/recover cycles injected by the churn experiment",
+    )
+    churn.add_argument(
+        "--churn-downtime",
+        type=float,
+        default=None,
+        help="fraction of each churn slot a crashed node stays down (0..1)",
+    )
+    churn.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="deliveries between checkpoints under checkpoint+replay recovery",
+    )
     return parser
 
 
 def _select_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.quick:
-        return QUICK_CONFIG
-    if args.paper_scale:
-        return PAPER_SCALE_CONFIG
-    return DEFAULT_CONFIG
+        config = QUICK_CONFIG
+    elif args.paper_scale:
+        config = PAPER_SCALE_CONFIG
+    else:
+        config = DEFAULT_CONFIG
+    overrides = {}
+    if args.churn_cycles is not None:
+        overrides["churn_cycles"] = args.churn_cycles
+    if args.churn_downtime is not None:
+        overrides["churn_downtime"] = args.churn_downtime
+    if args.checkpoint_interval is not None:
+        overrides["churn_checkpoint_interval"] = args.checkpoint_interval
+    if overrides:
+        config = replace(config, **overrides)
+    return config
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

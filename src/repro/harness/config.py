@@ -56,6 +56,12 @@ class ExperimentConfig:
     #: Wall-clock budget per run in seconds; runs that exceed it are reported
     #: as "did not converge", mirroring the paper's ">5 minutes" data points.
     max_wall_seconds: float = 60.0
+    #: Crash/recover cycles injected by the churn experiment.
+    churn_cycles: int = 1
+    #: Fraction of each churn cycle's slot a crashed node stays down.
+    churn_downtime: float = 0.3
+    #: Deliveries between periodic checkpoints under checkpoint+replay.
+    churn_checkpoint_interval: int = 20
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""

@@ -21,8 +21,10 @@ import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines.centralized import CentralizedRecursiveEvaluator
+from repro.baselines.networkx_ref import reachable_pairs
 from repro.engine.executor import DistributedViewExecutor
 from repro.engine.strategy import ExecutionStrategy
+from repro.fault import RecoveryPolicy, fault_tolerant_executor
 from repro.harness.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.net.latency import ClusterLatencyModel
 from repro.net.simulator import SimulationBudgetExceeded
@@ -35,6 +37,7 @@ from repro.queries.shortest_path import (
     AGGSEL_SINGLE,
     shortest_path_plan,
 )
+from repro.workloads.churn import generate_churn
 from repro.workloads.sensors import SensorField, SensorWorkload
 from repro.workloads.topology import (
     TransitStubConfig,
@@ -519,6 +522,103 @@ def run_figure14(
                     view_size=phase.view_size,
                 )
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Churn: node crashes mid-workload, compared across recovery policies
+# ---------------------------------------------------------------------------
+
+def run_churn_recovery(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    scheme: str = "Absorption Lazy",
+) -> List[Row]:
+    """Crash/recover nodes mid-insertion-stream and compare recovery policies.
+
+    A failure-free run of the insertion workload establishes the convergence
+    horizon and the communication baseline; the same workload is then re-run
+    with a seeded churn scenario (``config.churn_cycles`` crash/recover pairs
+    scaled onto that horizon) under each recovery policy.  Every row reports
+    the paper's convergence-time and bytes-shipped metrics plus whether the
+    final view still equals the networkx ground truth.
+    """
+    topology = _topology(config, dense=True)
+    links = topology.link_tuples()
+    truth = reachable_pairs((link["src"], link["dst"]) for link in links)
+    rows: List[Row] = []
+
+    baseline = fault_tolerant_executor(
+        reachability_plan(),
+        scheme,
+        node_count=config.node_count,
+        checkpoint_interval=0,
+        retain_wal_entries=False,  # no crashes: the log is never replayed
+        max_events=config.max_events,
+        max_wall_seconds=config.max_wall_seconds,
+        experiment="churn",
+    )
+    try:
+        phase = baseline.insert_edges(links, label="insert")
+    except SimulationBudgetExceeded:
+        return [_censored_row(_base_row("churn", scheme, policy="no-failure"), baseline)]
+    horizon = phase.convergence_time_s
+    rows.append(
+        _metric_row(
+            _base_row("churn", scheme, policy="no-failure", crashes=0),
+            per_tuple_provenance=phase.per_tuple_provenance_bytes,
+            communication_mb=phase.communication_mb,
+            state_mb=phase.state_mb,
+            convergence_s=phase.convergence_time_s,
+            view_correct=baseline.view_values() == truth,
+            view_size=phase.view_size,
+        )
+    )
+
+    scenario = generate_churn(
+        node_count=config.node_count,
+        cycles=config.churn_cycles,
+        downtime=config.churn_downtime,
+        seed=config.seed,
+    ).scaled(horizon)
+    for policy in (RecoveryPolicy.CHECKPOINT_REPLAY, RecoveryPolicy.PROVENANCE_PURGE):
+        interval = (
+            config.churn_checkpoint_interval
+            if policy is RecoveryPolicy.CHECKPOINT_REPLAY
+            else 0
+        )
+        executor = fault_tolerant_executor(
+            reachability_plan(),
+            scheme,
+            recovery_policy=policy,
+            checkpoint_interval=interval,
+            node_count=config.node_count,
+            max_events=config.max_events,
+            max_wall_seconds=config.max_wall_seconds,
+            experiment="churn",
+        )
+        scenario.apply(executor)
+        row = _base_row("churn", scheme, policy=policy.value, crashes=scenario.crash_count)
+        try:
+            phase = executor.insert_edges(links, label="insert")
+        except SimulationBudgetExceeded:
+            rows.append(_censored_row(row, executor))
+            continue
+        stats = executor.fault_stats()
+        rows.append(
+            _metric_row(
+                row,
+                per_tuple_provenance=phase.per_tuple_provenance_bytes,
+                communication_mb=phase.communication_mb,
+                state_mb=phase.state_mb,
+                convergence_s=phase.convergence_time_s,
+                view_correct=executor.view_values() == truth,
+                view_size=phase.view_size,
+                wal_entries=stats["wal_entries"],
+                checkpoints=stats["checkpoints_taken"],
+                checkpoint_KB=round(stats["checkpoint_bytes"] / 1000.0, 1),
+                dropped_messages=stats["dropped_messages"],
+            )
+        )
     return rows
 
 

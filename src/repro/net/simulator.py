@@ -17,6 +17,17 @@ Modelled behaviour:
   adding processors reduces convergence time (Figure 13).
 * **Byte accounting** for every non-local message via
   :class:`~repro.net.stats.NetworkStats`.
+* **Node churn**: :meth:`SimulatedNetwork.crash` and
+  :meth:`SimulatedNetwork.recover` schedule failure events in virtual time.
+  While a node is down it processes nothing; messages addressed to it are
+  *held* by their reliable FIFO channels.  At the matching ``recover`` event
+  the registered fault listener (see :class:`FaultListener`) first performs
+  its recovery actions — restoring a checkpoint and replaying the update log,
+  or purging the dead node's base tuples and reseeding it from its peers, the
+  two policies implemented in :mod:`repro.fault.recovery` — and then each held
+  message is redelivered (or dropped, if the listener's ``should_redeliver``
+  declines it, which is how the provenance-purge policy models the teardown of
+  the dead node's connections).
 """
 
 from __future__ import annotations
@@ -24,7 +35,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.data.update import Update
 from repro.net.latency import LatencyModel, UniformLatencyModel
@@ -34,6 +46,33 @@ from repro.net.stats import NetworkStats
 #: A node handler receives (port, updates, virtual time) and reacts by calling
 #: :meth:`SimulatedNetwork.send` zero or more times.
 NodeHandler = Callable[[str, Sequence[Update], float], None]
+
+
+@dataclass(frozen=True)
+class _FaultEvent:
+    """A scheduled crash/recover control event (not a network message)."""
+
+    kind: str  # "crash" | "recover"
+    node: int
+
+
+class FaultListener:
+    """Hooks invoked by the network when failure events fire.
+
+    The fault-tolerance subsystem registers one listener per run; the default
+    implementation is a no-op (crashed nodes simply stop processing and every
+    held message is redelivered verbatim on recovery).
+    """
+
+    def on_crash(self, node: int, now: float) -> None:
+        """Called when ``node`` goes down at virtual time ``now``."""
+
+    def on_recover(self, node: int, now: float) -> None:
+        """Called when ``node`` comes back up, *before* held messages flow."""
+
+    def should_redeliver(self, message: Message) -> bool:
+        """Whether a message held during downtime is redelivered after recovery."""
+        return True
 
 
 class SimulationError(Exception):
@@ -79,6 +118,12 @@ class SimulatedNetwork:
         self._node_busy_until: Dict[int, float] = {node: 0.0 for node in range(node_count)}
         self._now = 0.0
         self._events_processed = 0
+        #: Nodes currently crashed.
+        self._down: Set[int] = set()
+        #: Messages held by their channels while the destination is down.
+        self._held: Dict[int, List[Message]] = {}
+        self._fault_listener: Optional[FaultListener] = None
+        self._dropped_messages = 0
 
     # -- wiring -----------------------------------------------------------------
     def register(self, node: int, handler: NodeHandler) -> None:
@@ -89,6 +134,59 @@ class SimulatedNetwork:
     def _validate_node(self, node: int) -> None:
         if not 0 <= node < self.node_count:
             raise SimulationError(f"node {node} out of range (0..{self.node_count - 1})")
+
+    def set_fault_listener(self, listener: Optional[FaultListener]) -> None:
+        """Install the listener notified on crash/recover events."""
+        self._fault_listener = listener
+
+    # -- failure injection --------------------------------------------------------
+    def crash(self, node: int, at_time: Optional[float] = None) -> None:
+        """Schedule ``node`` to crash at virtual time ``at_time`` (default: now)."""
+        self._schedule_fault("crash", node, at_time)
+
+    def recover(self, node: int, at_time: Optional[float] = None) -> None:
+        """Schedule ``node`` to come back up at virtual time ``at_time``."""
+        self._schedule_fault("recover", node, at_time)
+
+    def _schedule_fault(self, kind: str, node: int, at_time: Optional[float]) -> None:
+        self._validate_node(node)
+        when = self._now if at_time is None else at_time
+        heapq.heappush(self._queue, (when, next(self._sequence), _FaultEvent(kind, node)))
+
+    def is_down(self, node: int) -> bool:
+        """True while ``node`` is crashed."""
+        return node in self._down
+
+    def held_messages(self, node: int) -> int:
+        """Messages currently held by channels towards a down node (tests/metrics)."""
+        return len(self._held.get(node, []))
+
+    @property
+    def dropped_messages(self) -> int:
+        """Held messages the fault listener declined to redeliver."""
+        return self._dropped_messages
+
+    def _apply_fault_event(self, event: _FaultEvent, at_time: float) -> None:
+        self._now = max(self._now, at_time)
+        if event.kind == "crash":
+            if event.node in self._down:
+                raise SimulationError(f"node {event.node} is already down")
+            self._down.add(event.node)
+            if self._fault_listener is not None:
+                self._fault_listener.on_crash(event.node, self._now)
+            return
+        if event.node not in self._down:
+            raise SimulationError(f"node {event.node} is not down; cannot recover it")
+        self._down.discard(event.node)
+        # The node is up again *before* the listener runs, so recovery actions
+        # (checkpoint restore, WAL replay, peer reseed) can address it.
+        if self._fault_listener is not None:
+            self._fault_listener.on_recover(event.node, self._now)
+        for message in self._held.pop(event.node, []):
+            if self._fault_listener is None or self._fault_listener.should_redeliver(message):
+                heapq.heappush(self._queue, (self._now, next(self._sequence), message))
+            else:
+                self._dropped_messages += 1
 
     # -- clock -------------------------------------------------------------------
     @property
@@ -120,6 +218,8 @@ class SimulatedNetwork:
         """
         self._validate_node(src)
         self._validate_node(dst)
+        if src in self._down:
+            raise SimulationError(f"node {src} is down and cannot send")
         if not updates:
             raise SimulationError("refusing to send an empty message")
         sent_at = self._now if at_time is None else at_time
@@ -169,6 +269,14 @@ class SimulatedNetwork:
             if until is not None and arrival > until:
                 heapq.heappush(self._queue, (arrival, next(self._sequence), message))
                 break
+            if isinstance(message, _FaultEvent):
+                self._apply_fault_event(message, arrival)
+                continue
+            if message.dst in self._down:
+                # The reliable channel holds the message until the destination
+                # recovers (delivery order within the channel is preserved).
+                self._held.setdefault(message.dst, []).append(message)
+                continue
             self._events_processed += 1
             if self._events_processed > self.max_events:
                 raise SimulationBudgetExceeded(

@@ -239,6 +239,25 @@ class AggregateSelection:
             )
         return outputs
 
+    # -- durability (checkpoint / recovery support) ----------------------------------
+    def export_state(self, encode: Callable[[object], object]) -> Dict[str, object]:
+        """Capture the H/P/B tables with annotations flattened through ``encode``."""
+        return {
+            "provenance": {t: encode(pv) for t, pv in self.provenance.items()},
+            "groups": {key: set(members) for key, members in self.groups.items()},
+            "best": {key: dict(bests) for key, bests in self.best.items()},
+            "suppressed_count": self.suppressed_count,
+        }
+
+    def import_state(
+        self, state: Dict[str, object], decode: Callable[[object], object]
+    ) -> None:
+        """Restore the tables captured by :meth:`export_state`."""
+        self.provenance = {t: decode(pv) for t, pv in state["provenance"].items()}
+        self.groups = {key: set(members) for key, members in state["groups"].items()}
+        self.best = {key: dict(bests) for key, bests in state["best"].items()}
+        self.suppressed_count = state["suppressed_count"]
+
     # -- metrics ------------------------------------------------------------------------
     def state_bytes(self) -> int:
         """Buffered tuples, their provenance, and the per-group best table."""

@@ -136,6 +136,22 @@ class FixpointOperator(Operator):
             outputs.extend(self.aggregate_selection.purge_base(removed_keys))
         return outputs
 
+    # -- durability (checkpoint / recovery support) ------------------------------------
+    def export_state(self, encode) -> Dict[str, object]:
+        """Capture ``P`` (and any embedded AggSel state) via ``encode``."""
+        state: Dict[str, object] = {
+            "provenance": {t: encode(pv) for t, pv in self.provenance.items()}
+        }
+        if self.aggregate_selection is not None:
+            state["aggsel"] = self.aggregate_selection.export_state(encode)
+        return state
+
+    def import_state(self, state: Dict[str, object], decode) -> None:
+        """Restore the view partition captured by :meth:`export_state`."""
+        self.provenance = {t: decode(pv) for t, pv in state["provenance"].items()}
+        if self.aggregate_selection is not None and "aggsel" in state:
+            self.aggregate_selection.import_state(state["aggsel"], decode)
+
     # -- metrics ----------------------------------------------------------------------
     def state_bytes(self) -> int:
         """Tuples plus their provenance annotations, plus any embedded AggSel state."""

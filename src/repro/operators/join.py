@@ -243,6 +243,28 @@ class PipelinedHashJoin(Operator):
         self._left.by_key.clear()
         self._left.provenance.clear()
 
+    # -- durability (checkpoint / recovery support) -------------------------------------------------
+    def export_state(self, encode) -> Dict[str, object]:
+        """Capture both sides' provenance tables (``hR``/``hS`` are rebuilt on import).
+
+        Windowed joins buffer expiration schedules keyed on virtual time;
+        snapshotting them is not supported (no current plan uses windows).
+        """
+        if self._left.window is not None or self._right.window is not None:
+            raise NotImplementedError("snapshot of windowed join state is not supported")
+        return {
+            "left": {t: encode(pv) for t, pv in self._left.provenance.items()},
+            "right": {t: encode(pv) for t, pv in self._right.provenance.items()},
+        }
+
+    def import_state(self, state: Dict[str, object], decode) -> None:
+        """Restore both sides; the key-index tables are rebuilt from the tuples."""
+        for side, captured in ((self._left, state["left"]), (self._right, state["right"])):
+            side.provenance = {t: decode(pv) for t, pv in captured.items()}
+            side.by_key.clear()
+            for tuple_ in side.provenance:
+                side.add(tuple_)
+
     # -- introspection -----------------------------------------------------------------------------
     def left_tuples(self) -> List[Tuple]:
         """Tuples currently stored on the left side."""

@@ -50,6 +50,13 @@ class ShipOperator(Operator):
     def process(self, update: Update) -> List[Update]:
         return self._record(update, [update])
 
+    def export_state(self, encode) -> Dict[str, object]:
+        """Plain Ship holds no state; snapshots are empty (but well-defined)."""
+        return {}
+
+    def import_state(self, state: Dict[str, object], decode) -> None:
+        """Nothing to restore for the stateless ship."""
+
     def state_bytes(self) -> int:
         return 0
 
@@ -212,6 +219,40 @@ class MinShipOperator(Operator):
         if self.aggregate_selection is not None:
             outputs.extend(self.aggregate_selection.purge_base(removed))
         return outputs
+
+    # -- durability (checkpoint / recovery support) ------------------------------------------
+    def export_state(self, encode) -> Dict[str, object]:
+        """Capture ``Bsent`` / ``Pins`` / ``Pdel`` with annotations flattened via ``encode``.
+
+        Restoring this state on a rebooted node is what lets MinShip keep its
+        promise after a crash: derivations buffered (and never shipped) before
+        the failure can still be released when a deletion invalidates what the
+        consumer holds.
+        """
+        state: Dict[str, object] = {
+            "sent": {t: encode(pv) for t, pv in self.sent.items()},
+            "pending_insertions": {
+                t: encode(pv) for t, pv in self.pending_insertions.items()
+            },
+            "pending_deletions": {
+                t: encode(pv) for t, pv in self.pending_deletions.items()
+            },
+        }
+        if self.aggregate_selection is not None:
+            state["aggsel"] = self.aggregate_selection.export_state(encode)
+        return state
+
+    def import_state(self, state: Dict[str, object], decode) -> None:
+        """Restore the buffer tables captured by :meth:`export_state`."""
+        self.sent = {t: decode(pv) for t, pv in state["sent"].items()}
+        self.pending_insertions = {
+            t: decode(pv) for t, pv in state["pending_insertions"].items()
+        }
+        self.pending_deletions = {
+            t: decode(pv) for t, pv in state["pending_deletions"].items()
+        }
+        if self.aggregate_selection is not None and "aggsel" in state:
+            self.aggregate_selection.import_state(state["aggsel"], decode)
 
     # -- metrics -----------------------------------------------------------------------------
     def state_bytes(self) -> int:

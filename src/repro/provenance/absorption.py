@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Optional
 
 from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.serialize import SerializedBDD, deserialize_bdd, serialize_bdd
 from repro.provenance.tracker import ProvenanceStore
 
 
@@ -79,6 +80,24 @@ class AbsorptionProvenanceStore(ProvenanceStore):
             (" & ".join(sorted(map(str, product))) for product in annotation.iter_products()),
         )
         return " | ".join(f"({product})" if product else "true" for product in products)
+
+    # -- durability ----------------------------------------------------------
+    def encode_annotation(self, annotation):
+        """Flatten a BDD annotation into its manager-independent form.
+
+        Non-BDD values (for example the variable keys carried by purge
+        messages) pass through unchanged so the WAL and checkpoints can encode
+        whole updates uniformly.
+        """
+        if isinstance(annotation, BDD):
+            return serialize_bdd(annotation)
+        return annotation
+
+    def decode_annotation(self, encoded):
+        """Re-intern a serialized annotation into this store's BDD manager."""
+        if isinstance(encoded, SerializedBDD):
+            return deserialize_bdd(encoded, self.manager)
+        return encoded
 
     # -- helpers used by tests/examples -------------------------------------
     def annotation_from_products(self, products: Iterable[Iterable[Hashable]]) -> BDD:

@@ -81,6 +81,20 @@ class ProvenanceStore(abc.ABC):
         """Human-readable rendering used by examples and debugging."""
         return repr(annotation)
 
+    # -- durability (checkpoint / recovery support) ---------------------------
+    def encode_annotation(self, annotation: Annotation) -> Any:
+        """A self-contained, picklable form of ``annotation`` for checkpoints.
+
+        The default assumes annotations are already plain values (integers,
+        frozensets, booleans); stores whose annotations are handles into
+        shared in-memory structures (the BDD manager) override this.
+        """
+        return annotation
+
+    def decode_annotation(self, encoded: Any) -> Annotation:
+        """Inverse of :meth:`encode_annotation` (re-interning into live state)."""
+        return encoded
+
 
 class NullProvenanceStore(ProvenanceStore):
     """Set-semantics execution: no annotations at all (DRed's data model).

@@ -5,9 +5,12 @@
 * :mod:`repro.workloads.sensors` — simulated sensor fields with seed groups
   and trigger/untrigger event streams (the sensor-region workload);
 * :mod:`repro.workloads.updates` — insertion/deletion schedules by ratio, with
-  deterministic seeded randomness so experiment runs are reproducible.
+  deterministic seeded randomness so experiment runs are reproducible;
+* :mod:`repro.workloads.churn` — node crash/recover schedules for the
+  fault-tolerance scenarios.
 """
 
+from repro.workloads.churn import ChurnEvent, ChurnScenario, generate_churn
 from repro.workloads.sensors import SensorField, SensorWorkload
 from repro.workloads.topology import TransitStubConfig, TransitStubTopology, generate_topology
 from repro.workloads.updates import UpdateSchedule, deletion_sample, insertion_prefix
@@ -21,4 +24,7 @@ __all__ = [
     "UpdateSchedule",
     "insertion_prefix",
     "deletion_sample",
+    "ChurnEvent",
+    "ChurnScenario",
+    "generate_churn",
 ]

@@ -1,0 +1,114 @@
+"""Node-churn scenarios: who crashes when, and for how long.
+
+A :class:`ChurnScenario` is a deterministic schedule of crash/recover event
+pairs over the *unit interval* — event times are fractions of a workload's
+convergence horizon, so the same scenario can be replayed against runs of
+very different absolute length (``scaled`` maps it onto a concrete horizon).
+:func:`generate_churn` produces seeded, non-overlapping crash/recover cycles,
+mirroring how the topology and sensor workloads derive deterministic event
+streams from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple as PyTuple
+
+#: Event kinds.
+CRASH = "crash"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled failure event: ``kind`` at ``time`` for ``node``."""
+
+    time: float
+    kind: str  # CRASH or RECOVER
+    node: int
+
+
+@dataclass(frozen=True)
+class ChurnScenario:
+    """An ordered schedule of crash/recover events (times in any unit)."""
+
+    events: PyTuple[ChurnEvent, ...]
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise ValueError("churn events must be sorted by time")
+
+    @property
+    def crash_count(self) -> int:
+        """Number of crash events in the scenario."""
+        return sum(1 for event in self.events if event.kind == CRASH)
+
+    @property
+    def victims(self) -> PyTuple[int, ...]:
+        """Nodes crashed by the scenario, in crash order."""
+        return tuple(event.node for event in self.events if event.kind == CRASH)
+
+    def scaled(self, horizon: float, offset: float = 0.0) -> "ChurnScenario":
+        """Map unit-interval event times onto ``offset + time * horizon``."""
+        return ChurnScenario(
+            tuple(
+                ChurnEvent(offset + event.time * horizon, event.kind, event.node)
+                for event in self.events
+            )
+        )
+
+    def apply(self, executor) -> None:
+        """Schedule every event on a :class:`~repro.fault.FaultTolerantExecutor`."""
+        for event in self.events:
+            if event.kind == CRASH:
+                executor.schedule_crash(event.node, at_time=event.time)
+            else:
+                executor.schedule_recovery(event.node, at_time=event.time)
+
+
+def generate_churn(
+    node_count: int,
+    cycles: int = 1,
+    downtime: float = 0.3,
+    start: float = 0.2,
+    end: float = 0.9,
+    seed: int = 7,
+    victims: Sequence[int] = (),
+) -> ChurnScenario:
+    """Generate ``cycles`` sequential, non-overlapping crash/recover pairs.
+
+    The window ``[start, end]`` of the unit interval is split evenly into one
+    slot per cycle; within each slot the crash fires after a seeded jitter and
+    the node stays down for ``downtime`` of the slot.  ``victims`` pins the
+    crashed nodes explicitly (cycled if shorter than ``cycles``); otherwise a
+    seeded choice picks a node per cycle, avoiding immediate repeats.
+    """
+    if node_count <= 0:
+        raise ValueError("node_count must be positive")
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    if not 0.0 < downtime < 1.0:
+        raise ValueError("downtime must be a fraction in (0, 1)")
+    if not 0.0 <= start < end <= 1.0:
+        raise ValueError("need 0 <= start < end <= 1")
+    rng = random.Random(seed)
+    events: List[ChurnEvent] = []
+    slot = (end - start) / max(cycles, 1)
+    previous_victim = -1
+    for cycle in range(cycles):
+        if victims:
+            victim = victims[cycle % len(victims)]
+        else:
+            victim = rng.randrange(node_count)
+            if node_count > 1 and victim == previous_victim:
+                victim = (victim + 1) % node_count
+        previous_victim = victim
+        slot_start = start + cycle * slot
+        jitter = rng.uniform(0.0, slot * (1.0 - downtime) * 0.5)
+        crash_at = slot_start + jitter
+        recover_at = crash_at + downtime * slot
+        events.append(ChurnEvent(crash_at, CRASH, victim))
+        events.append(ChurnEvent(recover_at, RECOVER, victim))
+    return ChurnScenario(tuple(events))

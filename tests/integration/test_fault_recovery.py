@@ -1,0 +1,166 @@
+"""Integration tests: processor crashes mid-workload, recovery to ground truth.
+
+The acceptance bar for the fault subsystem: a node crashed in the middle of
+an insertion stream (and, separately, a deletion stream) and recovered under
+*either* policy — checkpoint+replay or provenance-purge — must leave the
+maintained reachability view exactly equal to the networkx ground truth over
+the live base data.
+"""
+
+import pytest
+
+from repro.baselines.networkx_ref import reachable_pairs
+from repro.fault import (
+    FaultToleranceError,
+    FaultTolerantExecutor,
+    RecoveryPolicy,
+    fault_tolerant_executor,
+)
+from repro.queries.reachability import reachability_plan
+from repro.workloads.churn import generate_churn
+from repro.workloads.topology import TransitStubConfig, generate_topology
+from repro.workloads.updates import deletion_sample
+
+POLICIES = ("checkpoint-replay", "provenance-purge")
+NODE_COUNT = 6
+VICTIM = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    topology = generate_topology(
+        TransitStubConfig(nodes_per_stub=2, stubs_per_transit=2, seed=7)
+    )
+    return topology.link_tuples()
+
+
+@pytest.fixture(scope="module")
+def insertion_horizon(workload):
+    """Convergence time of an uninterrupted insertion run (sizes the crash window)."""
+    executor = fault_tolerant_executor(
+        reachability_plan(), "Absorption Lazy", node_count=NODE_COUNT
+    )
+    return executor.insert_edges(workload).convergence_time_s
+
+
+def _truth(links):
+    return reachable_pairs((link["src"], link["dst"]) for link in links)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_crash_mid_insertion_stream_recovers_to_ground_truth(
+    policy, workload, insertion_horizon
+):
+    executor = fault_tolerant_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        recovery_policy=policy,
+        checkpoint_interval=10,
+        node_count=NODE_COUNT,
+    )
+    executor.schedule_crash(VICTIM, at_time=insertion_horizon * 0.3)
+    executor.schedule_recovery(VICTIM, at_time=insertion_horizon * 0.6)
+    executor.insert_edges(workload)
+
+    assert executor.recovery.crash_count == 1
+    assert executor.recovery.recovery_count == 1
+    assert executor.view_values() == _truth(workload)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_crash_mid_deletion_stream_recovers_to_ground_truth(policy, workload):
+    deletions = deletion_sample(workload, 0.3, seed=7)
+    live = [link for link in workload if link not in set(deletions)]
+
+    # Size the crash window from an uninterrupted twin of the deletion phase.
+    twin = fault_tolerant_executor(
+        reachability_plan(), "Absorption Lazy", node_count=NODE_COUNT
+    )
+    twin.insert_edges(workload)
+    horizon = twin.delete_edges(deletions).convergence_time_s
+
+    executor = fault_tolerant_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        recovery_policy=policy,
+        checkpoint_interval=10,
+        node_count=NODE_COUNT,
+    )
+    executor.insert_edges(workload)
+    start = executor.network.now
+    executor.schedule_crash(VICTIM, at_time=start + horizon * 0.3)
+    executor.schedule_recovery(VICTIM, at_time=start + horizon * 0.7)
+    executor.delete_edges(deletions)
+
+    assert executor.recovery.recovery_count == 1
+    assert executor.view_values() == _truth(live)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_insertions_arriving_during_downtime_are_not_lost(policy, workload):
+    """Base data injected while its owner is down must appear after recovery."""
+    split = len(workload) // 2
+    executor = fault_tolerant_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        recovery_policy=policy,
+        checkpoint_interval=10,
+        node_count=NODE_COUNT,
+    )
+    executor.insert_edges(workload[:split])
+    # Crash immediately, inject the second half while the victim is down,
+    # recover well after every insertion has been routed or held.
+    start = executor.network.now
+    executor.schedule_crash(VICTIM, at_time=start)
+    executor.schedule_recovery(VICTIM, at_time=start + 10.0)
+    executor.insert_edges(workload[split:])
+
+    assert executor.view_values() == _truth(workload)
+
+
+def test_churn_scenario_with_multiple_cycles(workload, insertion_horizon):
+    """A generated two-cycle churn schedule still converges to the truth."""
+    executor = fault_tolerant_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        recovery_policy="checkpoint-replay",
+        checkpoint_interval=10,
+        node_count=NODE_COUNT,
+    )
+    scenario = generate_churn(NODE_COUNT, cycles=2, downtime=0.25, seed=11)
+    scenario.scaled(insertion_horizon).apply(executor)
+    executor.insert_edges(workload)
+
+    assert executor.recovery.recovery_count == 2
+    assert executor.view_values() == _truth(workload)
+
+
+def test_recovery_is_noop_on_quiesced_system(workload):
+    """Crashing and recovering after convergence must not disturb the view."""
+    for policy in POLICIES:
+        executor = fault_tolerant_executor(
+            reachability_plan(),
+            "Absorption Lazy",
+            recovery_policy=policy,
+            checkpoint_interval=10,
+            node_count=NODE_COUNT,
+        )
+        executor.insert_edges(workload)
+        start = executor.network.now
+        executor.schedule_crash(VICTIM, at_time=start + 1.0)
+        executor.schedule_recovery(VICTIM, at_time=start + 2.0)
+        executor.network.run()
+        assert executor.view_values() == _truth(workload)
+
+
+def test_purge_policy_rejects_set_semantics():
+    """DRed cannot absorb a node loss; the configuration is refused up front."""
+    from repro.engine.strategy import ExecutionStrategy
+
+    with pytest.raises(FaultToleranceError):
+        FaultTolerantExecutor(
+            reachability_plan(),
+            ExecutionStrategy.dred(),
+            recovery_policy=RecoveryPolicy.PROVENANCE_PURGE,
+            node_count=4,
+        )

@@ -12,6 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bdd import BDDManager
 from repro.bdd.expr import BoolExpr
+from repro.bdd.serialize import bdd_from_bytes, bdd_to_bytes, deserialize_bdd, serialize_bdd
 
 VARIABLES = ["p1", "p2", "p3", "p4"]
 
@@ -120,6 +121,54 @@ def test_sat_count_matches_enumeration(tree):
     bdd = _to_bdd(tree, manager)
     expected = sum(1 for assignment in _all_assignments() if _evaluate(tree, assignment))
     assert bdd.sat_count() == expected
+
+
+# -- serialization: round-trips preserve semantics ------------------------------------
+
+@settings(max_examples=120, deadline=None)
+@given(_expressions())
+def test_serialize_round_trip_same_manager_is_identity(tree):
+    """Within one manager, deserialize(serialize(f)) is the very same node."""
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    assert deserialize_bdd(serialize_bdd(bdd), manager) == bdd
+    assert bdd_from_bytes(bdd_to_bytes(bdd), manager) == bdd
+
+
+@settings(max_examples=120, deadline=None)
+@given(_expressions(), st.permutations(VARIABLES))
+def test_serialize_round_trip_fresh_manager_preserves_semantics(tree, declared_order):
+    """Across managers — even with a different variable order — the decoded
+    function is semantically equal to the original (checkpoint/restore safety)."""
+    manager = BDDManager()
+    manager.variables(*VARIABLES)
+    bdd = _to_bdd(tree, manager)
+    fresh = BDDManager()
+    fresh.variables(*declared_order)
+    restored = bdd_from_bytes(bdd_to_bytes(bdd), fresh)
+    for assignment in _all_assignments():
+        expected = _evaluate(tree, assignment)
+        if restored.node <= 1:
+            assert restored.is_true() == expected
+        else:
+            assert restored.evaluate(assignment) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expressions(), _expressions())
+def test_serialized_equivalence_matches_canonical_equality(left_tree, right_tree):
+    """Serialize→deserialize keeps canonicity: equal functions re-intern to the
+    same node of the target manager, unequal functions to different nodes."""
+    source = BDDManager()
+    source.variables(*VARIABLES)
+    left = _to_bdd(left_tree, source)
+    right = _to_bdd(right_tree, source)
+    target = BDDManager()
+    target.variables(*VARIABLES)
+    left_restored = deserialize_bdd(serialize_bdd(left), target)
+    right_restored = deserialize_bdd(serialize_bdd(right), target)
+    assert (left_restored == right_restored) == (left == right)
 
 
 # -- monotone expressions: BDD vs the sum-of-products oracle --------------------------

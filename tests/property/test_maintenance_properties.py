@@ -14,6 +14,7 @@ from repro.baselines import CentralizedRecursiveEvaluator, reachable_pairs
 from repro.bdd.expr import BoolExpr
 from repro.datalog import SemiNaiveEvaluator, parse_program
 from repro.engine.strategy import ExecutionStrategy
+from repro.fault import fault_tolerant_executor
 from repro.operators.aggsel import AggregateFunctionKind, AggregateSelection, AggregateSpec
 from repro.operators.fixpoint import FixpointOperator
 from repro.provenance import AbsorptionProvenanceStore
@@ -126,6 +127,42 @@ def test_distributed_provenance_matches_datalog_semiring(links):
             expected_minimal = expected.products
             # Same minimal witness sets (absorption on both sides).
             assert BoolExpr.from_products(actual_products) == BoolExpr(expected_minimal)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(link_strategy, min_size=2, max_size=12, unique=True),
+    st.sampled_from(["checkpoint-replay", "provenance-purge"]),
+    st.integers(0, 3),
+    st.floats(0.05, 0.85),
+    st.floats(0.05, 0.6),
+)
+def test_crash_and_recover_mid_run_matches_uninterrupted_run(
+    links, policy, victim, crash_fraction, downtime_fraction
+):
+    """A node crashed at an arbitrary point of the insertion stream and later
+    recovered — under either policy — yields exactly the view of an
+    uninterrupted run (which itself equals the recomputed ground truth)."""
+    tuples = [link(src, dst) for src, dst in links]
+    uninterrupted = fault_tolerant_executor(
+        reachability_plan(), "Absorption Lazy", node_count=4
+    )
+    horizon = uninterrupted.insert_edges(tuples).convergence_time_s
+
+    faulty = fault_tolerant_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        recovery_policy=policy,
+        checkpoint_interval=5,
+        node_count=4,
+    )
+    crash_at = horizon * crash_fraction
+    faulty.schedule_crash(victim, at_time=crash_at)
+    faulty.schedule_recovery(victim, at_time=crash_at + horizon * downtime_fraction)
+    faulty.insert_edges(tuples)
+
+    assert faulty.view_values() == uninterrupted.view_values()
+    assert faulty.view_values() == reachable_pairs(links)
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,258 @@
+"""Unit tests for the fault-tolerance building blocks.
+
+Covers the write-ahead log (sequence-number monotonicity, live-base tracking,
+truncation after checkpoints, durable round-trip), operator snapshot/restore
+(Ship/MinShip buffers, Fixpoint, node-level checkpoints through the byte
+form), and the simulator's crash/recover event model.
+"""
+
+import pytest
+
+from repro.data.tuples import make_schema
+from repro.data.update import Update, UpdateType, delete, insert
+from repro.engine.runtime import PORT_BASE, PORT_EDGE, PORT_VIEW
+from repro.engine.strategy import ExecutionStrategy
+from repro.fault import (
+    CheckpointStore,
+    NodeSnapshot,
+    UpdateLog,
+    WALError,
+    capture_node_state,
+    fault_tolerant_executor,
+    restore_node_state,
+)
+from repro.net.simulator import SimulatedNetwork, SimulationError
+from repro.operators.ship import MinShipOperator, ShipMode, ShipOperator
+from repro.provenance.absorption import AbsorptionProvenanceStore
+from repro.queries.reachability import link, reachability_plan
+
+EDGE = make_schema("link", ["src", "dst"])
+
+
+def _updates(*pairs):
+    return [insert(EDGE.tuple(src, dst)) for src, dst in pairs]
+
+
+# -- write-ahead log -----------------------------------------------------------------
+
+
+class TestUpdateLog:
+    def test_sequence_numbers_are_monotone_per_node(self):
+        wal = UpdateLog()
+        sequences = [wal.append(0, PORT_BASE, _updates(("a", "b")), t) for t in range(5)]
+        assert sequences == [1, 2, 3, 4, 5]
+        # Another node's log starts its own sequence.
+        assert wal.append(1, PORT_BASE, _updates(("a", "b")), 0.0) == 1
+        assert wal.last_sequence(0) == 5
+        assert wal.last_sequence(1) == 1
+
+    def test_replay_returns_suffix_after_sequence(self):
+        wal = UpdateLog()
+        for index in range(4):
+            wal.append(0, PORT_VIEW, _updates(("a", f"n{index}")), float(index))
+        suffix = wal.replay(0, after_sequence=2)
+        assert [entry.sequence for entry in suffix] == [3, 4]
+
+    def test_truncation_after_checkpoint_drops_covered_prefix(self):
+        wal = UpdateLog()
+        for index in range(6):
+            wal.append(0, PORT_VIEW, _updates(("a", f"n{index}")), float(index))
+        dropped = wal.truncate(0, upto_sequence=4)
+        assert dropped == 4
+        assert [entry.sequence for entry in wal.entries(0)] == [5, 6]
+        # Sequences stay monotone across truncation.
+        assert wal.append(0, PORT_VIEW, _updates(("x", "y")), 9.0) == 7
+
+    def test_truncation_past_last_sequence_is_refused(self):
+        wal = UpdateLog()
+        wal.append(0, PORT_BASE, _updates(("a", "b")), 0.0)
+        with pytest.raises(WALError):
+            wal.truncate(0, upto_sequence=5)
+
+    def test_live_base_state_tracks_inserts_deletes_and_versions(self):
+        wal = UpdateLog()
+        ab, bc = EDGE.tuple("a", "b"), EDGE.tuple("b", "c")
+        wal.append(0, PORT_BASE, [insert(ab), insert(bc)], 0.0)
+        wal.append(0, PORT_BASE, [delete(ab)], 1.0)
+        live, seeds, versions = wal.live_base_state(0)
+        assert live == [bc]
+        assert seeds == []
+        assert versions[ab.key] == 1  # one retired incarnation
+        # Re-insert: live again, next deletion bumps to version 2.
+        wal.append(0, PORT_BASE, [insert(ab)], 2.0)
+        live, _, versions = wal.live_base_state(0)
+        assert set(live) == {ab, bc}
+        assert versions[ab.key] == 1
+
+    def test_live_base_survives_truncation(self):
+        wal = UpdateLog()
+        wal.append(0, PORT_BASE, _updates(("a", "b")), 0.0)
+        wal.truncate(0, upto_sequence=1)
+        live, _, _ = wal.live_base_state(0)
+        assert live == [EDGE.tuple("a", "b")]
+
+    def test_non_base_ports_do_not_touch_live_state(self):
+        wal = UpdateLog()
+        wal.append(0, PORT_EDGE, _updates(("a", "b")), 0.0)
+        wal.append(0, PORT_VIEW, _updates(("a", "c")), 0.0)
+        live, seeds, versions = wal.live_base_state(0)
+        assert live == [] and seeds == [] and versions == {}
+
+    def test_durable_round_trip_through_codec(self):
+        store = AbsorptionProvenanceStore()
+        wal = UpdateLog()
+        annotation = store.base_annotation("p1") | store.base_annotation("p2")
+        wal.append(0, PORT_VIEW, [insert(EDGE.tuple("a", "b"), provenance=annotation)], 0.0)
+        data = wal.serialize_node(0, store)
+        entries = wal.deserialize_node(0, data, store)
+        assert len(entries) == 1
+        restored = entries[0].updates[0]
+        assert restored.tuple == EDGE.tuple("a", "b")
+        assert restored.provenance == annotation  # same manager -> same node
+
+
+# -- operator snapshot / restore ------------------------------------------------------
+
+
+class TestShipSnapshot:
+    def _minship(self, store, mode=ShipMode.LAZY):
+        return MinShipOperator("minship", store, mode=mode, batch_size=50)
+
+    def test_minship_buffers_survive_snapshot_restore(self):
+        store = AbsorptionProvenanceStore()
+        p1, p2 = store.base_annotation("p1"), store.base_annotation("p2")
+        original = self._minship(store)
+        tuple_ = EDGE.tuple("a", "b")
+        original.process(insert(tuple_, provenance=p1))      # shipped immediately
+        original.process(insert(tuple_, provenance=p2))      # buffered (lazy)
+        assert original.pending_insertions
+
+        state = original.export_state(store.encode_annotation)
+        clone = self._minship(store)
+        clone.import_state(state, store.decode_annotation)
+        assert clone.sent == original.sent
+        assert clone.pending_insertions == original.pending_insertions
+        assert clone.pending_deletions == original.pending_deletions
+
+        # Behavioural equivalence: the purge path releases the same buffered
+        # alternative from the restored buffers as it would from the originals.
+        released_original = original.purge_base([("p1")])
+        released_clone = clone.purge_base([("p1")])
+        assert [u.tuple for u in released_original] == [u.tuple for u in released_clone]
+
+    def test_minship_snapshot_round_trips_through_fresh_manager(self):
+        """The encoded buffers are manager-independent (a true cold restart)."""
+        store = AbsorptionProvenanceStore()
+        original = self._minship(store)
+        tuple_ = EDGE.tuple("a", "b")
+        original.process(insert(tuple_, provenance=store.base_annotation("p1")))
+        original.process(insert(tuple_, provenance=store.base_annotation("p2")))
+        state = original.export_state(store.encode_annotation)
+
+        fresh_store = AbsorptionProvenanceStore()  # brand-new BDD manager
+        clone = MinShipOperator("minship", fresh_store, mode=ShipMode.LAZY, batch_size=50)
+        clone.import_state(state, fresh_store.decode_annotation)
+        expected = fresh_store.base_annotation("p1") | fresh_store.base_annotation("p2")
+        assert clone.pending_insertions[tuple_] == fresh_store.base_annotation("p2")
+        assert (clone.sent[tuple_] | clone.pending_insertions[tuple_]) == expected
+
+    def test_plain_ship_snapshot_is_empty_and_restorable(self):
+        store = AbsorptionProvenanceStore()
+        ship = ShipOperator("ship", store)
+        state = ship.export_state(store.encode_annotation)
+        assert state == {}
+        ship.import_state(state, store.decode_annotation)  # must not raise
+
+
+class TestNodeCheckpoint:
+    def _executor(self):
+        return fault_tolerant_executor(
+            reachability_plan(),
+            ExecutionStrategy.absorption_lazy(),
+            node_count=3,
+            checkpoint_interval=0,
+        )
+
+    def test_node_state_round_trips_through_bytes(self):
+        executor = self._executor()
+        executor.insert_edges([link("a", "b"), link("b", "c"), link("c", "a")])
+        node = executor.nodes[1]
+        snapshot = capture_node_state(node, wal_sequence=7)
+        decoded = NodeSnapshot.from_bytes(snapshot.to_bytes())
+        assert decoded.wal_sequence == 7
+
+        fresh = executor.rebuild_node(1)
+        assert fresh.view_tuples() == []
+        restore_node_state(fresh, decoded)
+        assert set(fresh.view_tuples()) == set(node.view_tuples())
+        for tuple_ in node.fixpoint.view_tuples():
+            assert fresh.fixpoint.annotation_of(tuple_) == node.fixpoint.annotation_of(tuple_)
+        assert fresh.state_bytes() == node.state_bytes()
+
+    def test_snapshot_refuses_foreign_node(self):
+        executor = self._executor()
+        snapshot = capture_node_state(executor.nodes[0], wal_sequence=0)
+        with pytest.raises(ValueError):
+            executor.nodes[1].restore_state(snapshot.state)
+
+    def test_checkpoint_store_keeps_latest_per_node(self):
+        store = CheckpointStore()
+        executor = self._executor()
+        node = executor.nodes[0]
+        store.save(capture_node_state(node, wal_sequence=3))
+        store.save(capture_node_state(node, wal_sequence=9))
+        assert store.latest_sequence(0) == 9
+        assert store.latest(1) is None
+        assert store.checkpoints_taken == 2
+        assert store.total_bytes() > 0
+
+
+# -- simulator crash/recover ----------------------------------------------------------
+
+
+class TestSimulatorFaults:
+    def _network(self):
+        network = SimulatedNetwork(node_count=2)
+        deliveries = []
+        network.register(0, lambda port, updates, now: deliveries.append((0, port)))
+        network.register(1, lambda port, updates, now: deliveries.append((1, port)))
+        return network, deliveries
+
+    def test_messages_to_down_node_are_held_and_redelivered(self):
+        network, deliveries = self._network()
+        network.crash(1, at_time=0.0)
+        network.send(0, 1, PORT_VIEW, _updates(("a", "b")), size_bytes=10, at_time=0.001)
+        network.recover(1, at_time=1.0)
+        network.run()
+        assert deliveries == [(1, PORT_VIEW)]
+        assert not network.is_down(1)
+        assert network.held_messages(1) == 0
+
+    def test_crash_without_recovery_holds_messages(self):
+        network, deliveries = self._network()
+        network.crash(1, at_time=0.0)
+        network.send(0, 1, PORT_VIEW, _updates(("a", "b")), size_bytes=10, at_time=0.001)
+        network.run()
+        assert deliveries == []
+        assert network.is_down(1)
+        assert network.held_messages(1) == 1
+
+    def test_double_crash_is_an_error(self):
+        network, _ = self._network()
+        network.crash(1, at_time=0.0)
+        network.crash(1, at_time=1.0)
+        with pytest.raises(SimulationError):
+            network.run()
+
+    def test_recover_of_live_node_is_an_error(self):
+        network, _ = self._network()
+        network.recover(1, at_time=0.0)
+        with pytest.raises(SimulationError):
+            network.run()
+
+    def test_down_node_cannot_send(self):
+        network, _ = self._network()
+        network.crash(0, at_time=0.0)
+        network.run()
+        with pytest.raises(SimulationError):
+            network.send(0, 1, PORT_VIEW, _updates(("a", "b")), size_bytes=10)

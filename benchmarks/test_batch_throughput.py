@@ -1,0 +1,41 @@
+"""Batch-throughput benchmark — the batch-first delta pipeline's win.
+
+Runs the figure-11/12 dense topology twice per scheme (batched vs the
+historical tuple-at-a-time pipeline), deleting a figure-8-style fraction of
+the links, and checks the refactor's acceptance bar: at least a 2x reduction
+in BDD apply operations and purge-port wire messages during the maintenance
+phase, with identical final views.
+"""
+
+from benchmarks.conftest import report_figure, run_once
+from repro.harness import run_batch_throughput
+
+
+def test_batch_throughput_reductions(benchmark, experiment_config):
+    rows = run_once(benchmark, run_batch_throughput, experiment_config)
+    report_figure(rows, title="Batch throughput: batched vs tuple-at-a-time pipeline")
+    assert rows
+
+    by_key = {(r["scheme"], r["pipeline"]): r for r in rows if r["converged"]}
+    checked = 0
+    for scheme in ("Absorption Lazy", "Absorption Eager"):
+        batched = by_key.get((scheme, "batched"))
+        sequential = by_key.get((scheme, "tuple-at-a-time"))
+        if batched is None or sequential is None:
+            continue
+        checked += 1
+        # Exact view equivalence between the two pipelines.
+        assert batched["view_size"] == sequential["view_size"]
+        # >= 2x fewer BDD apply operations during maintenance.
+        assert batched["bdd_apply_ops"] * 2 <= sequential["bdd_apply_ops"], (
+            f"{scheme}: BDD ops {batched['bdd_apply_ops']} vs "
+            f"{sequential['bdd_apply_ops']} (< 2x reduction)"
+        )
+        # >= 2x fewer purge wire messages (coalesced deletion multicast).
+        assert batched["purge_messages"] * 2 <= sequential["purge_messages"], (
+            f"{scheme}: purge messages {batched['purge_messages']} vs "
+            f"{sequential['purge_messages']} (< 2x reduction)"
+        )
+        # Batching must never ship *more* bytes.
+        assert batched["communication_MB"] <= sequential["communication_MB"] * 1.01
+    assert checked >= 1, "at least one scheme must converge under both pipelines"

@@ -5,27 +5,41 @@ Besides the human-readable table it always emits a machine-readable
 trajectory can be tracked across PRs::
 
     PYTHONPATH=src python scripts/perf_check.py --nodes-per-stub 3 --strategies "DRed,Absorption Lazy"
+
+With ``--baseline`` the run is additionally compared against a committed
+reference (CI uses ``benchmarks/baselines/perf_check_baseline.json``) and the
+process exits non-zero when any strategy's wall-clock time regresses by more
+than ``--max-regression`` (default 2x)::
+
+    PYTHONPATH=src python scripts/perf_check.py --baseline benchmarks/baselines/perf_check_baseline.json
 """
 
 import argparse
 import json
 import platform
+import sys
 import time
 
+from repro.data.batch import BatchPolicy
 from repro.engine.strategy import ExecutionStrategy
 from repro.queries import build_executor, reachability_plan
 from repro.workloads.topology import TransitStubConfig, generate_topology
 from repro.workloads.updates import deletion_sample
 
 
-def run(nodes_per_stub, dense, strategies):
+def run(nodes_per_stub, dense, strategies, batch_size=64):
     config = TransitStubConfig(nodes_per_stub=nodes_per_stub, dense=dense, seed=7)
     topo = generate_topology(config)
     links = topo.link_tuples()
+    policy = (
+        BatchPolicy(max_batch=batch_size) if batch_size > 1 else BatchPolicy.tuple_at_a_time()
+    )
     print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
     results = []
     for strategy in strategies:
-        executor = build_executor(reachability_plan(), strategy, node_count=12)
+        executor = build_executor(
+            reachability_plan(), strategy, node_count=12, batch_policy=policy
+        )
         t0 = time.time()
         ins = executor.insert_edges(links)
         t1 = time.time()
@@ -62,6 +76,48 @@ def run(nodes_per_stub, dense, strategies):
     }
 
 
+def compare_to_baseline(report, baseline_path, max_regression):
+    """Compare a run against a committed baseline report.
+
+    Two gates, both ``max_regression``-bounded:
+
+    * **wall clock** per phase, against ``max(baseline, 0.5s)`` — the floor
+      absorbs both timer noise and the machine-speed gap between the box
+      that committed the baseline and a loaded CI runner;
+    * **simulated events processed** — deterministic and machine-independent,
+      so it catches algorithmic blow-ups that a fast runner's wall clock
+      would hide.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    Strategies absent from the baseline are skipped, so adding a strategy
+    never fails the gate.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    reference = {row["strategy"]: row for row in baseline.get("results", [])}
+    failures = []
+    for row in report["results"]:
+        expected = reference.get(row["strategy"])
+        if expected is None:
+            continue
+        for metric in ("insert_wall_seconds", "delete_wall_seconds"):
+            floor = max(float(expected[metric]), 0.5)
+            actual = float(row[metric])
+            if actual > floor * max_regression:
+                failures.append(
+                    f"{row['strategy']}: {metric} {actual:.2f}s vs baseline "
+                    f"{float(expected[metric]):.2f}s (> {max_regression:.1f}x)"
+                )
+        expected_events = int(expected.get("events_processed", 0))
+        actual_events = int(row["events_processed"])
+        if expected_events and actual_events > expected_events * max_regression:
+            failures.append(
+                f"{row['strategy']}: events_processed {actual_events} vs baseline "
+                f"{expected_events} (> {max_regression:.1f}x)"
+            )
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes-per-stub", type=int, default=3)
@@ -72,17 +128,37 @@ def main():
         help="comma-separated strategy labels",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="update-batching knob (1 = tuple-at-a-time pipeline)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_perf_check.json",
         help="machine-readable result file (JSON)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed reference JSON; exit non-zero on wall-clock regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed wall-clock slowdown factor vs the baseline (default 2x)",
+    )
     args = parser.parse_args()
 
     strategies = [ExecutionStrategy.by_name(label) for label in args.strategies.split(",")]
-    report = run(args.nodes_per_stub, args.density == "dense", strategies)
+    report = run(
+        args.nodes_per_stub, args.density == "dense", strategies, batch_size=args.batch_size
+    )
     report.update(
         {
             "benchmark": "perf_check",
+            "batch_size": args.batch_size,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -93,6 +169,16 @@ def main():
         handle.write("\n")
     print(f"(wrote {args.output})")
 
+    if args.baseline:
+        failures = compare_to_baseline(report, args.baseline, args.max_regression)
+        if failures:
+            print("PERFORMANCE REGRESSION vs", args.baseline)
+            for failure in failures:
+                print(" -", failure)
+            return 1
+        print(f"(within {args.max_regression:.1f}x of {args.baseline})")
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,10 +1,10 @@
 """A reduced ordered BDD manager.
 
 The manager owns a :class:`~repro.bdd.node.NodeTable` plus memoisation caches
-for the binary ``apply`` operations, negation, restriction and support
-computation.  :class:`BDD` objects are thin immutable handles (manager + node
-id) with operator overloading, which is how the provenance layer and operators
-manipulate absorption provenance::
+for the binary ``apply`` operations, negation, restriction, support and
+node-count computation.  :class:`BDD` objects are thin immutable handles
+(manager + node id) with operator overloading, which is how the provenance
+layer and operators manipulate absorption provenance::
 
     mgr = BDDManager()
     p1, p2, p3 = mgr.variables("p1", "p2", "p3")
@@ -13,11 +13,20 @@ manipulate absorption provenance::
     assert pv.restrict({"p1": False}).is_false()
 
 The per-tuple provenance size metric in the paper is reported from
-:meth:`BDD.node_count` / :meth:`BDD.size_bytes`.
+:meth:`BDD.node_count` / :meth:`BDD.size_bytes`; the count is memoised per
+canonical node, which is safe because the node table is append-only — a node
+id always denotes the same function, so its size never changes.
+
+All memo caches are **bounded**: when a cache reaches ``cache_limit`` entries
+it is dropped wholesale (the classic BDD-package "cache reset" policy — the
+node table itself, and therefore canonicity, is unaffected; subsequent
+operations simply recompute).  Hit/miss/eviction counters for every cache are
+surfaced through :meth:`BDDManager.cache_stats`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.bdd.node import FALSE, TERMINAL_VAR, TRUE, NodeTable
@@ -30,6 +39,46 @@ BYTES_PER_NODE = 16
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
+
+#: Default bound on each memo cache (entries); reaching it drops the cache.
+DEFAULT_CACHE_LIMIT = 1 << 20
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/eviction counters for one memo cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self, size: int) -> Dict[str, int]:
+        """A plain-dict view including the cache's current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": size,
+        }
+
+
+@dataclass
+class BDDOperationStats:
+    """Work counters for one manager: apply/restrict invocations and caches.
+
+    ``apply_calls`` counts every (recursive) step of the Shannon expansion in
+    ``_apply`` and ``restrict_calls`` every step of ``_restrict`` — the two
+    numbers the batch-throughput benchmark compares between batched and
+    tuple-at-a-time execution.
+    """
+
+    apply_calls: int = 0
+    restrict_calls: int = 0
+    apply: CacheCounters = field(default_factory=CacheCounters)
+    negate: CacheCounters = field(default_factory=CacheCounters)
+    restrict: CacheCounters = field(default_factory=CacheCounters)
+    support: CacheCounters = field(default_factory=CacheCounters)
+    size: CacheCounters = field(default_factory=CacheCounters)
 
 
 class BDDError(Exception):
@@ -169,14 +218,43 @@ class BDDManager:
     global variable order in creation order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
+        if cache_limit <= 0:
+            raise ValueError("cache_limit must be positive")
         self._table = NodeTable()
+        self.cache_limit = cache_limit
+        self.stats = BDDOperationStats()
         self._apply_cache: Dict[Tuple[int, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
         self._restrict_cache: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
+        #: node id -> number of decision nodes reachable from it.  Node ids
+        #: are append-only (the table never frees or rewrites a node), so a
+        #: memoised count can never go stale; the bound exists purely to cap
+        #: memory.
+        self._size_cache: Dict[int, int] = {}
         self._index_by_name: Dict[Hashable, int] = {}
         self._name_by_index: List[Hashable] = []
+
+    def _bound(self, cache: Dict, counters: CacheCounters) -> None:
+        """Drop ``cache`` wholesale when it reaches the configured limit."""
+        if len(cache) >= self.cache_limit:
+            cache.clear()
+            counters.evictions += 1
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Work and cache counters (hits, misses, evictions, live entries)."""
+        stats = self.stats
+        return {
+            "apply_calls": stats.apply_calls,
+            "restrict_calls": stats.restrict_calls,
+            "cache_limit": self.cache_limit,
+            "apply": stats.apply.snapshot(len(self._apply_cache)),
+            "negate": stats.negate.snapshot(len(self._not_cache)),
+            "restrict": stats.restrict.snapshot(len(self._restrict_cache)),
+            "support": stats.support.snapshot(len(self._support_cache)),
+            "size": stats.size.snapshot(len(self._size_cache)),
+        }
 
     # -- variable management ------------------------------------------------
     def variable(self, name: Hashable) -> BDD:
@@ -311,6 +389,7 @@ class BDDManager:
         return None
 
     def _apply(self, op: int, left: int, right: int) -> int:
+        self.stats.apply_calls += 1
         terminal = self._terminal_apply(op, left, right)
         if terminal is not None:
             return terminal
@@ -320,7 +399,9 @@ class BDDManager:
         key = (op, left, right)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.stats.apply.hits += 1
             return cached
+        self.stats.apply.misses += 1
         table = self._table
         lvar = table.var_of(left)
         rvar = table.var_of(right)
@@ -336,6 +417,7 @@ class BDDManager:
         low = self._apply(op, l_low, r_low)
         high = self._apply(op, l_high, r_high)
         node = table.make(var, low, high)
+        self._bound(self._apply_cache, self.stats.apply)
         self._apply_cache[key] = node
         return node
 
@@ -346,10 +428,13 @@ class BDDManager:
             return FALSE
         cached = self._not_cache.get(node)
         if cached is not None:
+            self.stats.negate.hits += 1
             return cached
+        self.stats.negate.misses += 1
         table = self._table
         var, low, high = table.triple(node)
         result = table.make(var, self._negate(low), self._negate(high))
+        self._bound(self._not_cache, self.stats.negate)
         self._not_cache[node] = result
         return result
 
@@ -382,10 +467,13 @@ class BDDManager:
     ) -> int:
         if node <= TRUE:
             return node
+        self.stats.restrict_calls += 1
         key = (node, key_suffix)
         cached = self._restrict_cache.get(key)
         if cached is not None:
+            self.stats.restrict.hits += 1
             return cached
+        self.stats.restrict.misses += 1
         table = self._table
         var, low, high = table.triple(node)
         if var in mapping:
@@ -394,6 +482,7 @@ class BDDManager:
             new_low = self._restrict(low, mapping, key_suffix)
             new_high = self._restrict(high, mapping, key_suffix)
             result = table.make(var, new_low, new_high)
+        self._bound(self._restrict_cache, self.stats.restrict)
         self._restrict_cache[key] = result
         return result
 
@@ -411,10 +500,24 @@ class BDDManager:
 
     # -- structural queries -----------------------------------------------------
     def node_count(self, operand: BDD) -> int:
-        """Count decision nodes reachable from ``operand`` (terminals excluded)."""
+        """Count decision nodes reachable from ``operand`` (terminals excluded).
+
+        Memoised per canonical root node: annotations are re-measured on
+        every send (the per-tuple provenance metric) and on every state-bytes
+        probe, and the count of a node id can never change because the node
+        table is append-only.
+        """
         self._check(operand)
+        root = operand.node
+        if root <= TRUE:
+            return 0
+        cached = self._size_cache.get(root)
+        if cached is not None:
+            self.stats.size.hits += 1
+            return cached
+        self.stats.size.misses += 1
         seen: Set[int] = set()
-        stack = [operand.node]
+        stack = [root]
         table = self._table
         while stack:
             node = stack.pop()
@@ -423,6 +526,8 @@ class BDDManager:
             seen.add(node)
             stack.append(table.low_of(node))
             stack.append(table.high_of(node))
+        self._bound(self._size_cache, self.stats.size)
+        self._size_cache[root] = len(seen)
         return len(seen)
 
     def size_bytes(self, operand: BDD) -> int:
@@ -445,10 +550,13 @@ class BDDManager:
             return frozenset()
         cached = self._support_cache.get(node)
         if cached is not None:
+            self.stats.support.hits += 1
             return cached
+        self.stats.support.misses += 1
         table = self._table
         var, low, high = table.triple(node)
         result = frozenset({var}) | self._support(low) | self._support(high)
+        self._bound(self._support_cache, self.stats.support)
         self._support_cache[node] = result
         return result
 
@@ -561,8 +669,14 @@ class BDDManager:
         return result
 
     def clear_caches(self) -> None:
-        """Drop operation caches (the node table itself is kept)."""
+        """Drop operation caches (the node table itself is kept).
+
+        Counters survive the clear — they describe cumulative work, not the
+        current cache contents.  The node-count memo is also dropped; it will
+        repopulate with identical values (node ids are immutable).
+        """
         self._apply_cache.clear()
         self._not_cache.clear()
         self._restrict_cache.clear()
         self._support_cache.clear()
+        self._size_cache.clear()

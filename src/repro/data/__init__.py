@@ -13,10 +13,14 @@ of insertions and deletions.  This package provides:
   optionally horizontally partitioned by a key attribute;
 * :class:`~repro.data.stream.UpdateStream` — ordered update streams with
   replay support;
+* :class:`~repro.data.batch.UpdateBatch` and
+  :class:`~repro.data.batch.BatchPolicy` — batches of updates as the
+  pipeline's first-class delta unit, plus the batching knobs;
 * :class:`~repro.data.window.SlidingWindow` — time-based soft-state expiry of
   base tuples (Section 3.1 / 4.3.3).
 """
 
+from repro.data.batch import BatchPolicy, UpdateBatch, group_by_tuple, split_runs
 from repro.data.tuples import Schema, Tuple
 from repro.data.update import Update, UpdateType
 from repro.data.relation import PartitionedRelation, Relation
@@ -24,6 +28,10 @@ from repro.data.stream import UpdateStream
 from repro.data.window import SlidingWindow, WindowExpiration
 
 __all__ = [
+    "BatchPolicy",
+    "UpdateBatch",
+    "group_by_tuple",
+    "split_runs",
     "Schema",
     "Tuple",
     "Update",

@@ -1,0 +1,211 @@
+"""Batches of updates — the first-class delta unit of the pipeline.
+
+The paper demonstrates the value of batching at exactly one point of the plan
+(MinShip's buffered shipping, Algorithm 3); this module generalises the idea
+to the *whole* pipeline.  An :class:`UpdateBatch` is an ordered sequence of
+updates treated as one delta:
+
+* **type runs** — the batch splits into maximal runs of consecutive
+  same-type updates (:func:`split_runs`).  Reordering *within* a run is safe
+  for every operator (insertions of distinct tuples never interact, and
+  same-tuple annotations merge through a commutative ``disjoin``), while the
+  relative order of an INS run and the DEL run that follows it must be
+  preserved — MinShip's lazy flush, for example, emits a DEL/INS pair whose
+  order is meaningful;
+* **per-key grouping** — within a run, updates of the same tuple are grouped
+  (:func:`group_by_tuple`) so an operator can merge their annotations with a
+  single disjoin chain and probe/emit once per key instead of once per tuple;
+* **coalescing** — :meth:`UpdateBatch.coalesced` performs that same-key
+  merge eagerly, producing a batch with at most one update per (run, tuple).
+
+:class:`BatchPolicy` is the knob surface: the maximum updates carried per
+injected message and the set of ports processed batch-wise.  The degenerate
+:meth:`BatchPolicy.tuple_at_a_time` policy reproduces the historical
+one-update-per-message pipeline exactly, which is what the batch-equivalence
+property tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
+
+from repro.data.tuples import Tuple
+from repro.data.update import Update
+
+__all__ = [
+    "UpdateBatch",
+    "BatchPolicy",
+    "split_runs",
+    "group_by_tuple",
+]
+
+
+def split_runs(updates: Iterable[Update]) -> List[PyTuple[bool, List[Update]]]:
+    """Split ``updates`` into maximal runs of consecutive same-type updates.
+
+    Returns ``[(is_insert, run), ...]`` preserving the original order.  The
+    run boundary is the only ordering constraint batch processing must honour:
+    an INS and a DEL of the same tuple must not commute.
+    """
+    runs: List[PyTuple[bool, List[Update]]] = []
+    current: Optional[List[Update]] = None
+    current_type: Optional[bool] = None
+    for update in updates:
+        if current is None or update.is_insert is not current_type:
+            current = [update]
+            current_type = update.is_insert
+            runs.append((current_type, current))
+        else:
+            current.append(update)
+    return runs
+
+
+def group_by_tuple(run: Iterable[Update]) -> Dict[Tuple, List[Update]]:
+    """Group a same-type run by payload tuple, preserving first-seen order.
+
+    (Python dicts preserve insertion order, which is what keeps batched
+    emission deterministic.)
+    """
+    groups: Dict[Tuple, List[Update]] = {}
+    for update in run:
+        groups.setdefault(update.tuple, []).append(update)
+    return groups
+
+
+@dataclass(frozen=True)
+class UpdateBatch(Sequence):
+    """An ordered batch of updates treated as one delta.
+
+    ``UpdateBatch`` is a :class:`~collections.abc.Sequence` of
+    :class:`~repro.data.update.Update`, so every consumer of
+    ``Sequence[Update]`` (the network, the WAL, the port handlers) accepts it
+    unchanged.
+    """
+
+    updates: PyTuple[Update, ...]
+
+    def __init__(self, updates: Iterable[Update]) -> None:
+        object.__setattr__(self, "updates", tuple(updates))
+
+    # -- Sequence protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return UpdateBatch(self.updates[index])
+        return self.updates[index]
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self.updates)
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def insert_count(self) -> int:
+        """Number of insertions carried."""
+        return sum(1 for update in self.updates if update.is_insert)
+
+    @property
+    def delete_count(self) -> int:
+        """Number of deletions carried."""
+        return len(self.updates) - self.insert_count
+
+    def runs(self) -> List[PyTuple[bool, List[Update]]]:
+        """The batch's maximal same-type runs (see :func:`split_runs`)."""
+        return split_runs(self.updates)
+
+    def coalesced(self, store) -> "UpdateBatch":
+        """Merge same-tuple updates within each type run into single updates.
+
+        Insertions of the same tuple merge their annotations through the
+        store's ``disjoin`` (alternative derivations), deletions likewise;
+        annotation-less duplicates collapse to one update.  The INS/DEL run
+        structure — the part of the ordering that carries meaning — is
+        preserved.
+        """
+        merged: List[Update] = []
+        for _, run in split_runs(self.updates):
+            for tuple_, items in group_by_tuple(run).items():
+                if len(items) == 1:
+                    merged.append(items[0])
+                    continue
+                annotations = [item.provenance for item in items]
+                if any(annotation is None for annotation in annotations):
+                    # Annotation-less duplicates (raw base injections) are
+                    # plain set-semantics repeats: keep the last one.
+                    merged.append(items[-1])
+                    continue
+                combined = annotations[0]
+                for annotation in annotations[1:]:
+                    combined = store.disjoin(combined, annotation)
+                merged.append(items[-1].with_provenance(combined))
+        return UpdateBatch(merged)
+
+    def chunks(self, max_batch: int) -> Iterator["UpdateBatch"]:
+        """Split into consecutive sub-batches of at most ``max_batch`` updates."""
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        for start in range(0, len(self.updates), max_batch):
+            yield UpdateBatch(self.updates[start : start + max_batch])
+
+    def __repr__(self) -> str:
+        return f"UpdateBatch({self.insert_count} INS, {self.delete_count} DEL)"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively the pipeline batches updates.
+
+    * ``max_batch`` — maximum updates per injected message (the executor
+      splits larger workload phases into chunks of this size per owner node);
+    * ``ports`` — the set of ports handled batch-wise at the nodes.  ``None``
+      batches every port; an explicit set restricts batching to those ports,
+      with the rest processed one update at a time (useful for ablations and
+      for the equivalence tests).
+    """
+
+    max_batch: int = 64
+    ports: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.ports is not None:
+            object.__setattr__(self, "ports", frozenset(self.ports))
+
+    @staticmethod
+    def tuple_at_a_time() -> "BatchPolicy":
+        """The historical pipeline: one update per message, no batch handling."""
+        return BatchPolicy(max_batch=1, ports=frozenset())
+
+    def batches_port(self, port: str) -> bool:
+        """Whether deliveries on ``port`` are processed as whole batches."""
+        return self.ports is None or port in self.ports
+
+    def injection_chunk(self, port: str) -> int:
+        """Updates per injected message for workload data entering ``port``."""
+        return self.max_batch if self.batches_port(port) else 1
+
+    def chunk(self, updates: Sequence[Update], port: str) -> Iterator[Sequence[Update]]:
+        """Split a workload batch into injectable chunks for ``port``."""
+        size = self.injection_chunk(port)
+        for start in range(0, len(updates), size):
+            yield updates[start : start + size]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description used in benchmark rows."""
+        if self.max_batch == 1 and self.ports == frozenset():
+            return "tuple-at-a-time"
+        scope = "all ports" if self.ports is None else ",".join(sorted(self.ports))
+        return f"batch<= {self.max_batch} ({scope})"

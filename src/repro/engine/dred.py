@@ -20,8 +20,10 @@ approaches the cost of recomputing the view from scratch: Figure 5 / Section
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.data.batch import BatchPolicy, UpdateBatch
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.engine.runtime import PORT_BASE, PORT_SEED, ProcessorNode
@@ -37,10 +39,39 @@ class DRedCoordinator:
         network: SimulatedNetwork,
         nodes: Sequence[ProcessorNode],
         partitioner: HashPartitioner,
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         self.network = network
         self.nodes = nodes
         self.partitioner = partitioner
+        self.batch_policy = batch_policy or BatchPolicy()
+
+    def _inject_grouped(
+        self,
+        update_type: UpdateType,
+        edges: Iterable[Tuple],
+        seeds: Iterable[Tuple],
+        edge_partition_attribute: str,
+        result_partition_attribute: str,
+        at_time: float,
+    ) -> int:
+        """Inject tuples at their owners, grouped per owner in policy-sized chunks."""
+        injected = 0
+        edges_by_owner: Dict[int, List[Update]] = defaultdict(list)
+        for edge in edges:
+            owner = self.partitioner.node_for(edge[edge_partition_attribute])
+            edges_by_owner[owner].append(Update(update_type, edge, timestamp=at_time))
+        seeds_by_owner: Dict[int, List[Update]] = defaultdict(list)
+        for seed in seeds:
+            owner = self.partitioner.node_for(seed[result_partition_attribute])
+            seeds_by_owner[owner].append(Update(update_type, seed, timestamp=at_time))
+        for port, by_owner in ((PORT_BASE, edges_by_owner), (PORT_SEED, seeds_by_owner)):
+            for owner, updates in by_owner.items():
+                batch = UpdateBatch(updates)
+                for chunk in batch.chunks(self.batch_policy.injection_chunk(port)):
+                    self.network.inject(owner, port, chunk, at_time)
+                injected += len(updates)
+        return injected
 
     # -- phase 1: over-deletion ----------------------------------------------------
     def inject_deletions(
@@ -52,16 +83,14 @@ class DRedCoordinator:
         at_time: float,
     ) -> None:
         """Inject base deletions at their owner nodes (the over-deletion seeds)."""
-        for edge in edge_deletions:
-            owner = self.partitioner.node_for(edge[edge_partition_attribute])
-            self.network.inject(
-                owner, PORT_BASE, [Update(UpdateType.DEL, edge, timestamp=at_time)], at_time
-            )
-        for seed in seed_deletions:
-            owner = self.partitioner.node_for(seed[result_partition_attribute])
-            self.network.inject(
-                owner, PORT_SEED, [Update(UpdateType.DEL, seed, timestamp=at_time)], at_time
-            )
+        self._inject_grouped(
+            UpdateType.DEL,
+            edge_deletions,
+            seed_deletions,
+            edge_partition_attribute,
+            result_partition_attribute,
+            at_time,
+        )
 
     # -- phase 2: re-derivation --------------------------------------------------------
     def rederive(
@@ -81,17 +110,11 @@ class DRedCoordinator:
         """
         for node in self.nodes:
             node.join.clear_left()
-        reinjected = 0
-        for edge in live_edges:
-            owner = self.partitioner.node_for(edge[edge_partition_attribute])
-            self.network.inject(
-                owner, PORT_BASE, [Update(UpdateType.INS, edge, timestamp=at_time)], at_time
-            )
-            reinjected += 1
-        for seed in live_seeds:
-            owner = self.partitioner.node_for(seed[result_partition_attribute])
-            self.network.inject(
-                owner, PORT_SEED, [Update(UpdateType.INS, seed, timestamp=at_time)], at_time
-            )
-            reinjected += 1
-        return reinjected
+        return self._inject_grouped(
+            UpdateType.INS,
+            live_edges,
+            live_seeds,
+            edge_partition_attribute,
+            result_partition_attribute,
+            at_time,
+        )

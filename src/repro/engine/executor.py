@@ -11,8 +11,10 @@ can compare against ground truth.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from repro.data.batch import BatchPolicy, UpdateBatch
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.engine.dred import DRedCoordinator
@@ -44,10 +46,12 @@ class DistributedViewExecutor:
         max_events: int = 5_000_000,
         max_wall_seconds: Optional[float] = None,
         experiment: str = "experiment",
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         self.plan = plan
         self.strategy = strategy
         self.store = strategy.create_store()
+        self.batch_policy = batch_policy or BatchPolicy()
         self.partitioner = partitioner or HashPartitioner(node_count)
         if self.partitioner.node_count != node_count:
             raise ValueError("partitioner node_count must match executor node_count")
@@ -57,13 +61,16 @@ class DistributedViewExecutor:
             processing_cost=processing_cost,
             max_events=max_events,
             max_wall_seconds=max_wall_seconds,
+            batch_policy=self.batch_policy,
         )
         self.nodes: List[ProcessorNode] = [
             self._make_node(node_id) for node_id in range(node_count)
         ]
         for node in self.nodes:
             self.network.register(node.node_id, node.handle)
-        self._dred = DRedCoordinator(self.network, self.nodes, self.partitioner)
+        self._dred = DRedCoordinator(
+            self.network, self.nodes, self.partitioner, batch_policy=self.batch_policy
+        )
         #: Live base state, needed by DRed re-derivation and by ground-truth checks.
         self.live_edges: Set[Tuple] = set()
         self.live_seeds: Set[Tuple] = set()
@@ -72,7 +79,13 @@ class DistributedViewExecutor:
     def _make_node(self, node_id: int) -> ProcessorNode:
         """Build one processor node (also used to rebuild a node after a crash)."""
         return ProcessorNode(
-            node_id, self.plan, self.strategy, self.store, self.partitioner, self.network
+            node_id,
+            self.plan,
+            self.strategy,
+            self.store,
+            self.partitioner,
+            self.network,
+            batch_policy=self.batch_policy,
         )
 
     # -- workload API -----------------------------------------------------------------
@@ -128,7 +141,13 @@ class DistributedViewExecutor:
 
         self._inject_insertions(edge_inserts, seed_inserts, phase_start)
         if self.strategy.uses_dred and (edge_deletes or seed_deletes):
-            self._run_dred_deletions(edge_deletes, seed_deletes, phase_start)
+            self._run_dred_deletions(
+                edge_deletes,
+                seed_deletes,
+                phase_start,
+                phase_edge_inserts=edge_inserts,
+                phase_seed_inserts=seed_inserts,
+            )
         else:
             self._inject_deletions(edge_deletes, seed_deletes, phase_start)
             self._run_to_quiescence()
@@ -138,39 +157,56 @@ class DistributedViewExecutor:
         self.metrics.add_phase(phase)
         return phase
 
+    def _inject_batches(
+        self,
+        update_type: UpdateType,
+        edges: Sequence[Tuple],
+        seeds: Sequence[Tuple],
+        at_time: float,
+    ) -> None:
+        """Inject workload tuples grouped by owner node in policy-sized batches.
+
+        Grouping is what makes the delta pipeline batch-first end to end: the
+        owner's ``base`` handler receives the whole chunk, annotates and
+        routes it with one message per destination, and (for deletions under
+        a provenance strategy) issues one coalesced purge multicast per chunk
+        instead of one per tuple.
+        """
+        edges_by_owner: Dict[int, List[Update]] = defaultdict(list)
+        for edge in edges:
+            owner = self.partitioner.node_for(edge.partition_value)
+            edges_by_owner[owner].append(Update(update_type, edge, timestamp=at_time))
+        seeds_by_owner: Dict[int, List[Update]] = defaultdict(list)
+        for seed in seeds:
+            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
+            seeds_by_owner[owner].append(Update(update_type, seed, timestamp=at_time))
+        for port, by_owner in ((PORT_BASE, edges_by_owner), (PORT_SEED, seeds_by_owner)):
+            for owner, updates in by_owner.items():
+                batch = UpdateBatch(updates)
+                for chunk in batch.chunks(self.batch_policy.injection_chunk(port)):
+                    self.network.inject(owner, port, chunk, at_time)
+
     def _inject_insertions(
         self, edge_inserts: Sequence[Tuple], seed_inserts: Sequence[Tuple], at_time: float
     ) -> None:
-        for edge in edge_inserts:
-            owner = self.partitioner.node_for(edge.partition_value)
-            self.network.inject(
-                owner, PORT_BASE, [Update(UpdateType.INS, edge, timestamp=at_time)], at_time
-            )
-        for seed in seed_inserts:
-            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
-            self.network.inject(
-                owner, PORT_SEED, [Update(UpdateType.INS, seed, timestamp=at_time)], at_time
-            )
+        self._inject_batches(UpdateType.INS, edge_inserts, seed_inserts, at_time)
         if edge_inserts or seed_inserts:
             self._run_to_quiescence()
 
     def _inject_deletions(
         self, edge_deletes: Sequence[Tuple], seed_deletes: Sequence[Tuple], at_time: float
     ) -> None:
-        at_time = self.network.now
-        for edge in edge_deletes:
-            owner = self.partitioner.node_for(edge.partition_value)
-            self.network.inject(
-                owner, PORT_BASE, [Update(UpdateType.DEL, edge, timestamp=at_time)], at_time
-            )
-        for seed in seed_deletes:
-            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
-            self.network.inject(
-                owner, PORT_SEED, [Update(UpdateType.DEL, seed, timestamp=at_time)], at_time
-            )
+        self._inject_batches(
+            UpdateType.DEL, edge_deletes, seed_deletes, self.network.now
+        )
 
     def _run_dred_deletions(
-        self, edge_deletes: Sequence[Tuple], seed_deletes: Sequence[Tuple], at_time: float
+        self,
+        edge_deletes: Sequence[Tuple],
+        seed_deletes: Sequence[Tuple],
+        at_time: float,
+        phase_edge_inserts: Sequence[Tuple] = (),
+        phase_seed_inserts: Sequence[Tuple] = (),
     ) -> None:
         # Phase 1: over-delete to quiescence (requires a global barrier).
         self._dred.inject_deletions(
@@ -181,9 +217,12 @@ class DistributedViewExecutor:
             at_time=self.network.now,
         )
         self._run_to_quiescence()
-        # Phase 2: re-derive from the live base data.
-        remaining_edges = self.live_edges - set(edge_deletes)
-        remaining_seeds = self.live_seeds - set(seed_deletes)
+        # Phase 2: re-derive from the live base data.  A mixed phase's own
+        # insertions are already applied but not yet folded into
+        # ``live_edges``/``live_seeds`` (that happens at phase end), so they
+        # must count as live here or re-derivation misses them.
+        remaining_edges = (self.live_edges | set(phase_edge_inserts)) - set(edge_deletes)
+        remaining_seeds = (self.live_seeds | set(phase_seed_inserts)) - set(seed_deletes)
         self._dred.rederive(
             remaining_edges,
             remaining_seeds,

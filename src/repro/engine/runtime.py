@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.data.batch import BatchPolicy, UpdateBatch, split_runs
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.data.window import SlidingWindow
@@ -57,6 +58,9 @@ PORT_EDGE = "edge"
 PORT_VIEW = "view"
 PORT_PURGE = "purge"
 
+#: Per-port batch memo sentinel ("annotation not restricted yet").
+_UNFILTERED = object()
+
 
 class ProcessorNode:
     """One simulated query-processor node executing the distributed plan."""
@@ -69,6 +73,7 @@ class ProcessorNode:
         store: ProvenanceStore,
         partitioner: HashPartitioner,
         network: SimulatedNetwork,
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         self.node_id = node_id
         self.plan = plan
@@ -76,6 +81,7 @@ class ProcessorNode:
         self.store = store
         self.partitioner = partitioner
         self.network = network
+        self.batch_policy = batch_policy or BatchPolicy()
 
         edge_window = SlidingWindow(plan.edge_window) if plan.edge_window else None
         self.join = PipelinedHashJoin(
@@ -120,20 +126,35 @@ class ProcessorNode:
 
     # -- network entry point -------------------------------------------------------
     def handle(self, port: str, updates: Sequence[Update], now: float) -> None:
-        """Dispatch a delivered batch of updates to the appropriate port handler."""
-        for update in updates:
-            if port == PORT_BASE:
-                self._handle_base(update, now)
-            elif port == PORT_SEED:
-                self._handle_seed(update, now)
-            elif port == PORT_EDGE:
-                self._handle_edge(update, now)
-            elif port == PORT_VIEW:
-                self._handle_view(update, now)
-            elif port == PORT_PURGE:
-                self._handle_purge(update, now)
-            else:
-                raise ValueError(f"unknown port {port!r} on node {self.node_id}")
+        """Dispatch a delivered batch of updates to the appropriate port handler.
+
+        Ports the batch policy enables are handled batch-wise — one filter
+        pass, grouped operator processing, destination-grouped emission, one
+        coalesced purge multicast per deletion batch.  Disabled ports fall
+        back to singleton batches, which reproduces tuple-at-a-time execution
+        exactly.
+        """
+        if not updates:
+            return
+        if self.batch_policy.batches_port(port):
+            self._dispatch(port, updates, now)
+        else:
+            for update in updates:
+                self._dispatch(port, (update,), now)
+
+    def _dispatch(self, port: str, updates: Sequence[Update], now: float) -> None:
+        if port == PORT_BASE:
+            self._handle_base_batch(updates, now)
+        elif port == PORT_SEED:
+            self._handle_seed_batch(updates, now)
+        elif port == PORT_EDGE:
+            self._handle_edge_batch(updates, now)
+        elif port == PORT_VIEW:
+            self._handle_view_batch(updates, now)
+        elif port == PORT_PURGE:
+            self._handle_purge_batch(updates, now)
+        else:
+            raise ValueError(f"unknown port {port!r} on node {self.node_id}")
 
     # -- base-tuple provenance variables -------------------------------------------------
     def _base_variable_key(self, tuple_: Tuple) -> object:
@@ -154,64 +175,137 @@ class ProcessorNode:
         return self.store.one()
 
     # -- base relation (edge) updates -------------------------------------------------
-    def _handle_base(self, update: Update, now: float) -> None:
-        """A base edge update arriving at its owner node (the DistributedScan)."""
-        if update.is_insert:
-            annotated = update.with_provenance(self._base_annotation_for(update.tuple))
-            self._route_base_insert(annotated, now)
-            return
-        if self.strategy.uses_provenance:
-            self._broadcast_purge(update, now)
-        else:
-            # DRed over-deletion: the deletion follows the same routes as an insert.
-            self._route_base_insert(update.with_provenance(None), now)
+    def _handle_base_batch(self, updates: Sequence[Update], now: float) -> None:
+        """A base edge delta batch arriving at its owner node (the DistributedScan).
 
-    def _route_base_insert(self, update: Update, now: float) -> None:
-        """Send the base-case view tuple and the join copy of the edge to their owners."""
-        base_tuple = self.plan.base_tuple_for(update.tuple)
-        if base_tuple is not None:
-            view_update = Update(
-                update.type, base_tuple, provenance=update.provenance, timestamp=now
+        Insertion runs are annotated and routed with one message per
+        destination port; deletion runs turn into one coalesced purge
+        multicast (provenance strategies) or follow the insert routes (DRed
+        over-deletion).
+        """
+        for is_insert, run in split_runs(updates):
+            if is_insert:
+                annotated = [
+                    update.with_provenance(self._base_annotation_for(update.tuple))
+                    for update in run
+                ]
+                self._route_base_batch(annotated, now)
+            elif self.strategy.uses_provenance:
+                self._broadcast_purge_batch(run, now)
+            else:
+                # DRed over-deletion: deletions follow the same routes as inserts.
+                self._route_base_batch(
+                    [update.with_provenance(None) for update in run], now
+                )
+
+    def _route_base_batch(self, updates: Sequence[Update], now: float) -> None:
+        """Send base-case view tuples and edge join copies, grouped by owner."""
+        view_by_destination: Dict[int, List[Update]] = defaultdict(list)
+        edge_by_destination: Dict[int, List[Update]] = defaultdict(list)
+        for update in updates:
+            base_tuple = self.plan.base_tuple_for(update.tuple)
+            if base_tuple is not None:
+                view_update = Update(
+                    update.type, base_tuple, provenance=update.provenance, timestamp=now
+                )
+                destination = self.partitioner.node_for(
+                    self.plan.result_partition_value(base_tuple)
+                )
+                view_by_destination[destination].append(view_update)
+            join_destination = self.partitioner.node_for(
+                self.plan.edge_join_value(update.tuple)
             )
-            destination = self.partitioner.node_for(self.plan.result_partition_value(base_tuple))
-            self._send(destination, PORT_VIEW, [view_update], now)
-        join_destination = self.partitioner.node_for(self.plan.edge_join_value(update.tuple))
-        self._send(join_destination, PORT_EDGE, [update], now)
+            edge_by_destination[join_destination].append(update)
+        for destination, batch in view_by_destination.items():
+            self._send(destination, PORT_VIEW, batch, now)
+        for destination, batch in edge_by_destination.items():
+            self._send(destination, PORT_EDGE, batch, now)
 
     # -- seeds (base-case view tuples provided directly, e.g. region seeds) -------------
-    def _handle_seed(self, update: Update, now: float) -> None:
-        if update.is_insert:
-            view_update = update.with_provenance(self._base_annotation_for(update.tuple))
-            destination = self.partitioner.node_for(
-                self.plan.result_partition_value(update.tuple)
-            )
-            self._send(destination, PORT_VIEW, [view_update], now)
-            return
-        if self.strategy.uses_provenance:
-            self._broadcast_purge(update, now)
-        else:
-            destination = self.partitioner.node_for(
-                self.plan.result_partition_value(update.tuple)
-            )
-            self._send(destination, PORT_VIEW, [update.with_provenance(None)], now)
+    def _handle_seed_batch(self, updates: Sequence[Update], now: float) -> None:
+        for is_insert, run in split_runs(updates):
+            if is_insert:
+                by_destination: Dict[int, List[Update]] = defaultdict(list)
+                for update in run:
+                    view_update = update.with_provenance(
+                        self._base_annotation_for(update.tuple)
+                    )
+                    destination = self.partitioner.node_for(
+                        self.plan.result_partition_value(update.tuple)
+                    )
+                    by_destination[destination].append(view_update)
+                for destination, batch in by_destination.items():
+                    self._send(destination, PORT_VIEW, batch, now)
+            elif self.strategy.uses_provenance:
+                self._broadcast_purge_batch(run, now)
+            else:
+                by_destination = defaultdict(list)
+                for update in run:
+                    destination = self.partitioner.node_for(
+                        self.plan.result_partition_value(update.tuple)
+                    )
+                    by_destination[destination].append(update.with_provenance(None))
+                for destination, batch in by_destination.items():
+                    self._send(destination, PORT_VIEW, batch, now)
 
     # -- join input (edge side) ------------------------------------------------------------
-    def _handle_edge(self, update: Update, now: float) -> None:
-        update = self._filter_stale(update)
-        if update is None:
+    def _handle_edge_batch(self, updates: Sequence[Update], now: float) -> None:
+        filtered = self._filter_stale_batch(updates)
+        if not filtered:
             return
-        joined = self.join.process_left(update)
+        joined = self.join.process_left_batch(filtered)
         self._ship_view_updates(joined, now)
 
     # -- view / fixpoint input ----------------------------------------------------------------
-    def _handle_view(self, update: Update, now: float) -> None:
-        update = self._filter_stale(update)
-        if update is None:
+    def _handle_view_batch(self, updates: Sequence[Update], now: float) -> None:
+        filtered = self._filter_stale_batch(updates)
+        if not filtered:
             return
-        changed = self.fixpoint.process(update)
-        for delta in changed:
-            joined = self.join.process_right(delta)
-            self._ship_view_updates(joined, now)
+        changed = self.fixpoint.process_batch(filtered)
+        if not changed:
+            return
+        joined = self.join.process_right_batch(changed)
+        self._ship_view_updates(joined, now)
+
+    def _filter_stale_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """One tombstone-restriction pass over a whole delivered batch.
+
+        Distinct updates frequently share the same canonical annotation, so
+        the per-batch memo turns repeated restrictions into dictionary hits.
+        """
+        if not self._deleted_base_keys or not self.strategy.uses_provenance:
+            return list(updates)
+        filtered: List[Update] = []
+        #: annotation -> surviving annotation (None = dropped entirely).
+        memo: Dict[object, object] = {}
+        for update in updates:
+            if not update.is_insert or update.provenance is None:
+                filtered.append(update)
+                continue
+            annotation = update.provenance
+            try:
+                cached = memo.get(annotation, _UNFILTERED)
+                cacheable = True
+            except TypeError:  # unhashable annotation: restrict directly
+                cached = _UNFILTERED
+                cacheable = False
+            if cached is _UNFILTERED:
+                restricted = self.store.remove_base(annotation, self._deleted_base_keys)
+                if self.store.is_zero(restricted):
+                    cached = None
+                elif self.store.equals(restricted, annotation):
+                    cached = annotation
+                else:
+                    cached = restricted
+                if cacheable:
+                    memo[annotation] = cached
+            if cached is None:
+                continue
+            if cached is annotation:
+                filtered.append(update)
+            else:
+                filtered.append(update.with_provenance(cached))
+        return filtered
 
     def _filter_stale(self, update: Update) -> Optional[Update]:
         """Drop deleted base variables from in-flight insertion annotations.
@@ -236,47 +330,60 @@ class ProcessorNode:
         return update.with_provenance(restricted)
 
     # -- broadcast deletions ----------------------------------------------------------------------
-    def _broadcast_purge(self, update: Update, now: float) -> None:
-        """Announce the deletion of a base tuple to every node (including ourselves).
+    def _broadcast_purge_batch(self, deletions: Sequence[Update], now: float) -> None:
+        """Announce a batch of base-tuple deletions to every node in one multicast.
 
-        The purge message names the provenance *variable* being retired (the
-        tuple key plus its incarnation version) in its ``provenance`` field, so
-        receivers zero out exactly the deleted incarnation.
+        Each purge update names the provenance *variable* being retired (the
+        tuple key plus its incarnation version) in its ``provenance`` field,
+        so receivers zero out exactly the deleted incarnations.  The whole
+        deletion batch rides one message per peer — N-1 messages per *batch*
+        instead of N-1 per tuple — and receivers purge all the retired
+        variables in a single restriction pass.
         """
-        variable_key = self._retire_base_variable(update.tuple)
-        purge_update = Update(
-            UpdateType.DEL, update.tuple, provenance=variable_key, timestamp=now
-        )
-        # A purge message carries the tuple plus a small variable identifier;
-        # it is sized explicitly because its "provenance" is a variable name,
-        # not an annotation the store can measure.
-        purge_size = purge_update.tuple.size_bytes() + 9
+        purges: List[Update] = []
+        purge_size = 0
+        for update in deletions:
+            variable_key = self._retire_base_variable(update.tuple)
+            purges.append(
+                Update(UpdateType.DEL, update.tuple, provenance=variable_key, timestamp=now)
+            )
+            # A purge update carries the tuple plus a small variable
+            # identifier; it is sized explicitly because its "provenance" is
+            # a variable name, not an annotation the store can measure.
+            purge_size += update.tuple.size_bytes() + 9
         for destination in range(self.network.node_count):
             if destination == self.node_id:
                 continue
             self.network.send(
-                self.node_id, destination, PORT_PURGE, [purge_update], purge_size, at_time=now
+                self.node_id, destination, PORT_PURGE, purges, purge_size, at_time=now
             )
-        self._handle_purge(purge_update, now)
+        self._handle_purge_batch(purges, now)
 
-    def _handle_purge(self, update: Update, now: float) -> None:
-        """Zero out the deleted base tuple's variable in every local operator."""
-        variable_key = update.provenance
-        if variable_key is None:
-            variable_key = (update.tuple.key, 0)
-        base_keys = [variable_key]
-        self._deleted_base_keys.add(variable_key)
+    def _handle_purge_batch(self, updates: Sequence[Update], now: float) -> None:
+        """Zero out all the deleted base variables of a purge batch at once.
+
+        Every operator takes the combined key list, so each stored annotation
+        is restricted once per purge *batch* rather than once per deleted
+        tuple.
+        """
+        base_keys: List[object] = []
+        for update in updates:
+            variable_key = update.provenance
+            if variable_key is None:
+                variable_key = (update.tuple.key, 0)
+            base_keys.append(variable_key)
+        self._deleted_base_keys.update(base_keys)
         self.join.purge_base(base_keys)
         self.fixpoint.purge_base(base_keys)
         released = self.ship.purge_base(base_keys)
         self._route_view_updates(released, now)
 
     # -- shipping helpers ------------------------------------------------------------------------------
-    def _ship_view_updates(self, updates: Iterable[Update], now: float) -> None:
+    def _ship_view_updates(self, updates: Sequence[Update], now: float) -> None:
         """Push join outputs through (Min)Ship and route whatever it releases."""
-        released: List[Update] = []
-        for update in updates:
-            released.extend(self.ship.process(update))
+        if not updates:
+            return
+        released = self.ship.process_batch(updates)
         self._route_view_updates(released, now)
 
     def flush_ship(self, now: float) -> int:
@@ -286,6 +393,14 @@ class ProcessorNode:
         return len(released)
 
     def _route_view_updates(self, updates: Iterable[Update], now: float) -> None:
+        """Group outgoing view updates per destination; one message each.
+
+        With batching enabled the destination batch is coalesced first:
+        same-tuple updates within a type run merge their annotations, so a
+        tuple derived several ways in one delta crosses the wire as a single
+        update carrying the pre-grouped (disjoined) annotation.
+        """
+        coalesce = self.batch_policy.batches_port(PORT_VIEW)
         by_destination: Dict[int, List[Update]] = defaultdict(list)
         for update in updates:
             destination = self.partitioner.node_for(
@@ -293,6 +408,8 @@ class ProcessorNode:
             )
             by_destination[destination].append(update)
         for destination, batch in by_destination.items():
+            if coalesce and len(batch) > 1:
+                batch = list(UpdateBatch(batch).coalesced(self.store))
             self._send(destination, PORT_VIEW, batch, now)
 
     def _send(self, destination: int, port: str, updates: Sequence[Update], now: float) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.data.batch import BatchPolicy
 from repro.data.update import Update
 from repro.engine.executor import DistributedViewExecutor
 from repro.engine.plan import RecursiveViewPlan
@@ -173,6 +174,7 @@ def fault_tolerant_executor(
     max_events: int = 5_000_000,
     max_wall_seconds: Optional[float] = None,
     experiment: str = "experiment",
+    batch_policy: Optional[BatchPolicy] = None,
 ) -> FaultTolerantExecutor:
     """Convenience constructor mirroring :func:`repro.queries.builder.build_executor`."""
     if isinstance(strategy, str):
@@ -192,4 +194,5 @@ def fault_tolerant_executor(
         max_events=max_events,
         max_wall_seconds=max_wall_seconds,
         experiment=experiment,
+        batch_policy=batch_policy,
     )

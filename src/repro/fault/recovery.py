@@ -36,6 +36,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.data.batch import UpdateBatch
 from repro.data.update import Update, UpdateType
 from repro.engine.runtime import PORT_BASE, PORT_PURGE, PORT_SEED
 from repro.net.message import Message
@@ -145,25 +146,17 @@ class RecoveryManager(FaultListener):
 
         # The node's own sub-network re-pushes its live base data (as of the
         # crash) with the bumped incarnation versions; data that arrived
-        # during downtime follows as held injections.
+        # during downtime follows as held injections.  Reinjection uses the
+        # executor's batch policy, same as the normal workload path.
         live_edges, live_seeds, _ = executor.wal.live_base_state(node_id)
         replayed = 0
-        if live_edges:
-            executor.network.inject(
-                node_id,
-                PORT_BASE,
-                [Update(UpdateType.INS, t, timestamp=now) for t in live_edges],
-                at_time=now,
-            )
-            replayed += len(live_edges)
-        if live_seeds:
-            executor.network.inject(
-                node_id,
-                PORT_SEED,
-                [Update(UpdateType.INS, t, timestamp=now) for t in live_seeds],
-                at_time=now,
-            )
-            replayed += len(live_seeds)
+        for port, tuples in ((PORT_BASE, live_edges), (PORT_SEED, live_seeds)):
+            if not tuples:
+                continue
+            batch = UpdateBatch(Update(UpdateType.INS, t, timestamp=now) for t in tuples)
+            for chunk in batch.chunks(executor.batch_policy.injection_chunk(port)):
+                executor.network.inject(node_id, port, chunk, at_time=now)
+            replayed += len(batch)
         self.recovery_log.append(
             {
                 "node": node_id,

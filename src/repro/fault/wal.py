@@ -90,7 +90,15 @@ class UpdateLog:
     def append(
         self, node_id: int, port: str, updates: Sequence[Update], time: float
     ) -> int:
-        """Record one delivered batch; returns its (monotone) sequence number."""
+        """Record one delivered delta batch; returns its (monotone) sequence number.
+
+        The unit of logging is the delivered *batch* (one network delivery,
+        possibly coalesced from several wire messages), mirroring the
+        batch-first pipeline: replay re-presents the same batches to the
+        node's batch-wise handlers, and the live-base tracker folds a whole
+        batch in one pass.  Any ``Sequence[Update]`` — including
+        :class:`~repro.data.batch.UpdateBatch` — is accepted.
+        """
         log = self._log(node_id)
         sequence = log.next_sequence
         log.next_sequence += 1

@@ -12,6 +12,7 @@ from repro.harness.experiments import (
     run_ablation_centralized_maintenance,
     run_ablation_minship_batch,
     run_ablation_provenance_encoding,
+    run_batch_throughput,
     run_churn_recovery,
     run_figure7,
     run_figure8,
@@ -39,6 +40,7 @@ __all__ = [
     "run_ablation_minship_batch",
     "run_ablation_provenance_encoding",
     "run_ablation_centralized_maintenance",
+    "run_batch_throughput",
     "run_churn_recovery",
     "format_rows",
     "rows_to_csv",

@@ -34,6 +34,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         experiments.run_churn_recovery,
         "node crashes mid-stream: recovery-policy comparison",
     ),
+    "batch-throughput": (
+        experiments.run_batch_throughput,
+        "batch-first pipeline vs tuple-at-a-time (BDD ops, purge messages)",
+    ),
     "ablation-minship": (experiments.run_ablation_minship_batch, "MinShip batch-size sweep"),
     "ablation-encoding": (
         experiments.run_ablation_provenance_encoding,
@@ -66,6 +70,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv-dir", type=Path, default=None, help="also write one CSV file per experiment"
     )
+    batching = parser.add_argument_group("update batching")
+    batching.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max updates per injected/coalesced message (1 = tuple-at-a-time)",
+    )
+    batching.add_argument(
+        "--batch-ports",
+        type=str,
+        default=None,
+        metavar="PORT[,PORT...]",
+        help=(
+            "restrict batch-wise handling to these ports "
+            "(base, seed, edge, view, purge); default: all ports"
+        ),
+    )
+    batching.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="run the historical tuple-at-a-time pipeline (same as --batch-size 1)",
+    )
     churn = parser.add_argument_group("churn experiment")
     churn.add_argument(
         "--churn-cycles",
@@ -96,6 +123,21 @@ def _select_config(args: argparse.Namespace) -> ExperimentConfig:
     else:
         config = DEFAULT_CONFIG
     overrides = {}
+    if args.no_batching:
+        overrides["batch_size"] = 1
+    elif args.batch_size is not None:
+        if args.batch_size < 1:
+            raise SystemExit("--batch-size must be >= 1")
+        overrides["batch_size"] = args.batch_size
+    if args.batch_ports is not None:
+        ports = tuple(port.strip() for port in args.batch_ports.split(",") if port.strip())
+        known = {"base", "seed", "edge", "view", "purge"}
+        unknown = [port for port in ports if port not in known]
+        if unknown:
+            raise SystemExit(
+                f"unknown port(s) {', '.join(unknown)}; choose from {', '.join(sorted(known))}"
+            )
+        overrides["batch_ports"] = ports
     if args.churn_cycles is not None:
         overrides["churn_cycles"] = args.churn_cycles
     if args.churn_downtime is not None:

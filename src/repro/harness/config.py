@@ -13,7 +13,7 @@ preserved.  ``DEFAULT_CONFIG`` is what the ``benchmarks/`` suite runs;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -62,12 +62,22 @@ class ExperimentConfig:
     churn_downtime: float = 0.3
     #: Deliveries between periodic checkpoints under checkpoint+replay.
     churn_checkpoint_interval: int = 20
+    #: Maximum updates per injected/coalesced message (1 = tuple-at-a-time).
+    batch_size: int = 64
+    #: Ports handled batch-wise at the nodes; ``None`` batches every port.
+    batch_ports: Optional[Tuple[str, ...]] = None
+    #: Base-deletion fraction used by the batch-throughput experiment (the
+    #: figure-12 topology with a figure-8-style deletion ratio).
+    batch_deletion_ratio: float = 0.4
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""
+        batching = (
+            f"batch<= {self.batch_size}" if self.batch_size > 1 else "tuple-at-a-time"
+        )
         return (
             f"{self.node_count} processors, {self.nodes_per_stub} nodes/stub, "
-            f"seed={self.seed}"
+            f"{batching}, seed={self.seed}"
         )
 
 

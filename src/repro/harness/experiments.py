@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines.centralized import CentralizedRecursiveEvaluator
 from repro.baselines.networkx_ref import reachable_pairs
+from repro.data.batch import BatchPolicy
 from repro.engine.executor import DistributedViewExecutor
 from repro.engine.strategy import ExecutionStrategy
 from repro.fault import RecoveryPolicy, fault_tolerant_executor
@@ -79,8 +80,20 @@ def _topology(config: ExperimentConfig, dense: bool = True):
     )
 
 
+def _batch_policy(config: ExperimentConfig) -> BatchPolicy:
+    """The batching knobs of ``config`` as a :class:`BatchPolicy`."""
+    if config.batch_size <= 1:
+        return BatchPolicy.tuple_at_a_time()
+    ports = frozenset(config.batch_ports) if config.batch_ports is not None else None
+    return BatchPolicy(max_batch=config.batch_size, ports=ports)
+
+
 def _executor(
-    plan, scheme: str, config: ExperimentConfig, node_count: Optional[int] = None
+    plan,
+    scheme: str,
+    config: ExperimentConfig,
+    node_count: Optional[int] = None,
+    batch_policy: Optional[BatchPolicy] = None,
 ) -> DistributedViewExecutor:
     return build_executor(
         plan,
@@ -89,6 +102,7 @@ def _executor(
         max_events=config.max_events,
         max_wall_seconds=config.max_wall_seconds,
         experiment=plan.name,
+        batch_policy=batch_policy or _batch_policy(config),
     )
 
 
@@ -741,3 +755,79 @@ def run_ablation_centralized_maintenance(
             "view_size": len(recomputed),
         },
     ]
+
+
+def run_batch_throughput(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    schemes: Sequence[str] = ("Absorption Lazy", "Absorption Eager"),
+) -> List[Row]:
+    """Batch-first pipeline vs tuple-at-a-time on the figure-11/12 workload.
+
+    Runs each scheme twice over the largest figure-11/12 dense topology —
+    once with the configured batch policy, once with the historical
+    one-update-per-message pipeline — inserting every link (the figure-11
+    workload) and then deleting ``config.batch_deletion_ratio`` of them (the
+    figure-12 topology at a figure-8-style deletion ratio).  Reported per
+    run, for the *deletion* phase (the maintenance phase figure 12 reports):
+
+    * ``bdd_apply_ops`` — BDD apply work: binary-apply plus restriction
+      steps performed by the shared manager (restriction is the
+      zero-out-the-variable apply of Section 4);
+    * ``purge_messages`` — purge-port wire messages (the broadcast
+      deletion traffic batching coalesces);
+    * ``messages`` / ``communication_MB`` / ``wall_seconds`` / ``view_size``.
+
+    The paired rows are what the batch-throughput benchmark asserts over:
+    >= 2x fewer BDD apply ops and purge messages with batching on, with
+    identical final views.
+    """
+    budget = max(config.link_budgets)
+    topology = topology_with_link_budget(budget, dense=True, seed=config.seed)
+    links = topology.link_tuples()
+    deletions = deletion_sample(links, config.batch_deletion_ratio, seed=config.seed)
+    policies = (
+        ("batched", _batch_policy(config)),
+        ("tuple-at-a-time", BatchPolicy.tuple_at_a_time()),
+    )
+    rows: List[Row] = []
+    for scheme in schemes:
+        for pipeline, policy in policies:
+            executor = _executor(
+                reachability_plan(), scheme, config, batch_policy=policy
+            )
+            row = _base_row(
+                "batch-throughput",
+                scheme,
+                pipeline=pipeline,
+                links=len(links),
+                deletions=len(deletions),
+            )
+            wall_start = time.perf_counter()
+            try:
+                executor.insert_edges(links, label="preload")
+                before = executor.store.cache_stats()
+                phase = executor.delete_edges(deletions, label="delete")
+            except SimulationBudgetExceeded:
+                rows.append(_censored_row(row, executor))
+                continue
+            after = executor.store.cache_stats()
+            stats = executor.network.stats
+            rows.append(
+                _metric_row(
+                    row,
+                    per_tuple_provenance=phase.per_tuple_provenance_bytes,
+                    communication_mb=phase.communication_mb,
+                    state_mb=phase.state_mb,
+                    convergence_s=phase.convergence_time_s,
+                    bdd_apply_ops=(
+                        (after["apply_calls"] - before["apply_calls"])
+                        + (after["restrict_calls"] - before["restrict_calls"])
+                    ),
+                    purge_messages=stats.message_counts_by_port.get("purge", 0),
+                    messages=stats.total_messages,
+                    coalesced_deliveries=executor.network.coalesced_deliveries,
+                    wall_seconds=round(time.perf_counter() - wall_start, 3),
+                    view_size=phase.view_size,
+                )
+            )
+    return rows

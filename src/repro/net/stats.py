@@ -38,7 +38,12 @@ class NetworkStats:
     provenance_annotations: int = 0
     bytes_sent_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     bytes_received_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Updates shipped per destination port (one batched message counts once
+    #: per update it carries).
     messages_by_port: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Wire messages per destination port (a batched message counts once —
+    #: this is the metric update batching actually reduces).
+    message_counts_by_port: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     convergence_time: float = 0.0
 
     # -- recording ------------------------------------------------------------
@@ -54,6 +59,7 @@ class NetworkStats:
         self.bytes_sent_by_node[message.src] += message.size_bytes
         self.bytes_received_by_node[message.dst] += message.size_bytes
         self.messages_by_port[message.port] += message.update_count
+        self.message_counts_by_port[message.port] += 1
 
     def record_provenance(self, annotation_bytes: int, count: int = 1) -> None:
         """Record the size of provenance annotations attached to shipped tuples."""
@@ -111,6 +117,10 @@ class NetworkStats:
             other.messages_by_port.items()
         ):
             merged.messages_by_port[port] += value
+        for port, value in list(self.message_counts_by_port.items()) + list(
+            other.message_counts_by_port.items()
+        ):
+            merged.message_counts_by_port[port] += value
         merged.convergence_time = max(self.convergence_time, other.convergence_time)
         return merged
 

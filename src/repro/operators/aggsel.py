@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
+from repro.data.batch import group_by_tuple, split_runs
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.provenance.tracker import ProvenanceStore
@@ -101,6 +102,37 @@ class AggregateSelection:
         if update.is_insert:
             return self._process_insert(update)
         return self._process_delete(update)
+
+    def process_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Filter a whole delta batch, merging same-tuple insertions first.
+
+        Same-tuple insertions within a type run collapse to one update whose
+        annotation is the disjoin chain of the group — the provenance table
+        ends up identical and the best-tuple logic sees each tuple once.
+        Deletions and cross-tuple ordering keep their sequential semantics
+        (the best-displacement bookkeeping is order-sensitive between
+        *different* tuples of a group).
+        """
+        outputs: List[Update] = []
+        for is_insert, run in split_runs(updates):
+            if not is_insert:
+                for update in run:
+                    outputs.extend(self._process_delete(update))
+                continue
+            for tuple_, items in group_by_tuple(run).items():
+                if len(items) == 1:
+                    outputs.extend(self._process_insert(items[0]))
+                    continue
+                group_or = items[0].provenance
+                if group_or is None:
+                    group_or = self.store.one()
+                for item in items[1:]:
+                    annotation = (
+                        item.provenance if item.provenance is not None else self.store.one()
+                    )
+                    group_or = self.store.disjoin(group_or, annotation)
+                outputs.extend(self._process_insert(items[-1].with_provenance(group_or)))
+        return outputs
 
     def _process_insert(self, update: Update) -> List[Update]:
         tuple_ = update.tuple

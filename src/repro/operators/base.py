@@ -4,11 +4,26 @@ Every stateful operator in the plan:
 
 * consumes :class:`~repro.data.update.Update` objects through ``process`` and
   returns the updates it emits downstream;
+* consumes whole *delta batches* through ``process_batch`` — the default
+  implementation loops over ``process``, and the hot operators (join,
+  fixpoint, ship, aggsel) override it to merge same-tuple annotations with a
+  single disjoin chain per key and emit one consolidated update per key
+  instead of one per input tuple;
 * can be told that a set of *base tuples* has been deleted
   (``purge_base``), which is how broadcast deletions reach provenance state
-  (Section 4's "zero out the variable everywhere" step);
+  (Section 4's "zero out the variable everywhere" step) — the key list is
+  processed in one restriction pass, so a coalesced purge batch costs one
+  traversal per stored annotation rather than one per deleted tuple;
 * reports the size of the state it maintains (``state_bytes``) — the
   "state within operators" metric of Section 7.
+
+The batch contract: ``process_batch(batch)`` must leave the operator in the
+same state as processing the batch update-at-a-time, and the per-(type,
+tuple) *disjunction* of its outputs must equal the disjunction of the
+update-at-a-time outputs.  (Individual output updates may be consolidated —
+that is the point — but nothing downstream can distinguish the two because
+every consumer disjoin-accumulates and conjunction distributes over
+disjunction.)
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ class OperatorStats:
     insertions_seen: int = 0
     deletions_seen: int = 0
     suppressed: int = 0
+    batches_processed: int = 0
 
     def record_input(self, update: Update) -> None:
         """Count one consumed update."""
@@ -56,6 +72,20 @@ class Operator(abc.ABC):
     def process(self, update: Update) -> List[Update]:
         """Consume one update and return the updates to emit downstream."""
 
+    def process_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Consume a whole delta batch and return the updates to emit.
+
+        The default loops over :meth:`process`; batch-aware operators
+        override it to amortise annotation work across the batch.  State and
+        consolidated outputs are identical either way (see the module
+        docstring for the exact contract).
+        """
+        outputs: List[Update] = []
+        for update in updates:
+            outputs.extend(self.process(update))
+        self.stats.batches_processed += 1
+        return outputs
+
     def purge_base(self, base_keys: Iterable[Hashable]) -> List[Update]:
         """React to a broadcast deletion of base tuples.
 
@@ -80,6 +110,16 @@ class Operator(abc.ABC):
         self.stats.record_outputs(outputs)
         if not outputs:
             self.stats.suppressed += 1
+        return outputs
+
+    def _record_batch(self, updates: Sequence[Update], outputs: List[Update]) -> List[Update]:
+        """Bookkeeping helper for batch entry points."""
+        for update in updates:
+            self.stats.record_input(update)
+        self.stats.record_outputs(outputs)
+        if updates and not outputs:
+            self.stats.suppressed += len(updates)
+        self.stats.batches_processed += 1
         return outputs
 
     def __repr__(self) -> str:

@@ -24,8 +24,9 @@ Deletion handling depends on the provenance store:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
+from repro.data.batch import group_by_tuple, split_runs
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.operators.aggsel import AggregateSelection
@@ -73,6 +74,63 @@ class FixpointOperator(Operator):
             else:
                 outputs.extend(self._process_delete(current))
         return self._record(update, outputs)
+
+    def process_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Batch-wise Algorithm 1: one merged delta per changed view tuple.
+
+        Same-tuple insertions within a type run are merged with a single
+        disjoin chain, so the operator performs one ``disjoin`` into the
+        stored annotation and one ``difference`` per *key* instead of one per
+        *update*, and emits one consolidated delta downstream.  The emitted
+        delta equals the disjunction of the per-update deltas (the telescoping
+        ``(P | a1 | a2) & ~P  ==  ((P|a1) & ~P) | ((P|a1|a2) & ~(P|a1))``), so
+        downstream disjoin-accumulated state is bit-identical to
+        tuple-at-a-time execution.
+        """
+        pending: Sequence[Update] = updates
+        if self.aggregate_selection is not None:
+            pending = self.aggregate_selection.process_batch(updates)
+        outputs: List[Update] = []
+        for is_insert, run in split_runs(pending):
+            for tuple_, items in group_by_tuple(run).items():
+                if is_insert:
+                    outputs.extend(self._insert_group(tuple_, items))
+                else:
+                    outputs.extend(self._delete_group(tuple_, items))
+        return self._record_batch(updates, outputs)
+
+    def _insert_group(self, tuple_: Tuple, items: List[Update]) -> List[Update]:
+        """Merge a same-tuple insertion group into ``P`` and emit one delta."""
+        group_or = items[0].provenance
+        if group_or is None:
+            group_or = self.store.one()
+        for item in items[1:]:
+            annotation = item.provenance if item.provenance is not None else self.store.one()
+            group_or = self.store.disjoin(group_or, annotation)
+        existing = self.provenance.get(tuple_)
+        if existing is None:
+            self.provenance[tuple_] = group_or
+            return [items[-1].with_provenance(group_or)]
+        merged = self.store.disjoin(existing, group_or)
+        if self.store.equals(merged, existing):
+            return []
+        self.provenance[tuple_] = merged
+        delta = self.store.difference(merged, existing)
+        return [items[-1].with_provenance(delta)]
+
+    def _delete_group(self, tuple_: Tuple, items: List[Update]) -> List[Update]:
+        """Apply a same-tuple deletion group.
+
+        Deletion groups almost always hold a single update (MinShip's
+        ``Pdel`` and AggSel's displacement stream are keyed by tuple), and a
+        provenance-carrying DEL is not safely mergeable with its siblings —
+        the first one can kill the stored annotation, changing what the later
+        ones would have emitted — so the group is applied update-at-a-time.
+        """
+        outputs: List[Update] = []
+        for item in items:
+            outputs.extend(self._process_delete(item))
+        return outputs
 
     def _process_insert(self, update: Update) -> List[Update]:
         annotation = update.provenance

@@ -21,8 +21,9 @@ selection predicates.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple as PyTuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+from repro.data.batch import group_by_tuple, split_runs
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.data.window import SlidingWindow
@@ -105,6 +106,120 @@ class PipelinedHashJoin(Operator):
         outputs = self._process_side(update, self._right, self._left, left_is_update=False)
         return self._record(update, outputs)
 
+    def process_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Batches default to the left input, mirroring :meth:`process`."""
+        return self.process_left_batch(updates)
+
+    def process_left_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Consume a delta batch on the left (edge) input."""
+        outputs = self._process_side_batch(updates, self._left, self._right, left_is_update=True)
+        return self._record_batch(updates, outputs)
+
+    def process_right_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Consume a delta batch on the right (recursive) input."""
+        outputs = self._process_side_batch(updates, self._right, self._left, left_is_update=False)
+        return self._record_batch(updates, outputs)
+
+    def _process_side_batch(
+        self,
+        updates: Sequence[Update],
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
+        """Batch-wise HalfPipeIns/HalfPipeDel: one probe per changed key.
+
+        Same-tuple updates within a type run merge their contributing
+        annotations and probe the opposite side once with the disjunction,
+        so a key that would have probed (and conjoined against every match)
+        k times probes exactly once.  Updates of distinct tuples within a run
+        never interact — each only mutates its own hash-table entry and reads
+        the *other* side — so grouping is order-safe; the INS/DEL run
+        boundaries, which do carry meaning, are preserved.
+
+        Windowed sides fall back to update-at-a-time processing: window
+        expirations are driven per arrival timestamp and must interleave with
+        the updates exactly as they would have tuple-at-a-time.
+        """
+        if mine.window is not None:
+            outputs: List[Update] = []
+            for update in updates:
+                outputs.extend(self._process_side(update, mine, other, left_is_update))
+            return outputs
+        outputs = []
+        for is_insert, run in split_runs(updates):
+            for tuple_, items in group_by_tuple(run).items():
+                if is_insert:
+                    outputs.extend(
+                        self._ins_group(tuple_, items, mine, other, left_is_update)
+                    )
+                else:
+                    outputs.extend(
+                        self._del_group(tuple_, items, mine, other, left_is_update)
+                    )
+        return outputs
+
+    def _ins_group(
+        self,
+        tuple_: Tuple,
+        items: List[Update],
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
+        """Merge a same-tuple insertion group into ``h``/``p``, probe once.
+
+        Each annotation is disjoined into the stored one with the same
+        per-update absorption check as the sequential path (so the state —
+        and which annotations count as *contributing* — is bit-identical);
+        the probe then runs once with the disjunction of the contributing
+        annotations, whose conjunction with each match equals the
+        disjunction of the sequential per-update probe outputs.
+        """
+        contributing: List[object] = []
+        existing = mine.provenance.get(tuple_)
+        for item in items:
+            annotation = item.provenance if item.provenance is not None else self.store.one()
+            if existing is None:
+                existing = annotation
+                contributing.append(annotation)
+            else:
+                merged = self.store.disjoin(existing, annotation)
+                if not self.store.equals(merged, existing):
+                    contributing.append(annotation)
+                    existing = merged
+        was_present = tuple_ in mine.provenance
+        mine.provenance[tuple_] = existing
+        if not was_present:
+            mine.add(tuple_)
+        if not contributing:
+            return []
+        delta = contributing[0]
+        for annotation in contributing[1:]:
+            delta = self.store.disjoin(delta, annotation)
+        return self._probe_key(
+            tuple_, UpdateType.INS, delta, items[-1].timestamp, mine, other, left_is_update
+        )
+
+    def _del_group(
+        self,
+        tuple_: Tuple,
+        items: List[Update],
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
+        """Apply a same-tuple deletion group update-at-a-time.
+
+        Deletion groups are almost always singletons, and a deletion can
+        remove the stored entry mid-group, changing what its siblings would
+        do — so the sequential semantics are kept verbatim.
+        """
+        outputs: List[Update] = []
+        for item in items:
+            outputs.extend(self._half_pipe_del(item, mine, other, left_is_update))
+        return outputs
+
     # -- core HalfPipeIns / HalfPipeDel logic ------------------------------------------
     def _process_side(
         self,
@@ -176,13 +291,27 @@ class PipelinedHashJoin(Operator):
         other: _JoinSide,
         left_is_update: bool,
     ) -> List[Update]:
+        return self._probe_key(
+            update.tuple, out_type, delta, update.timestamp, mine, other, left_is_update
+        )
+
+    def _probe_key(
+        self,
+        tuple_: Tuple,
+        out_type: UpdateType,
+        delta: object,
+        timestamp: float,
+        mine: _JoinSide,
+        other: _JoinSide,
+        left_is_update: bool,
+    ) -> List[Update]:
         outputs: List[Update] = []
-        key = mine.key_fn(update.tuple)
+        key = mine.key_fn(tuple_)
         for match in sorted(other.matches(key), key=lambda t: t.key):
             if left_is_update:
-                joined = self._combine(update.tuple, match)
+                joined = self._combine(tuple_, match)
             else:
-                joined = self._combine(match, update.tuple)
+                joined = self._combine(match, tuple_)
             if joined is None:
                 continue
             other_annotation = other.provenance.get(match, self.store.one())
@@ -190,7 +319,7 @@ class PipelinedHashJoin(Operator):
             if self.store.is_zero(annotation):
                 continue
             outputs.append(
-                Update(out_type, joined, provenance=annotation, timestamp=update.timestamp)
+                Update(out_type, joined, provenance=annotation, timestamp=timestamp)
             )
         return outputs
 

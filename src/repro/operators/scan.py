@@ -13,7 +13,7 @@ the actual sends and the byte accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.data.tuples import Tuple
 from repro.data.update import Update
@@ -93,10 +93,32 @@ class DistributedScan(Operator):
             )
         return routed
 
+    def route_batch(
+        self, updates: Sequence[Update]
+    ) -> Dict[PyTuple[int, str], List[Update]]:
+        """Route a whole delta batch, grouped by ``(node, port)`` destination.
+
+        Each destination's list preserves the batch order of its updates, so
+        the caller can ship one message per destination instead of one per
+        update without perturbing per-channel FIFO semantics.
+        """
+        grouped: Dict[PyTuple[int, str], List[Update]] = {}
+        for update in updates:
+            for routed in self.route(update):
+                grouped.setdefault((routed.node, routed.port), []).append(routed.update)
+        return grouped
+
     def process(self, update: Update) -> List[Update]:
         """Operator-style entry point returning the updates (destinations dropped)."""
         routed = self.route(update)
         return self._record(update, [item.update for item in routed])
+
+    def process_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """Batch entry point: the flattened routed updates, destinations dropped."""
+        outputs = [
+            update for batch in self.route_batch(updates).values() for update in batch
+        ]
+        return self._record_batch(updates, outputs)
 
     def state_bytes(self) -> int:
         return 0

@@ -99,6 +99,11 @@ class AbsorptionProvenanceStore(ProvenanceStore):
             return deserialize_bdd(encoded, self.manager)
         return encoded
 
+    # -- diagnostics ----------------------------------------------------------
+    def cache_stats(self):
+        """The BDD manager's work and memo-cache counters (see ``cache_stats``)."""
+        return self.manager.cache_stats()
+
     # -- helpers used by tests/examples -------------------------------------
     def annotation_from_products(self, products: Iterable[Iterable[Hashable]]) -> BDD:
         """Build an annotation as an OR of ANDs of base-tuple variables."""

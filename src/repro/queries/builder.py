@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.data.batch import BatchPolicy
 from repro.engine.executor import DistributedViewExecutor
 from repro.engine.plan import RecursiveViewPlan
 from repro.engine.strategy import ExecutionStrategy
@@ -30,6 +31,7 @@ def build_executor(
     max_events: int = 5_000_000,
     max_wall_seconds: Optional[float] = None,
     experiment: str = "experiment",
+    batch_policy: Optional[BatchPolicy] = None,
 ) -> DistributedViewExecutor:
     """Build a ready-to-run executor for ``plan`` under ``strategy``.
 
@@ -52,4 +54,5 @@ def build_executor(
         max_events=max_events,
         max_wall_seconds=max_wall_seconds,
         experiment=experiment,
+        batch_policy=batch_policy,
     )

@@ -263,3 +263,63 @@ class TestCanonicity:
         assert "BDD" in repr(p)
         assert "True" in repr(mgr.true)
         assert "False" in repr(mgr.false)
+
+
+class TestCacheBoundsAndCounters:
+    def test_apply_cache_counts_hits_and_misses(self, mgr):
+        p, q = mgr.variables("p", "q")
+        _ = p & q
+        first = mgr.cache_stats()
+        assert first["apply_calls"] > 0
+        assert first["apply"]["misses"] > 0
+        _ = p & q  # identical operation: memoised
+        second = mgr.cache_stats()
+        assert second["apply"]["hits"] > first["apply"]["hits"]
+
+    def test_size_memo_hits_on_repeated_measurement(self, mgr):
+        p, q, r = mgr.variables("p", "q", "r")
+        pv = (p & q) | r
+        assert pv.node_count() == pv.node_count()
+        stats = mgr.cache_stats()
+        assert stats["size"]["hits"] >= 1
+        assert stats["size"]["misses"] >= 1
+        # Memoised sizes agree with a cold recount.
+        mgr.clear_caches()
+        assert pv.node_count() == pv.size_bytes() // 16
+
+    def test_caches_are_bounded_and_evict_wholesale(self):
+        tiny = BDDManager(cache_limit=4)
+        variables = tiny.variables(*[f"v{i}" for i in range(12)])
+        acc = tiny.false
+        for var in variables:
+            acc = acc | var
+        stats = tiny.cache_stats()
+        assert stats["apply"]["entries"] < 4 + 1
+        assert stats["apply"]["evictions"] >= 1
+        # Semantics survive evictions (the node table is untouched): the
+        # disjunction dies exactly when every variable is zeroed out.
+        assert acc.is_satisfiable()
+        names = [f"v{i}" for i in range(12)]
+        assert acc.without(names[:-1]) == variables[-1]
+        assert acc.without(names).is_false()
+
+    def test_bounded_restrict_still_correct(self):
+        tiny = BDDManager(cache_limit=2)
+        p, q, r, s = tiny.variables("p", "q", "r", "s")
+        pv = (p & q) | (r & s)
+        assert pv.without(["p", "r"]).is_false()
+        assert pv.without(["p"]) == (r & s)
+        assert tiny.cache_stats()["restrict"]["misses"] > 0
+
+    def test_cache_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BDDManager(cache_limit=0)
+
+    def test_clear_caches_keeps_counters(self, mgr):
+        p, q = mgr.variables("p", "q")
+        _ = p & q
+        before = mgr.cache_stats()["apply"]["misses"]
+        mgr.clear_caches()
+        after = mgr.cache_stats()
+        assert after["apply"]["misses"] == before
+        assert after["apply"]["entries"] == 0

@@ -63,3 +63,56 @@ class TestCli:
         written = list(tmp_path.glob("*.csv"))
         assert len(written) == 1
         assert "encoding" in written[0].read_text()
+
+
+class TestBatchingFlags:
+    def test_batch_size_override(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_driver(config):
+            captured["config"] = config
+            return [{"figure": "batch-throughput", "ok": 1}]
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "batch-throughput", (fake_driver, "test stub")
+        )
+        assert main(["--quick", "--batch-size", "7", "batch-throughput"]) == 0
+        assert captured["config"].batch_size == 7
+
+    def test_no_batching_flag(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(config):
+            captured["config"] = config
+            return [{"figure": "batch-throughput"}]
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "batch-throughput", (fake_driver, "test stub")
+        )
+        assert main(["--quick", "--no-batching", "batch-throughput"]) == 0
+        assert captured["config"].batch_size == 1
+        assert "tuple-at-a-time" in captured["config"].describe()
+
+    def test_batch_ports_parsed(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(config):
+            captured["config"] = config
+            return [{"figure": "batch-throughput"}]
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "batch-throughput", (fake_driver, "test stub")
+        )
+        assert main(["--quick", "--batch-ports", "view,purge", "batch-throughput"]) == 0
+        assert captured["config"].batch_ports == ("view", "purge")
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--batch-size", "0", "figure7"])
+
+    def test_registry_has_batch_throughput(self):
+        assert "batch-throughput" in EXPERIMENTS
+
+    def test_unknown_batch_port_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--batch-ports", "veiw", "figure7"])

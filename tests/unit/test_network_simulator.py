@@ -181,3 +181,82 @@ class TestMessage:
         assert message.is_local
         assert message.update_count == 2
         assert "p" in repr(message)
+
+
+class TestDeliveryCoalescing:
+    def test_same_channel_ready_messages_merge_into_one_delivery(self):
+        from repro.data.batch import BatchPolicy
+
+        network = SimulatedNetwork(
+            node_count=2,
+            latency_model=UniformLatencyModel(0.01),
+            batch_policy=BatchPolicy(max_batch=10),
+        )
+        deliveries = []
+        network.register(1, lambda port, updates, now: deliveries.append(len(updates)))
+        network.register(0, lambda port, updates, now: None)
+        # Same channel, same send time -> same arrival; the second message is
+        # already queued when the first is delivered.
+        network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.send(0, 1, "view", [_update(), _update()], 10, at_time=0.0)
+        network.run()
+        assert deliveries == [3]
+        assert network.coalesced_deliveries == 1
+
+    def test_coalescing_respects_max_batch(self):
+        from repro.data.batch import BatchPolicy
+
+        network = SimulatedNetwork(
+            node_count=2,
+            latency_model=UniformLatencyModel(0.01),
+            batch_policy=BatchPolicy(max_batch=2),
+        )
+        deliveries = []
+        network.register(1, lambda port, updates, now: deliveries.append(len(updates)))
+        network.register(0, lambda port, updates, now: None)
+        for _ in range(3):
+            network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.run()
+        assert deliveries == [2, 1]
+
+    def test_tuple_at_a_time_policy_disables_coalescing(self):
+        from repro.data.batch import BatchPolicy
+
+        network = SimulatedNetwork(
+            node_count=2,
+            latency_model=UniformLatencyModel(0.01),
+            batch_policy=BatchPolicy.tuple_at_a_time(),
+        )
+        deliveries = []
+        network.register(1, lambda port, updates, now: deliveries.append(len(updates)))
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.run()
+        assert deliveries == [1, 1]
+        assert network.coalesced_deliveries == 0
+
+    def test_different_ports_never_merge(self):
+        from repro.data.batch import BatchPolicy
+
+        network = SimulatedNetwork(
+            node_count=2,
+            latency_model=UniformLatencyModel(0.01),
+            batch_policy=BatchPolicy(max_batch=10),
+        )
+        order = []
+        network.register(1, lambda port, updates, now: order.append(port))
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.send(0, 1, "edge", [_update()], 10, at_time=0.0)
+        network.run()
+        assert order == ["view", "edge"]
+
+    def test_message_counts_by_port_counts_wire_messages(self):
+        network = SimulatedNetwork(node_count=3)
+        network.register(1, lambda port, updates, now: None)
+        network.send(0, 1, "purge", [_update(), _update()], 10, at_time=0.0)
+        network.send(2, 1, "purge", [_update()], 10, at_time=0.0)
+        network.run()
+        assert network.stats.message_counts_by_port["purge"] == 2
+        assert network.stats.messages_by_port["purge"] == 3

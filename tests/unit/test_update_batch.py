@@ -1,0 +1,94 @@
+"""Unit tests for the UpdateBatch delta abstraction and BatchPolicy knobs."""
+
+import pytest
+
+from repro.data.batch import BatchPolicy, UpdateBatch, group_by_tuple, split_runs
+from repro.data.tuples import make_schema
+from repro.data.update import delete, insert
+from repro.provenance import AbsorptionProvenanceStore
+
+schema = make_schema("link", ["src", "dst"])
+
+
+def t(src, dst):
+    return schema.tuple(src, dst)
+
+
+class TestSplitRuns:
+    def test_preserves_type_run_boundaries(self):
+        updates = [insert(t("a", "b")), insert(t("b", "c")), delete(t("a", "b")), insert(t("c", "d"))]
+        runs = split_runs(updates)
+        assert [(is_ins, len(run)) for is_ins, run in runs] == [(True, 2), (False, 1), (True, 1)]
+
+    def test_empty(self):
+        assert split_runs([]) == []
+
+
+class TestGroupByTuple:
+    def test_groups_preserve_first_seen_order(self):
+        updates = [insert(t("a", "b")), insert(t("b", "c")), insert(t("a", "b"))]
+        groups = group_by_tuple(updates)
+        assert list(groups) == [t("a", "b"), t("b", "c")]
+        assert len(groups[t("a", "b")]) == 2
+
+
+class TestUpdateBatch:
+    def test_sequence_protocol(self):
+        batch = UpdateBatch([insert(t("a", "b")), delete(t("a", "b"))])
+        assert len(batch) == 2
+        assert batch[0].is_insert and batch[1].is_delete
+        assert batch.insert_count == 1 and batch.delete_count == 1
+        assert isinstance(batch[0:1], UpdateBatch)
+
+    def test_chunks(self):
+        batch = UpdateBatch([insert(t("a", str(i))) for i in range(5)])
+        chunks = list(batch.chunks(2))
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        with pytest.raises(ValueError):
+            list(batch.chunks(0))
+
+    def test_coalesced_merges_same_tuple_annotations(self):
+        store = AbsorptionProvenanceStore()
+        p1, p2 = store.base_annotation("p1"), store.base_annotation("p2")
+        batch = UpdateBatch(
+            [insert(t("a", "b"), provenance=p1), insert(t("a", "b"), provenance=p2)]
+        )
+        merged = batch.coalesced(store)
+        assert len(merged) == 1
+        assert store.equals(merged[0].provenance, store.disjoin(p1, p2))
+
+    def test_coalesced_keeps_ins_del_boundary(self):
+        batch = UpdateBatch(
+            [insert(t("a", "b")), delete(t("a", "b")), insert(t("a", "b"))]
+        )
+        merged = batch.coalesced(AbsorptionProvenanceStore())
+        assert [u.is_insert for u in merged] == [True, False, True]
+
+
+class TestBatchPolicy:
+    def test_default_batches_all_ports(self):
+        policy = BatchPolicy()
+        assert policy.batches_port("view") and policy.batches_port("purge")
+        assert policy.injection_chunk("base") == policy.max_batch
+
+    def test_port_restriction(self):
+        policy = BatchPolicy(max_batch=8, ports=frozenset({"view"}))
+        assert policy.batches_port("view")
+        assert not policy.batches_port("edge")
+        assert policy.injection_chunk("edge") == 1
+
+    def test_tuple_at_a_time_is_degenerate(self):
+        policy = BatchPolicy.tuple_at_a_time()
+        assert policy.max_batch == 1
+        assert not policy.batches_port("view")
+        assert policy.label == "tuple-at-a-time"
+
+    def test_chunking(self):
+        policy = BatchPolicy(max_batch=3)
+        updates = [insert(t("a", str(i))) for i in range(7)]
+        chunks = list(policy.chunk(updates, "base"))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+    def test_invalid_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)

@@ -52,9 +52,11 @@ class DistributedViewExecutor:
         self.strategy = strategy
         self.store = strategy.create_store()
         self.batch_policy = batch_policy or BatchPolicy()
+        # The partitioner is the single source of truth for cluster size: when
+        # one is supplied, ``node_count`` is derived from it instead of being a
+        # redundant second argument that could contradict it.
         self.partitioner = partitioner or HashPartitioner(node_count)
-        if self.partitioner.node_count != node_count:
-            raise ValueError("partitioner node_count must match executor node_count")
+        node_count = self.partitioner.node_count
         self.network = SimulatedNetwork(
             node_count=node_count,
             latency_model=latency_model,

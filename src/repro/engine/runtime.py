@@ -133,14 +133,59 @@ class ProcessorNode:
         coalesced purge multicast per deletion batch.  Disabled ports fall
         back to singleton batches, which reproduces tuple-at-a-time execution
         exactly.
+
+        Under an elastic placement (see :mod:`repro.placement`) the node
+        first verifies ownership: a batch routed under a superseded placement
+        epoch may arrive at the previous owner of its keys, in which case the
+        misrouted updates bounce exactly once to the current owner.  Purge
+        broadcasts address every node and are never misrouted.
         """
         if not updates:
             return
+        if port != PORT_PURGE and getattr(self.partitioner, "elastic", False):
+            updates = self._redirect_misrouted(port, updates, now)
+            if not updates:
+                return
         if self.batch_policy.batches_port(port):
             self._dispatch(port, updates, now)
         else:
             for update in updates:
                 self._dispatch(port, (update,), now)
+
+    def _routing_key(self, port: str, update: Update) -> object:
+        """The partition-key value that decides which node owns ``update`` on ``port``."""
+        if port == PORT_EDGE:
+            return self.plan.edge_join_value(update.tuple)
+        if port == PORT_BASE:
+            return update.tuple.partition_value
+        # Seeds and view updates are both owned by the view-partition key.
+        return self.plan.result_partition_value(update.tuple)
+
+    def _redirect_misrouted(
+        self, port: str, updates: Sequence[Update], now: float
+    ) -> Sequence[Update]:
+        """Bounce updates this node no longer owns to their current owner.
+
+        Returns the (possibly empty) locally owned remainder.  The common
+        case — every update owned here — allocates nothing.
+        """
+        kept: Optional[List[Update]] = None
+        by_owner: Dict[int, List[Update]] = {}
+        for index, update in enumerate(updates):
+            owner = self.partitioner.node_for(self._routing_key(port, update))
+            if owner == self.node_id:
+                if kept is not None:
+                    kept.append(update)
+            else:
+                if kept is None:
+                    kept = list(updates[:index])
+                by_owner.setdefault(owner, []).append(update)
+        if kept is None:
+            return updates
+        for owner, batch in by_owner.items():
+            self._send(owner, port, batch, now)
+            self.partitioner.record_misroute(len(batch))
+        return kept
 
     def _dispatch(self, port: str, updates: Sequence[Update], now: float) -> None:
         if port == PORT_BASE:
@@ -351,7 +396,7 @@ class ProcessorNode:
             # identifier; it is sized explicitly because its "provenance" is
             # a variable name, not an annotation the store can measure.
             purge_size += update.tuple.size_bytes() + 9
-        for destination in range(self.network.node_count):
+        for destination in self.network.active_nodes():
             if destination == self.node_id:
                 continue
             self.network.send(
@@ -474,6 +519,101 @@ class ProcessorNode:
     def deletion_tombstones(self) -> frozenset:
         """The base variables this node knows to be deleted (recovery: resync source)."""
         return frozenset(self._deleted_base_keys)
+
+    # -- elasticity (live partition migration support) ---------------------------------
+    def base_version_items(self) -> List:
+        """The base-tuple incarnation counters as ``(tuple-key, version)`` pairs."""
+        return list(self._base_versions.items())
+
+    def pop_base_versions(self, keys: Iterable[object]) -> Dict[object, int]:
+        """Remove and return the incarnation counters for ``keys`` (migration out)."""
+        extracted: Dict[object, int] = {}
+        for key in keys:
+            if key in self._base_versions:
+                extracted[key] = self._base_versions.pop(key)
+        return extracted
+
+    def merge_base_versions(self, versions: Dict[object, int]) -> None:
+        """Merge migrated incarnation counters (the higher version wins)."""
+        for key, version in versions.items():
+            existing = self._base_versions.get(key)
+            if existing is None or version > existing:
+                self._base_versions[key] = version
+
+    def absorb_migrated_state(self, state: Dict[str, object], now: float) -> None:
+        """Install a migrated state slice (annotations already decoded).
+
+        Incoming insert-side annotations are first restricted against this
+        node's deletion tombstones: a purge broadcast multicast while the
+        slice's previous owner had not yet received it can never reach a node
+        that joined afterwards, so the catch-up restriction here mirrors
+        exactly what delivering that purge would have done — including
+        releasing buffered MinShip alternates whose shipped provenance was
+        invalidated (the consumer must not lose the tuple).
+        """
+        restrict = (
+            self._restrict_with_tombstones
+            if self.strategy.uses_provenance and self._deleted_base_keys
+            else None
+        )
+        self.fixpoint.absorb_partition(self._restricted_entries(state["fixpoint"], restrict))
+        self.join.absorb_side(
+            self.join.LEFT, self._restricted_entries(state["join_left"], restrict)
+        )
+        self.join.absorb_side(
+            self.join.RIGHT, self._restricted_entries(state["join_right"], restrict)
+        )
+        self.merge_base_versions(state["base_versions"])
+        if isinstance(self.ship, MinShipOperator):
+            self._absorb_ship_tables(
+                state["ship_sent"], state["ship_pins"], state["ship_pdel"], restrict, now
+            )
+
+    def _restrict_with_tombstones(self, annotation: object) -> object:
+        return self.store.remove_base(annotation, self._deleted_base_keys)
+
+    def _restricted_entries(self, entries: Dict[Tuple, object], restrict) -> Dict[Tuple, object]:
+        """Tombstone-restrict a migrated table, dropping entries that zero out."""
+        if restrict is None:
+            return entries
+        surviving: Dict[Tuple, object] = {}
+        for tuple_, annotation in entries.items():
+            restricted = restrict(annotation)
+            if not self.store.is_zero(restricted):
+                surviving[tuple_] = restricted
+        return surviving
+
+    def _absorb_ship_tables(
+        self,
+        sent: Dict[Tuple, object],
+        pins: Dict[Tuple, object],
+        pdel: Dict[Tuple, object],
+        restrict,
+        now: float,
+    ) -> None:
+        """Merge migrated MinShip tables, replaying missed purges (Algorithm 3 semantics)."""
+        if restrict is None:
+            self.ship.absorb_tables(sent, pins, pdel)
+            return
+        restricted_pins = self._restricted_entries(pins, restrict)
+        restricted_sent: Dict[Tuple, object] = {}
+        releases: List[Update] = []
+        for tuple_, annotation in sent.items():
+            restricted = restrict(annotation)
+            if not self.store.equals(restricted, annotation):
+                # The already-shipped provenance was hit by a purge the old
+                # owner never saw: release the surviving buffered alternates,
+                # exactly as MinShip.purge_base would have.
+                buffered = restricted_pins.pop(tuple_, None)
+                if buffered is not None:
+                    releases.append(
+                        Update(UpdateType.INS, tuple_, provenance=buffered, timestamp=now)
+                    )
+                    restricted = self.store.disjoin(restricted, buffered)
+            if not self.store.is_zero(restricted):
+                restricted_sent[tuple_] = restricted
+        self.ship.absorb_tables(restricted_sent, restricted_pins, pdel)
+        self._route_view_updates(releases, now)
 
     def reseed_base_into(
         self,

@@ -179,6 +179,10 @@ def fault_tolerant_executor(
     """Convenience constructor mirroring :func:`repro.queries.builder.build_executor`."""
     if isinstance(strategy, str):
         strategy = ExecutionStrategy.by_name(strategy)
+    if partitioner is not None:
+        # Size the default latency model from the partitioner, which the
+        # executor treats as the source of truth for the cluster size.
+        node_count = partitioner.node_count
     if latency_model is None:
         latency_model = ClusterLatencyModel(primary_cluster_size=min(node_count, 16))
     return FaultTolerantExecutor(

@@ -17,9 +17,24 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.engine.runtime import ProcessorNode
+
+
+def state_to_bytes(state: Mapping[str, object]) -> bytes:
+    """Durable byte form of a (possibly partial) node-state mapping.
+
+    Shared by checkpoints and by the elastic placement subsystem, whose live
+    partition migrations ship state slices in exactly this form — so moved-
+    state bytes are measured by the same codec that sizes checkpoints.
+    """
+    return pickle.dumps(dict(state), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def state_from_bytes(data: bytes) -> Dict[str, object]:
+    """Decode a state mapping serialized with :func:`state_to_bytes`."""
+    return pickle.loads(data)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from repro.harness.experiments import (
     run_ablation_provenance_encoding,
     run_batch_throughput,
     run_churn_recovery,
+    run_elastic_scaling,
     run_figure7,
     run_figure8,
     run_figure9,
@@ -42,6 +43,7 @@ __all__ = [
     "run_ablation_centralized_maintenance",
     "run_batch_throughput",
     "run_churn_recovery",
+    "run_elastic_scaling",
     "format_rows",
     "rows_to_csv",
 ]

@@ -38,6 +38,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         experiments.run_batch_throughput,
         "batch-first pipeline vs tuple-at-a-time (BDD ops, purge messages)",
     ),
+    "elastic": (
+        experiments.run_elastic_scaling,
+        "scale a running cluster N -> 2N -> N mid-stream (moved state, misroutes)",
+    ),
     "ablation-minship": (experiments.run_ablation_minship_batch, "MinShip batch-size sweep"),
     "ablation-encoding": (
         experiments.run_ablation_provenance_encoding,
@@ -93,6 +97,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the historical tuple-at-a-time pipeline (same as --batch-size 1)",
     )
+    elastic = parser.add_argument_group("elastic placement")
+    elastic.add_argument(
+        "--per-node",
+        action="store_true",
+        help="append per-node traffic/state rows (shows skew before/after rebalancing)",
+    )
+    elastic.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=None,
+        metavar="V",
+        help="virtual nodes per processor on the consistent-hash ring",
+    )
     churn = parser.add_argument_group("churn experiment")
     churn.add_argument(
         "--churn-cycles",
@@ -138,6 +155,12 @@ def _select_config(args: argparse.Namespace) -> ExperimentConfig:
                 f"unknown port(s) {', '.join(unknown)}; choose from {', '.join(sorted(known))}"
             )
         overrides["batch_ports"] = ports
+    if args.per_node:
+        overrides["per_node"] = True
+    if args.virtual_nodes is not None:
+        if args.virtual_nodes < 1:
+            raise SystemExit("--virtual-nodes must be >= 1")
+        overrides["virtual_nodes"] = args.virtual_nodes
     if args.churn_cycles is not None:
         overrides["churn_cycles"] = args.churn_cycles
     if args.churn_downtime is not None:

@@ -69,6 +69,18 @@ class ExperimentConfig:
     #: Base-deletion fraction used by the batch-throughput experiment (the
     #: figure-12 topology with a figure-8-style deletion ratio).
     batch_deletion_ratio: float = 0.4
+    #: Virtual nodes per processor on the elastic consistent-hash ring.
+    virtual_nodes: int = 64
+    #: Base-deletion fraction used by the elastic experiment's scale-in phase.
+    elastic_deletion_ratio: float = 0.3
+    #: Hotspot workload shape for the elastic experiment (hub-and-spoke link
+    #: stream with ``hotspot_bias`` of the extra links touching a hub).
+    hotspot_spokes: int = 10
+    hotspot_hubs: int = 2
+    hotspot_bias: float = 0.8
+    hotspot_extra_links: int = 20
+    #: Append per-node traffic/state rows to experiment reports (skew view).
+    per_node: bool = False
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""
@@ -96,6 +108,8 @@ QUICK_CONFIG = ExperimentConfig(
     sensor_field_side=30.0,
     max_events=1_000_000,
     max_wall_seconds=30.0,
+    hotspot_spokes=8,
+    hotspot_extra_links=12,
 )
 
 #: The paper's own scale (slow in pure Python; provided for completeness).

@@ -38,7 +38,9 @@ from repro.queries.shortest_path import (
     AGGSEL_SINGLE,
     shortest_path_plan,
 )
+from repro.placement import elastic_executor
 from repro.workloads.churn import generate_churn
+from repro.workloads.hotspot import generate_hotspot
 from repro.workloads.sensors import SensorField, SensorWorkload
 from repro.workloads.topology import (
     TransitStubConfig,
@@ -633,6 +635,175 @@ def run_churn_recovery(
                 dropped_messages=stats["dropped_messages"],
             )
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Elastic: scale a running cluster from N to 2N processors (and back down)
+# ---------------------------------------------------------------------------
+
+def _per_node_rows(executor, scheme: str, stage: str) -> List[Row]:
+    """Per-node traffic/state rows for the current phase (the skew view)."""
+    state = executor.per_node_state_bytes()
+    rows: List[Row] = []
+    for entry in executor.network.stats.per_node_rows():
+        node = entry["node"]
+        if not executor.network.is_active(node):
+            continue
+        row: Row = {"figure": "elastic", "scheme": scheme, "stage": stage}
+        row.update(entry)
+        row["state_KB"] = round(state.get(node, 0) / 1000.0, 2)
+        rows.append(row)
+    return rows
+
+
+def run_elastic_scaling(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    scheme: str = "Absorption Eager",
+) -> List[Row]:
+    """Scale a *running* cluster from N to 2N processors and back down.
+
+    Extends Figure 13 from static comparison to dynamic scaling: two static
+    reference runs (N and 2N processors) bracket an elastic run that starts
+    at N processors, admits N more spread across the insertion stream
+    (consistent-hash migration moving ≈ 1/(N+1) of the state per join), runs
+    a load-aware rebalance against the hotspot skew, and decommissions the
+    added processors again spread across the deletion stream.  The elastic
+    rows additionally report the placement subsystem's own costs: moved
+    state bytes (checkpoint-codec measured) and misrouted batches (stale-
+    epoch deliveries bounced to the current owner).  ``config.per_node``
+    appends per-node traffic/state rows before and after the rebalance so
+    the hotspot skew is visible.
+    """
+    workload = generate_hotspot(
+        spokes=config.hotspot_spokes,
+        hubs=config.hotspot_hubs,
+        hub_bias=config.hotspot_bias,
+        extra_links=config.hotspot_extra_links,
+        seed=config.seed,
+    )
+    links = workload.link_tuples()
+    deletions = deletion_sample(links, config.elastic_deletion_ratio, seed=config.seed)
+    truth_inserted = reachable_pairs(workload.edge_pairs())
+    deleted = set(deletions)
+    remaining = [l for l in links if l not in deleted]
+    truth_remaining = reachable_pairs((l["src"], l["dst"]) for l in remaining)
+    n = config.node_count
+    rows: List[Row] = []
+
+    # Static reference points (the figure-13-style endpoints).
+    insert_horizon = None
+    delete_horizon = None
+    for processors in (n, 2 * n):
+        executor = _executor(reachability_plan(), scheme, config, node_count=processors)
+        row = _base_row("elastic", scheme, phase="static", processors=str(processors))
+        try:
+            insert_phase = executor.insert_edges(links, label="insert")
+            delete_phase = executor.delete_edges(deletions, label="delete")
+        except SimulationBudgetExceeded:
+            rows.append(_censored_row(row, executor))
+            continue
+        if processors == n:
+            insert_horizon = insert_phase.convergence_time_s
+            delete_horizon = delete_phase.convergence_time_s
+        rows.append(
+            _metric_row(
+                row,
+                per_tuple_provenance=executor.metrics.mean_per_tuple_provenance_bytes,
+                communication_mb=insert_phase.communication_mb
+                + delete_phase.communication_mb,
+                state_mb=delete_phase.state_mb,
+                convergence_s=insert_phase.convergence_time_s
+                + delete_phase.convergence_time_s,
+                view_correct=executor.view_values() == truth_remaining,
+                view_size=delete_phase.view_size,
+            )
+        )
+    if insert_horizon is None:
+        return rows
+
+    executor = elastic_executor(
+        reachability_plan(),
+        scheme,
+        node_count=n,
+        virtual_nodes=config.virtual_nodes,
+        # Same two-cluster latency shape as the static 2N reference run, so
+        # admitted processors join the primary cluster rather than paying the
+        # inter-cluster penalty the static comparison does not pay.
+        latency_model=ClusterLatencyModel(primary_cluster_size=min(2 * n, 16)),
+        max_events=config.max_events,
+        max_wall_seconds=config.max_wall_seconds,
+        experiment="elastic",
+        batch_policy=_batch_policy(config),
+    )
+    # Scale out: admit N processors spread across the insertion stream.
+    for index in range(n):
+        at_time = insert_horizon * (0.15 + 0.6 * index / max(n - 1, 1))
+        executor.schedule_add_node(at_time)
+    row = _base_row("elastic", scheme, phase="scale-out", processors=f"{n}->{2 * n}")
+    try:
+        insert_phase = executor.insert_edges(links, label="scale-out")
+    except SimulationBudgetExceeded:
+        rows.append(_censored_row(row, executor))
+        return rows
+    if config.per_node:
+        rows.extend(_per_node_rows(executor, scheme, stage="before-rebalance"))
+    rebalance_report = executor.rebalance()
+    if config.per_node:
+        rows.extend(_per_node_rows(executor, scheme, stage="after-rebalance"))
+    stats = executor.placement_stats()
+    rows.append(
+        _metric_row(
+            row,
+            per_tuple_provenance=insert_phase.per_tuple_provenance_bytes,
+            communication_mb=insert_phase.communication_mb,
+            state_mb=insert_phase.state_mb,
+            convergence_s=insert_phase.convergence_time_s,
+            view_correct=executor.view_values() == truth_inserted,
+            view_size=insert_phase.view_size,
+            moved_state_KB=round(stats["moved_state_bytes"] / 1000.0, 2),
+            misrouted_batches=stats["misrouted_batches"],
+            misrouted_updates=stats["misrouted_updates"],
+            stale_epoch_messages=executor.network.stats.stale_epoch_messages,
+            epoch=stats["epoch"],
+            rebalanced=rebalance_report is not None,
+        )
+    )
+
+    # Scale in: decommission the admitted processors across the deletion stream.
+    out_stats = stats
+    for index in range(n):
+        at_time = executor.network.now + (delete_horizon or insert_horizon) * (
+            0.15 + 0.6 * index / max(n - 1, 1)
+        )
+        executor.schedule_remove_node(n + index, at_time)
+    row = _base_row("elastic", scheme, phase="scale-in", processors=f"{2 * n}->{n}")
+    try:
+        delete_phase = executor.delete_edges(deletions, label="scale-in")
+    except SimulationBudgetExceeded:
+        rows.append(_censored_row(row, executor))
+        return rows
+    stats = executor.placement_stats()
+    rows.append(
+        _metric_row(
+            row,
+            per_tuple_provenance=delete_phase.per_tuple_provenance_bytes,
+            communication_mb=delete_phase.communication_mb,
+            state_mb=delete_phase.state_mb,
+            convergence_s=delete_phase.convergence_time_s,
+            view_correct=executor.view_values() == truth_remaining,
+            view_size=delete_phase.view_size,
+            moved_state_KB=round(
+                (stats["moved_state_bytes"] - out_stats["moved_state_bytes"]) / 1000.0, 2
+            ),
+            misrouted_batches=stats["misrouted_batches"] - out_stats["misrouted_batches"],
+            misrouted_updates=stats["misrouted_updates"] - out_stats["misrouted_updates"],
+            stale_epoch_messages=executor.network.stats.stale_epoch_messages,
+            epoch=stats["epoch"],
+        )
+    )
+    if config.per_node:
+        rows.extend(_per_node_rows(executor, scheme, stage="after-scale-in"))
     return rows
 
 

@@ -22,6 +22,12 @@ class Message:
     ``size_bytes`` is the wire size computed by the sender: tuple payloads
     plus the encoded provenance annotations.  It is what the communication-
     overhead metric aggregates.
+
+    ``epoch`` is the placement epoch the sender routed under (see
+    :mod:`repro.placement`).  A message delivered after the placement map
+    moved on carries a *stale* epoch; the receiving node re-checks ownership
+    of each update and bounces misrouted ones to the current owner.  Static
+    clusters never change placement, so the epoch stays 0 for them.
     """
 
     src: int
@@ -30,6 +36,7 @@ class Message:
     updates: Sequence[Update]
     size_bytes: int
     sent_at: float
+    epoch: int = 0
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     @property

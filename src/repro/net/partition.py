@@ -11,7 +11,7 @@ the worked-example tests (where node A literally stores ``src = A``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional, Tuple as PyTuple
 
 from repro.data.relation import stable_hash
 
@@ -28,6 +28,15 @@ class HashPartitioner:
             raise ValueError("node_count must be positive")
         self.node_count = node_count
         self._overrides = dict(overrides or {})
+
+    @property
+    def nodes(self) -> PyTuple[int, ...]:
+        """The member node ids (the modulo partitioner owns a dense range).
+
+        Part of the :class:`repro.placement.Partitioner` protocol, which the
+        consistent-hash ring also implements.
+        """
+        return tuple(range(self.node_count))
 
     def node_for(self, key: Any) -> int:
         """Processor node responsible for ``key``."""

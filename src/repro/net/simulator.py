@@ -57,6 +57,19 @@ class _FaultEvent:
     node: int
 
 
+@dataclass(frozen=True)
+class _ControlEvent:
+    """A scheduled control-plane callback firing at a virtual time.
+
+    Used by the elastic placement subsystem to scale the cluster or rebalance
+    ownership *mid-run*: the callback executes between message deliveries, so
+    messages already in flight genuinely straddle the change (and arrive
+    stamped with the superseded placement epoch).
+    """
+
+    callback: Callable[[float], None]
+
+
 class FaultListener:
     """Hooks invoked by the network when failure events fire.
 
@@ -126,10 +139,18 @@ class SimulatedNetwork:
         self._events_processed = 0
         #: Nodes currently crashed.
         self._down: Set[int] = set()
+        #: Nodes decommissioned by the elastic placement subsystem.  They stay
+        #: registered (in-flight messages addressed to them must still be
+        #: delivered so the node can bounce them to the current owner) but
+        #: receive no broadcasts and own no keys.
+        self._inactive: Set[int] = set()
         #: Messages held by their channels while the destination is down.
         self._held: Dict[int, List[Message]] = {}
         self._fault_listener: Optional[FaultListener] = None
         self._dropped_messages = 0
+        #: Supplies the current placement epoch stamped onto outgoing
+        #: messages (installed by the elastic executor; static runs stay at 0).
+        self._epoch_provider: Optional[Callable[[], int]] = None
 
     # -- wiring -----------------------------------------------------------------
     def register(self, node: int, handler: NodeHandler) -> None:
@@ -145,6 +166,43 @@ class SimulatedNetwork:
         """Install the listener notified on crash/recover events."""
         self._fault_listener = listener
 
+    def set_epoch_provider(self, provider: Optional[Callable[[], int]]) -> None:
+        """Install the placement-epoch source stamped onto every sent message."""
+        self._epoch_provider = provider
+
+    @property
+    def current_epoch(self) -> int:
+        """The placement epoch messages are currently stamped with."""
+        return self._epoch_provider() if self._epoch_provider is not None else 0
+
+    # -- elastic membership -------------------------------------------------------
+    def add_node(self) -> int:
+        """Grow the cluster by one node; returns the new node's id.
+
+        The caller must still :meth:`register` a handler before the node can
+        receive anything.
+        """
+        node = self.node_count
+        self.node_count += 1
+        self._node_busy_until[node] = 0.0
+        self.stats.node_count = self.node_count
+        return node
+
+    def deactivate(self, node: int) -> None:
+        """Decommission ``node``: it keeps its handler (so stale in-flight
+        messages can still be delivered and bounced) but drops out of
+        :meth:`active_nodes` — broadcasts and future ownership skip it."""
+        self._validate_node(node)
+        self._inactive.add(node)
+
+    def is_active(self, node: int) -> bool:
+        """True while ``node`` is a live cluster member (not decommissioned)."""
+        return 0 <= node < self.node_count and node not in self._inactive
+
+    def active_nodes(self) -> List[int]:
+        """Ids of the current live cluster members, in id order."""
+        return [node for node in range(self.node_count) if node not in self._inactive]
+
     # -- failure injection --------------------------------------------------------
     def crash(self, node: int, at_time: Optional[float] = None) -> None:
         """Schedule ``node`` to crash at virtual time ``at_time`` (default: now)."""
@@ -158,6 +216,18 @@ class SimulatedNetwork:
         self._validate_node(node)
         when = self._now if at_time is None else at_time
         heapq.heappush(self._queue, (when, next(self._sequence), _FaultEvent(kind, node)))
+
+    def schedule_control(
+        self, callback: Callable[[float], None], at_time: Optional[float] = None
+    ) -> None:
+        """Schedule a control-plane callback at ``at_time`` (default: now).
+
+        The callback fires between deliveries while the event queue may still
+        hold in-flight messages — this is how the elastic subsystem scales or
+        rebalances a *running* cluster.
+        """
+        when = self._now if at_time is None else at_time
+        heapq.heappush(self._queue, (when, next(self._sequence), _ControlEvent(callback)))
 
     def is_down(self, node: int) -> bool:
         """True while ``node`` is crashed."""
@@ -231,7 +301,7 @@ class SimulatedNetwork:
         sent_at = self._now if at_time is None else at_time
         message = Message(
             src=src, dst=dst, port=port, updates=tuple(updates),
-            size_bytes=size_bytes, sent_at=sent_at,
+            size_bytes=size_bytes, sent_at=sent_at, epoch=self.current_epoch,
         )
         self.stats.record_message(message)
         arrival = sent_at + self.latency_model.latency(src, dst)
@@ -259,7 +329,7 @@ class SimulatedNetwork:
             return
         message = Message(
             src=dst, dst=dst, port=port, updates=tuple(updates),
-            size_bytes=size_bytes, sent_at=at_time,
+            size_bytes=size_bytes, sent_at=at_time, epoch=self.current_epoch,
         )
         heapq.heappush(self._queue, (at_time, next(self._sequence), message))
 
@@ -277,6 +347,10 @@ class SimulatedNetwork:
                 break
             if isinstance(message, _FaultEvent):
                 self._apply_fault_event(message, arrival)
+                continue
+            if isinstance(message, _ControlEvent):
+                self._now = max(self._now, arrival)
+                message.callback(self._now)
                 continue
             if message.dst in self._down:
                 # The reliable channel holds the message until the destination
@@ -299,6 +373,8 @@ class SimulatedNetwork:
             handler = self._handlers.get(message.dst)
             if handler is None:
                 raise SimulationError(f"no handler registered for node {message.dst}")
+            if message.epoch < self.current_epoch:
+                self.stats.stale_epoch_messages += 1
             start = max(arrival, self._node_busy_until[message.dst])
             updates = self._coalesce_ready(message, start, until)
             completion = start + self.processing_cost * max(len(updates), 1)
@@ -344,6 +420,8 @@ class SimulatedNetwork:
                     f"exceeded {self.max_events} events; the computation is not converging"
                 )
             heapq.heappop(queue)
+            if head.epoch < self.current_epoch:
+                self.stats.stale_epoch_messages += 1
             updates.extend(head.updates)
             self.coalesced_deliveries += 1
         return updates

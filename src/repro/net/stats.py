@@ -38,6 +38,15 @@ class NetworkStats:
     provenance_annotations: int = 0
     bytes_sent_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     bytes_received_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Per-node load accounting (skew diagnostics / elastic rebalancing):
+    #: wire messages sent and received per node, and updates delivered to
+    #: each node (one batched message counts once per update it carries).
+    messages_sent_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages_received_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    updates_delivered_by_node: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Messages delivered after the placement epoch they were routed under
+    #: had already been superseded (elastic clusters only).
+    stale_epoch_messages: int = 0
     #: Updates shipped per destination port (one batched message counts once
     #: per update it carries).
     messages_by_port: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -58,6 +67,9 @@ class NetworkStats:
         self.total_updates_shipped += message.update_count
         self.bytes_sent_by_node[message.src] += message.size_bytes
         self.bytes_received_by_node[message.dst] += message.size_bytes
+        self.messages_sent_by_node[message.src] += 1
+        self.messages_received_by_node[message.dst] += 1
+        self.updates_delivered_by_node[message.dst] += message.update_count
         self.messages_by_port[message.port] += message.update_count
         self.message_counts_by_port[message.port] += 1
 
@@ -113,6 +125,16 @@ class NetworkStats:
             other.bytes_received_by_node.items()
         ):
             merged.bytes_received_by_node[node] += value
+        for attribute in (
+            "messages_sent_by_node",
+            "messages_received_by_node",
+            "updates_delivered_by_node",
+        ):
+            combined = getattr(merged, attribute)
+            for source in (getattr(self, attribute), getattr(other, attribute)):
+                for node, value in source.items():
+                    combined[node] += value
+        merged.stale_epoch_messages = self.stale_epoch_messages + other.stale_epoch_messages
         for port, value in list(self.messages_by_port.items()) + list(
             other.messages_by_port.items()
         ):
@@ -123,6 +145,34 @@ class NetworkStats:
             merged.message_counts_by_port[port] += value
         merged.convergence_time = max(self.convergence_time, other.convergence_time)
         return merged
+
+    def per_node_rows(self) -> List[Dict[str, object]]:
+        """One row per node with its traffic share (the ``--per-node`` report).
+
+        Rows cover every node mentioned by any per-node counter plus the
+        first ``node_count`` ids, so idle nodes show up with zeroes — which
+        is exactly what makes a skewed workload visible at a glance.
+        """
+        nodes = set(range(self.node_count))
+        for counter in (
+            self.bytes_sent_by_node,
+            self.bytes_received_by_node,
+            self.messages_sent_by_node,
+            self.messages_received_by_node,
+            self.updates_delivered_by_node,
+        ):
+            nodes.update(counter)
+        return [
+            {
+                "node": node,
+                "messages_sent": self.messages_sent_by_node.get(node, 0),
+                "messages_received": self.messages_received_by_node.get(node, 0),
+                "bytes_sent": self.bytes_sent_by_node.get(node, 0),
+                "bytes_received": self.bytes_received_by_node.get(node, 0),
+                "updates_delivered": self.updates_delivered_by_node.get(node, 0),
+            }
+            for node in sorted(nodes)
+        ]
 
     def summary(self) -> Dict[str, float]:
         """A flat summary dictionary used by the experiment harness."""

@@ -194,6 +194,29 @@ class FixpointOperator(Operator):
             outputs.extend(self.aggregate_selection.purge_base(removed_keys))
         return outputs
 
+    # -- elasticity (live partition migration support) ---------------------------------
+    def extract_partition(self, should_move) -> Dict[Tuple, object]:
+        """Remove and return the ``P`` entries selected by ``should_move``.
+
+        Used by :mod:`repro.placement` when a view partition changes owner:
+        the returned tuple -> annotation mapping is encoded through the same
+        codec as checkpoints and replayed into the new owner via
+        :meth:`absorb_partition`.
+        """
+        moved: Dict[Tuple, object] = {}
+        for tuple_ in [t for t in self.provenance if should_move(t)]:
+            moved[tuple_] = self.provenance.pop(tuple_)
+        return moved
+
+    def absorb_partition(self, entries: Dict[Tuple, object]) -> None:
+        """Merge migrated ``P`` entries into this partition (disjoin on overlap)."""
+        for tuple_, annotation in entries.items():
+            existing = self.provenance.get(tuple_)
+            if existing is None:
+                self.provenance[tuple_] = annotation
+            else:
+                self.provenance[tuple_] = self.store.disjoin(existing, annotation)
+
     # -- durability (checkpoint / recovery support) ------------------------------------
     def export_state(self, encode) -> Dict[str, object]:
         """Capture ``P`` (and any embedded AggSel state) via ``encode``."""

@@ -372,6 +372,32 @@ class PipelinedHashJoin(Operator):
         self._left.by_key.clear()
         self._left.provenance.clear()
 
+    # -- elasticity (live partition migration support) ----------------------------------------------
+    def extract_side(self, side: str, should_move) -> Dict[Tuple, object]:
+        """Remove and return one side's entries selected by ``should_move``.
+
+        ``side`` is :attr:`LEFT` or :attr:`RIGHT`.  The key index is kept
+        consistent; the new owner re-indexes on :meth:`absorb_side`.  Used by
+        :mod:`repro.placement` when a join key changes owner.
+        """
+        state = self._left if side == self.LEFT else self._right
+        moved: Dict[Tuple, object] = {}
+        for tuple_ in [t for t in state.provenance if should_move(t)]:
+            moved[tuple_] = state.provenance.pop(tuple_)
+            state.remove(tuple_)
+        return moved
+
+    def absorb_side(self, side: str, entries: Dict[Tuple, object]) -> None:
+        """Merge migrated entries into one side (disjoin on overlap), re-indexing."""
+        state = self._left if side == self.LEFT else self._right
+        for tuple_, annotation in entries.items():
+            existing = state.provenance.get(tuple_)
+            if existing is None:
+                state.provenance[tuple_] = annotation
+                state.add(tuple_)
+            else:
+                state.provenance[tuple_] = self.store.disjoin(existing, annotation)
+
     # -- durability (checkpoint / recovery support) -------------------------------------------------
     def export_state(self, encode) -> Dict[str, object]:
         """Capture both sides' provenance tables (``hR``/``hS`` are rebuilt on import).

@@ -277,6 +277,48 @@ class MinShipOperator(Operator):
             outputs.extend(self.aggregate_selection.purge_base(removed))
         return outputs
 
+    # -- elasticity (live partition migration support) ---------------------------------------
+    def extract_tables(self):
+        """Drain and return ``(Bsent, Pins, Pdel)`` for migration off this node.
+
+        Used when the elastic subsystem decommissions a node.  What must
+        survive is the *release* obligation: the buffered alternates in
+        ``Pins``/``Pdel`` (and the ``Bsent`` entries whose invalidation
+        triggers their release) have to live somewhere a purge broadcast can
+        still reach — so the tables move wholesale to live peers instead of
+        being dropped or force-flushed.  ``Bsent``'s other job, suppressing
+        re-derivations, is deliberately *not* preserved across the move: the
+        nodes inheriting this producer's join state start with empty ``Bsent``
+        and may re-ship derivations the consumer already absorbed, which the
+        receiver's idempotent disjoin absorbs at the cost of some duplicate
+        traffic (an exact per-join-key split of ``Bsent`` is impossible — an
+        output tuple does not identify the join key that produced it).
+        """
+        sent, pins, pdel = self.sent, self.pending_insertions, self.pending_deletions
+        self.sent = {}
+        self.pending_insertions = {}
+        self.pending_deletions = {}
+        return sent, pins, pdel
+
+    def absorb_tables(
+        self,
+        sent: Dict[Tuple, object],
+        pending_insertions: Dict[Tuple, object],
+        pending_deletions: Dict[Tuple, object],
+    ) -> None:
+        """Disjoin-merge migrated ``Bsent``/``Pins``/``Pdel`` entries into this ship."""
+        for table, entries in (
+            (self.sent, sent),
+            (self.pending_insertions, pending_insertions),
+            (self.pending_deletions, pending_deletions),
+        ):
+            for tuple_, annotation in entries.items():
+                existing = table.get(tuple_)
+                if existing is None:
+                    table[tuple_] = annotation
+                else:
+                    table[tuple_] = self.store.disjoin(existing, annotation)
+
     # -- durability (checkpoint / recovery support) ------------------------------------------
     def export_state(self, encode) -> Dict[str, object]:
         """Capture ``Bsent`` / ``Pins`` / ``Pdel`` with annotations flattened via ``encode``.

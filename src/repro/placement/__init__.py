@@ -1,0 +1,49 @@
+"""Elastic placement: consistent-hash partitioning, live migration, scaling.
+
+The paper's scalability experiment (Figure 13) compares *static* cluster
+sizes.  This package makes node ownership a first-class, versioned, runtime-
+mutable concept so a running cluster can grow, shrink and rebalance:
+
+* :mod:`repro.placement.ring` — the :class:`Partitioner` protocol (which the
+  seed's modulo :class:`~repro.net.partition.HashPartitioner` also satisfies)
+  and :class:`ConsistentHashRing`, virtual-node consistent hashing whose
+  per-node weights double as the rebalancer's lever;
+* :mod:`repro.placement.map` — :class:`PlacementMap`, the epoch-versioned
+  ownership map the engine routes through; every mutation bumps the epoch,
+  and batches delivered under a stale epoch bounce exactly once to the
+  current owner;
+* :mod:`repro.placement.migration` — the live migration protocol: state
+  slices are re-owned by their routing keys, flattened through the
+  checkpoint codec (:mod:`repro.fault.snapshot` / :mod:`repro.bdd.serialize`)
+  and absorbed by the new owner with purge catch-up semantics;
+* :mod:`repro.placement.balancer` — :class:`LoadAwareRebalancer`, which turns
+  per-node traffic/state skew into new ring weights;
+* :mod:`repro.placement.elastic` — :class:`ElasticExecutor` with
+  ``add_node`` / ``remove_node`` / ``rebalance`` plus scheduled mid-run
+  variants, driven by the harness's ``elastic`` experiment.
+"""
+
+from repro.placement.balancer import LoadAwareRebalancer
+from repro.placement.elastic import ElasticExecutor, elastic_executor
+from repro.placement.map import PlacementError, PlacementMap
+from repro.placement.migration import (
+    MigrationReport,
+    base_partition_indexes,
+    migrate_cluster_state,
+)
+from repro.placement.ring import ConsistentHashRing, Partitioner, RingError, ring_hash
+
+__all__ = [
+    "ConsistentHashRing",
+    "ElasticExecutor",
+    "LoadAwareRebalancer",
+    "MigrationReport",
+    "Partitioner",
+    "PlacementError",
+    "PlacementMap",
+    "RingError",
+    "base_partition_indexes",
+    "elastic_executor",
+    "migrate_cluster_state",
+    "ring_hash",
+]

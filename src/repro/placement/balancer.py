@@ -1,0 +1,68 @@
+"""Load-aware rebalancing: turn per-node load skew into ring-weight changes.
+
+The network statistics already break traffic down per node
+(:meth:`repro.net.stats.NetworkStats.per_node_rows`), and every processor node
+reports its operator-state footprint.  The rebalancer combines the two into a
+scalar load per node and, when the cluster is skewed beyond a threshold,
+proposes new virtual-node weights inversely proportional to each node's load
+share — a hot node sheds arcs, a cold node picks them up.  The
+:class:`~repro.placement.elastic.ElasticExecutor` applies the proposal as one
+placement epoch and migrates the remapped state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class LoadAwareRebalancer:
+    """Proposes consistent-hash weights from observed per-node load."""
+
+    def __init__(
+        self,
+        imbalance_threshold: float = 1.3,
+        min_weight_factor: float = 0.25,
+        max_weight_factor: float = 2.0,
+    ) -> None:
+        if imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if not 0.0 < min_weight_factor <= 1.0 <= max_weight_factor:
+            raise ValueError("need 0 < min_weight_factor <= 1 <= max_weight_factor")
+        self.imbalance_threshold = imbalance_threshold
+        self.min_weight_factor = min_weight_factor
+        self.max_weight_factor = max_weight_factor
+
+    def plan_weights(
+        self,
+        current_weights: Dict[int, int],
+        default_weight: int,
+        loads: Dict[int, float],
+    ) -> Optional[Dict[int, int]]:
+        """New per-node weights, or ``None`` when the cluster is balanced.
+
+        ``loads`` is any non-negative scalar per node (the elastic executor
+        feeds delivered updates plus a state-size term).  A node's proposed
+        weight is ``default_weight * (mean load / its load)``, clamped to
+        ``[min_weight_factor, max_weight_factor]`` times the default so a
+        single quiet node cannot swallow the whole ring.
+        """
+        members = sorted(current_weights)
+        if len(members) < 2:
+            return None
+        values = [max(loads.get(node, 0.0), 0.0) for node in members]
+        total = sum(values)
+        if total <= 0.0:
+            return None
+        mean = total / len(members)
+        if max(values) <= self.imbalance_threshold * mean:
+            return None
+        floor = max(1, round(default_weight * self.min_weight_factor))
+        ceiling = max(floor, round(default_weight * self.max_weight_factor))
+        proposal: Dict[int, int] = {}
+        for node, load in zip(members, values):
+            share = (mean / load) if load > 0.0 else self.max_weight_factor
+            weight = round(default_weight * min(share, self.max_weight_factor))
+            proposal[node] = min(max(weight, floor), ceiling)
+        if proposal == {node: current_weights[node] for node in members}:
+            return None
+        return proposal

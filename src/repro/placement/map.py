@@ -1,0 +1,130 @@
+"""The epoch-versioned placement map the elastic engine routes through.
+
+A :class:`PlacementMap` wraps a mutable :class:`~repro.placement.ring.Partitioner`
+(in practice a :class:`~repro.placement.ring.ConsistentHashRing`) and makes
+node ownership a first-class, versioned, runtime-mutable concept:
+
+* every routing decision — executor injection, per-node update shipping, the
+  DRed coordinator — goes through :meth:`node_for`, so a single mutation
+  changes routing cluster-wide at the next send;
+* every mutation bumps the **epoch**.  The network stamps outgoing messages
+  with the epoch they were routed under; a message delivered after the epoch
+  moved on may sit at the wrong node, and the receiving
+  :class:`~repro.engine.runtime.ProcessorNode` bounces its misrouted updates
+  exactly once to the current owner (counted here, reported by the harness).
+
+The map quacks like :class:`~repro.net.partition.HashPartitioner` (``node_for``,
+``node_count``, ``__call__``), so the existing engine code consumes it
+unmodified; the ``elastic`` marker is what switches the nodes' ownership
+checks on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple as PyTuple
+
+from repro.placement.ring import Partitioner, RingError
+
+
+class PlacementError(ValueError):
+    """Raised on invalid placement mutations."""
+
+
+class PlacementMap:
+    """Versioned, runtime-mutable key -> node ownership."""
+
+    #: Marks this partitioner as elastic: processor nodes verify ownership of
+    #: delivered batches and bounce misrouted ones to the current owner.
+    elastic = True
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self._partitioner = partitioner
+        #: Placement version; bumped by every mutation.  Messages in flight
+        #: across a bump carry the previous epoch and are re-validated on
+        #: delivery.
+        self.epoch = 0
+        #: Batches that arrived at a superseded owner and were bounced on.
+        self.misrouted_batches = 0
+        #: Updates carried by those bounced batches.
+        self.misrouted_updates = 0
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The wrapped partitioner (a ring, for elastic deployments)."""
+        return self._partitioner
+
+    # -- Partitioner protocol ------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of member nodes."""
+        return self._partitioner.node_count
+
+    @property
+    def nodes(self) -> PyTuple[int, ...]:
+        """The member node ids."""
+        return tuple(self._partitioner.nodes)
+
+    def node_for(self, key: Any) -> int:
+        """Current owner of ``key``."""
+        return self._partitioner.node_for(key)
+
+    def __call__(self, key: Any) -> int:
+        return self.node_for(key)
+
+    # -- mutations (each bumps the epoch) --------------------------------------------
+    def _mutate(self, operation: str, *args: Any, **kwargs: Any) -> None:
+        method = getattr(self._partitioner, operation, None)
+        if method is None:
+            raise PlacementError(
+                f"the wrapped partitioner ({type(self._partitioner).__name__}) "
+                f"does not support {operation!r}; wrap a ConsistentHashRing for "
+                "elastic membership"
+            )
+        try:
+            method(*args, **kwargs)
+        except RingError as exc:
+            raise PlacementError(str(exc)) from exc
+        self.epoch += 1
+
+    def add_node(self, node: int, weight: Optional[int] = None) -> None:
+        """Admit ``node``; in-flight messages now carry a stale epoch."""
+        self._mutate("add_node", node, weight)
+
+    def remove_node(self, node: int) -> None:
+        """Retire ``node``; its keys fall to the surviving members."""
+        self._mutate("remove_node", node)
+
+    def set_weights(self, weights: Dict[int, int]) -> None:
+        """Install new per-node weights as one placement change (one epoch)."""
+        if not weights:
+            return
+        setter = getattr(self._partitioner, "set_weight", None)
+        if setter is None:
+            raise PlacementError(
+                f"the wrapped partitioner ({type(self._partitioner).__name__}) "
+                "does not support weights; wrap a ConsistentHashRing to rebalance"
+            )
+        try:
+            for node, weight in weights.items():
+                setter(node, weight)
+        except RingError as exc:
+            raise PlacementError(str(exc)) from exc
+        self.epoch += 1
+
+    # -- misroute accounting -----------------------------------------------------------
+    def record_misroute(self, update_count: int) -> None:
+        """Record one bounced batch carrying ``update_count`` updates."""
+        self.misrouted_batches += 1
+        self.misrouted_updates += update_count
+
+    def stats(self) -> Dict[str, int]:
+        """Counters summarising the map's churn and misrouting activity."""
+        return {
+            "epoch": self.epoch,
+            "nodes": self.node_count,
+            "misrouted_batches": self.misrouted_batches,
+            "misrouted_updates": self.misrouted_updates,
+        }
+
+    def __repr__(self) -> str:
+        return f"PlacementMap(epoch={self.epoch}, nodes={self.node_count})"

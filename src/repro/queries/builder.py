@@ -42,6 +42,11 @@ def build_executor(
     """
     if isinstance(strategy, str):
         strategy = ExecutionStrategy.by_name(strategy)
+    if partitioner is not None:
+        # The partitioner is the source of truth for cluster size (the
+        # executor derives its node count from it), so the default latency
+        # model must be sized from it too.
+        node_count = partitioner.node_count
     if latency_model is None:
         latency_model = ClusterLatencyModel(primary_cluster_size=min(node_count, 16))
     return DistributedViewExecutor(

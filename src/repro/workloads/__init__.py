@@ -7,10 +7,13 @@
 * :mod:`repro.workloads.updates` — insertion/deletion schedules by ratio, with
   deterministic seeded randomness so experiment runs are reproducible;
 * :mod:`repro.workloads.churn` — node crash/recover schedules for the
-  fault-tolerance scenarios.
+  fault-tolerance scenarios;
+* :mod:`repro.workloads.hotspot` — hub-and-spoke link streams with tunable
+  skew, for the elastic placement / rebalancing scenarios.
 """
 
 from repro.workloads.churn import ChurnEvent, ChurnScenario, generate_churn
+from repro.workloads.hotspot import HotspotWorkload, generate_hotspot
 from repro.workloads.sensors import SensorField, SensorWorkload
 from repro.workloads.topology import TransitStubConfig, TransitStubTopology, generate_topology
 from repro.workloads.updates import UpdateSchedule, deletion_sample, insertion_prefix
@@ -27,4 +30,6 @@ __all__ = [
     "ChurnEvent",
     "ChurnScenario",
     "generate_churn",
+    "HotspotWorkload",
+    "generate_hotspot",
 ]

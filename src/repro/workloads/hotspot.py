@@ -1,0 +1,122 @@
+"""Hotspot / skew workloads: link streams that overload a few partition keys.
+
+The transit-stub topologies spread link sources fairly evenly across the key
+space, so a hash-partitioned cluster stays naturally balanced — which hides
+exactly the problem the elastic placement subsystem exists to solve.  A
+:class:`HotspotWorkload` instead routes a configurable fraction of all links
+through a small set of *hub* nodes: every hub-adjacent link keys to a hub (as
+``src``) or probes a hub's join partition (as ``dst``), concentrating base
+ownership, join work and view fan-out on the hubs' owners.
+
+The generated stream is deterministic in ``seed``, connected (a hub backbone
+plus spoke attachments), and returns plain ``link(src, dst)`` tuples, so it
+drives the reachability plan directly and the networkx oracle can supply
+ground truth via :func:`edge_pairs`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.queries.reachability import link
+
+
+@dataclass(frozen=True)
+class HotspotWorkload:
+    """A generated skewed link stream."""
+
+    #: Hub node names (the hot partition keys).
+    hubs: PyTuple[str, ...]
+    #: Spoke node names.
+    spokes: PyTuple[str, ...]
+    #: Directed (src, dst) pairs in generation order.
+    pairs: PyTuple[PyTuple[str, str], ...]
+
+    def link_tuples(self) -> List[Tuple]:
+        """The stream as ``link(src, dst)`` base tuples, in order."""
+        return [link(src, dst) for src, dst in self.pairs]
+
+    def edge_pairs(self) -> List[PyTuple[str, str]]:
+        """Directed (src, dst) pairs, for ground-truth computations."""
+        return list(self.pairs)
+
+    @property
+    def hub_fraction(self) -> float:
+        """Fraction of links with a hub endpoint (the skew actually generated)."""
+        if not self.pairs:
+            return 0.0
+        hubs = set(self.hubs)
+        touching = sum(1 for src, dst in self.pairs if src in hubs or dst in hubs)
+        return touching / len(self.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"HotspotWorkload({len(self.hubs)} hubs, {len(self.spokes)} spokes, "
+            f"{len(self.pairs)} links, {self.hub_fraction:.0%} hub-adjacent)"
+        )
+
+
+def generate_hotspot(
+    spokes: int = 24,
+    hubs: int = 2,
+    hub_bias: float = 0.8,
+    extra_links: int = 30,
+    seed: int = 7,
+) -> HotspotWorkload:
+    """Generate a deterministic hub-and-spoke link stream with tunable skew.
+
+    The backbone is a hub cycle plus one hub link per spoke (keeping the graph
+    connected so the reachable view is dense enough to be interesting); each
+    of the ``extra_links`` then attaches to a seeded-random hub with
+    probability ``hub_bias`` and to a random spoke pair otherwise.  Higher
+    ``hub_bias`` concentrates more base ownership and join traffic on the
+    hubs' owner nodes.
+    """
+    if spokes <= 1:
+        raise ValueError("need at least two spokes")
+    if hubs <= 0:
+        raise ValueError("need at least one hub")
+    if not 0.0 <= hub_bias <= 1.0:
+        raise ValueError("hub_bias must be in [0, 1]")
+    if extra_links < 0:
+        raise ValueError("extra_links must be non-negative")
+    rng = random.Random(seed)
+    hub_names = tuple(f"hub{index}" for index in range(hubs))
+    spoke_names = tuple(f"s{index}" for index in range(spokes))
+    pairs: List[PyTuple[str, str]] = []
+    seen = set()
+
+    def emit(src: str, dst: str) -> None:
+        if src != dst and (src, dst) not in seen:
+            seen.add((src, dst))
+            pairs.append((src, dst))
+
+    # Hub backbone: a directed cycle through the hubs.
+    for index, hub in enumerate(hub_names):
+        if len(hub_names) > 1:
+            emit(hub, hub_names[(index + 1) % len(hub_names)])
+    # Every spoke attaches to a hub in one direction, seeded-random which.
+    for index, spoke in enumerate(spoke_names):
+        hub = hub_names[index % len(hub_names)]
+        if rng.random() < 0.5:
+            emit(spoke, hub)
+        else:
+            emit(hub, spoke)
+    # Extra links: hub-adjacent with probability ``hub_bias``.
+    attempts = 0
+    target = len(pairs) + extra_links
+    while len(pairs) < target and attempts < extra_links * 20:
+        attempts += 1
+        if rng.random() < hub_bias:
+            hub = rng.choice(hub_names)
+            spoke = rng.choice(spoke_names)
+            if rng.random() < 0.5:
+                emit(hub, spoke)
+            else:
+                emit(spoke, hub)
+        else:
+            emit(rng.choice(spoke_names), rng.choice(spoke_names))
+    return HotspotWorkload(hubs=hub_names, spokes=spoke_names, pairs=tuple(pairs))

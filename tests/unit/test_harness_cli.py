@@ -116,3 +116,35 @@ class TestBatchingFlags:
     def test_unknown_batch_port_rejected(self):
         with pytest.raises(SystemExit):
             main(["--quick", "--batch-ports", "veiw", "figure7"])
+
+
+class TestElasticFlags:
+    def test_registry_has_elastic(self):
+        assert "elastic" in EXPERIMENTS
+
+    def test_per_node_and_virtual_nodes_flags(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(config):
+            captured["config"] = config
+            return [{"figure": "elastic"}]
+
+        monkeypatch.setitem(EXPERIMENTS, "elastic", (fake_driver, "test stub"))
+        assert main(["--quick", "--per-node", "--virtual-nodes", "16", "elastic"]) == 0
+        assert captured["config"].per_node is True
+        assert captured["config"].virtual_nodes == 16
+
+    def test_per_node_defaults_off(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(config):
+            captured["config"] = config
+            return [{"figure": "elastic"}]
+
+        monkeypatch.setitem(EXPERIMENTS, "elastic", (fake_driver, "test stub"))
+        assert main(["--quick", "elastic"]) == 0
+        assert captured["config"].per_node is False
+
+    def test_invalid_virtual_nodes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--virtual-nodes", "0", "elastic"])

@@ -175,6 +175,67 @@ class TestSimulatedNetwork:
         assert network.pending_events() == 0
 
 
+class TestElasticMembership:
+    def test_add_node_grows_the_cluster(self):
+        network = SimulatedNetwork(node_count=2)
+        new = network.add_node()
+        assert new == 2 and network.node_count == 3
+        received = []
+        network.register(new, lambda port, updates, now: received.append(port))
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, new, "view", [_update()], 10)
+        network.run()
+        assert received == ["view"]
+        assert network.stats.node_count == 3
+
+    def test_deactivate_excludes_from_active_nodes_only(self):
+        network = SimulatedNetwork(node_count=3)
+        network.register(1, lambda port, updates, now: None)
+        network.deactivate(1)
+        assert network.active_nodes() == [0, 2]
+        assert not network.is_active(1) and network.is_active(0)
+        # A decommissioned node still receives in-flight messages.
+        network.send(0, 1, "view", [_update()], 10)
+        network.run()
+        assert network.stats.total_messages == 1
+
+    def test_control_event_fires_between_deliveries(self):
+        network = SimulatedNetwork(node_count=2, latency_model=UniformLatencyModel(0.01))
+        fired = []
+        order = []
+        network.register(1, lambda port, updates, now: order.append((port, now)))
+        network.register(0, lambda port, updates, now: None)
+        network.send(0, 1, "early", [_update()], 10, at_time=0.0)
+        network.send(0, 1, "late", [_update()], 10, at_time=0.02)
+        network.schedule_control(lambda now: fired.append(now), at_time=0.015)
+        network.run()
+        assert fired == [0.015]
+        assert [port for port, _ in order] == ["early", "late"]
+
+    def test_epoch_stamping_and_stale_counting(self):
+        epoch = [0]
+        network = SimulatedNetwork(node_count=2, latency_model=UniformLatencyModel(0.01))
+        network.set_epoch_provider(lambda: epoch[0])
+        network.register(1, lambda port, updates, now: None)
+        network.register(0, lambda port, updates, now: None)
+        message = network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        assert message.epoch == 0
+        network.schedule_control(lambda now: epoch.__setitem__(0, 1), at_time=0.001)
+        network.run()
+        assert network.stats.stale_epoch_messages == 1
+
+    def test_per_node_stats_rows(self):
+        network = SimulatedNetwork(node_count=3)
+        network.register(1, lambda port, updates, now: None)
+        network.send(0, 1, "view", [_update(), _update()], 25, at_time=0.0)
+        network.run()
+        rows = {row["node"]: row for row in network.stats.per_node_rows()}
+        assert rows[0]["messages_sent"] == 1 and rows[0]["bytes_sent"] == 25
+        assert rows[1]["messages_received"] == 1
+        assert rows[1]["updates_delivered"] == 2
+        assert rows[2]["updates_delivered"] == 0
+
+
 class TestMessage:
     def test_local_flag_and_counts(self):
         message = Message(src=2, dst=2, port="p", updates=(_update(), _update()), size_bytes=7, sent_at=1.0)

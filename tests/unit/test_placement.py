@@ -1,0 +1,197 @@
+"""Unit tests for the elastic placement subsystem and the hash partitioners."""
+
+import pytest
+
+from repro.data.relation import stable_hash
+from repro.net.partition import HashPartitioner
+from repro.placement import (
+    ConsistentHashRing,
+    LoadAwareRebalancer,
+    PlacementError,
+    PlacementMap,
+    RingError,
+)
+
+KEYS = [f"key-{index}" for index in range(2000)]
+
+
+class TestHashPartitionerInvariants:
+    def test_stable_across_instances(self):
+        first, second = HashPartitioner(8), HashPartitioner(8)
+        assert [first(k) for k in KEYS] == [second(k) for k in KEYS]
+
+    def test_stable_hash_is_process_independent(self):
+        # FNV-1a over the repr: a fixed value pins the function forever.
+        assert stable_hash("key-0") == stable_hash("key-0")
+        assert stable_hash(("vnode", 1, 2)) != stable_hash(("vnode", 2, 1))
+
+    def test_every_node_gets_a_fair_share(self):
+        partitioner = HashPartitioner(8)
+        counts = {node: 0 for node in range(8)}
+        for key in KEYS:
+            counts[partitioner(key)] += 1
+        assert all(count > 0 for count in counts.values())
+        mean = len(KEYS) / 8
+        assert max(counts.values()) < 2 * mean
+        assert min(counts.values()) > mean / 2
+
+    def test_nodes_property_is_dense_range(self):
+        assert HashPartitioner(4).nodes == (0, 1, 2, 3)
+
+    def test_modulo_growth_remaps_most_keys(self):
+        # The motivation for the ring: growing a modulo partitioner reshuffles
+        # nearly everything.
+        before = HashPartitioner(8)
+        after = HashPartitioner(9)
+        remapped = sum(1 for key in KEYS if before(key) != after(key))
+        assert remapped > len(KEYS) / 2
+
+
+class TestConsistentHashRing:
+    def test_deterministic_and_in_membership(self):
+        ring = ConsistentHashRing(range(6))
+        again = ConsistentHashRing(range(6))
+        for key in KEYS[:200]:
+            assert ring.node_for(key) == again.node_for(key)
+            assert ring.node_for(key) in ring.nodes
+
+    def test_balance_with_default_virtual_nodes(self):
+        ring = ConsistentHashRing(range(8))
+        counts = {node: 0 for node in ring.nodes}
+        for key in KEYS:
+            counts[ring.node_for(key)] += 1
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < 4 * (len(KEYS) / 8)
+
+    def test_add_node_only_steals_keys(self):
+        ring = ConsistentHashRing(range(5))
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add_node(5)
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            # Consistency: a key either stays put or moves to the new node.
+            assert after in (owner, 5)
+
+    def test_remove_node_only_rehomes_its_keys(self):
+        ring = ConsistentHashRing(range(5))
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove_node(3)
+        for key, owner in before.items():
+            if owner == 3:
+                assert ring.node_for(key) != 3
+            else:
+                assert ring.node_for(key) == owner
+
+    def test_remove_then_readd_restores_ownership(self):
+        ring = ConsistentHashRing(range(5))
+        before = {key: ring.node_for(key) for key in KEYS[:300]}
+        ring.remove_node(2)
+        ring.add_node(2)
+        assert {key: ring.node_for(key) for key in KEYS[:300]} == before
+
+    def test_weight_shifts_share(self):
+        ring = ConsistentHashRing(range(4), virtual_nodes=64)
+
+        def share(node):
+            return sum(1 for key in KEYS if ring.node_for(key) == node)
+
+        heavy = share(0)
+        ring.set_weight(0, 16)
+        assert share(0) < heavy
+
+    def test_overrides_pin_keys(self):
+        ring = ConsistentHashRing(range(3))
+        ring.assign("pinned", 2)
+        assert ring.node_for("pinned") == 2
+        ring.remove_node(2)
+        assert ring.node_for("pinned") != 2  # override dropped with the node
+
+    def test_invalid_mutations(self):
+        ring = ConsistentHashRing(range(2))
+        with pytest.raises(RingError):
+            ring.add_node(1)
+        with pytest.raises(RingError):
+            ring.add_node(5, weight=0)
+        with pytest.raises(RingError):
+            ring.remove_node(7)
+        with pytest.raises(RingError):
+            ring.set_weight(9, 3)
+        with pytest.raises(RingError):
+            ring.set_weight(0, 0)
+        with pytest.raises(RingError):
+            ConsistentHashRing(range(2), virtual_nodes=0)
+        ring.remove_node(0)
+        with pytest.raises(RingError):
+            ring.remove_node(1)
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(RingError):
+            ConsistentHashRing().node_for("anything")
+
+
+class TestPlacementMap:
+    def test_epoch_bumps_on_every_mutation(self):
+        placement = PlacementMap(ConsistentHashRing(range(3)))
+        assert placement.epoch == 0
+        placement.add_node(3)
+        assert placement.epoch == 1
+        placement.remove_node(0)
+        assert placement.epoch == 2
+        placement.set_weights({1: 32, 2: 64})
+        assert placement.epoch == 3
+        assert placement.nodes == (1, 2, 3)
+
+    def test_delegates_routing(self):
+        ring = ConsistentHashRing(range(4))
+        placement = PlacementMap(ring)
+        for key in KEYS[:100]:
+            assert placement.node_for(key) == ring.node_for(key)
+            assert placement(key) == ring.node_for(key)
+        assert placement.node_count == 4
+        assert placement.elastic
+
+    def test_misroute_counters(self):
+        placement = PlacementMap(ConsistentHashRing(range(2)))
+        placement.record_misroute(5)
+        placement.record_misroute(1)
+        stats = placement.stats()
+        assert stats["misrouted_batches"] == 2
+        assert stats["misrouted_updates"] == 6
+
+    def test_ring_errors_surface_as_placement_errors(self):
+        placement = PlacementMap(ConsistentHashRing(range(2)))
+        with pytest.raises(PlacementError):
+            placement.add_node(0)
+
+    def test_frozen_partitioner_rejects_mutation(self):
+        placement = PlacementMap(HashPartitioner(4))
+        with pytest.raises(PlacementError):
+            placement.add_node(4)
+        with pytest.raises(PlacementError):
+            placement.set_weights({0: 2})
+
+
+class TestLoadAwareRebalancer:
+    def test_balanced_cluster_proposes_nothing(self):
+        rebalancer = LoadAwareRebalancer()
+        weights = {0: 64, 1: 64, 2: 64}
+        assert rebalancer.plan_weights(weights, 64, {0: 10.0, 1: 11.0, 2: 9.0}) is None
+
+    def test_hot_node_sheds_weight(self):
+        rebalancer = LoadAwareRebalancer()
+        weights = {0: 64, 1: 64, 2: 64}
+        proposal = rebalancer.plan_weights(weights, 64, {0: 100.0, 1: 10.0, 2: 10.0})
+        assert proposal is not None
+        assert proposal[0] < 64
+        assert proposal[1] > proposal[0]
+
+    def test_zero_load_or_single_node_is_a_noop(self):
+        rebalancer = LoadAwareRebalancer()
+        assert rebalancer.plan_weights({0: 64}, 64, {0: 99.0}) is None
+        assert rebalancer.plan_weights({0: 64, 1: 64}, 64, {}) is None
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            LoadAwareRebalancer(imbalance_threshold=0.5)
+        with pytest.raises(ValueError):
+            LoadAwareRebalancer(min_weight_factor=0.0)

@@ -90,14 +90,17 @@ class TestPurgeHandling:
 
 
 class TestExecutorValidation:
-    def test_partitioner_mismatch_rejected(self):
-        with pytest.raises(ValueError):
-            DistributedViewExecutor(
-                reachability_plan(),
-                ExecutionStrategy.dred(),
-                node_count=4,
-                partitioner=HashPartitioner(3),
-            )
+    def test_partitioner_is_the_source_of_truth_for_node_count(self):
+        # A supplied partitioner wins over the (redundant) node_count argument:
+        # the cluster is sized to what the partitioner can actually address.
+        executor = DistributedViewExecutor(
+            reachability_plan(),
+            ExecutionStrategy.dred(),
+            node_count=4,
+            partitioner=HashPartitioner(3),
+        )
+        assert executor.network.node_count == 3
+        assert len(executor.nodes) == 3
 
     def test_unknown_port_rejected(self):
         executor = make_executor()

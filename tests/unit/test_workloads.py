@@ -183,3 +183,52 @@ class TestUpdateSchedules:
         schedule = UpdateSchedule.insert_then_delete(links, 1.0, [0.2, 0.4])
         assert schedule.total_insertions == 10
         assert schedule.total_deletions == 4
+
+
+class TestHotspotWorkload:
+    def test_deterministic_in_seed(self):
+        from repro.workloads.hotspot import generate_hotspot
+
+        first = generate_hotspot(seed=11)
+        second = generate_hotspot(seed=11)
+        assert first.pairs == second.pairs
+        assert generate_hotspot(seed=12).pairs != first.pairs
+
+    def test_bias_concentrates_links_on_hubs(self):
+        from repro.workloads.hotspot import generate_hotspot
+
+        hot = generate_hotspot(spokes=12, hubs=2, hub_bias=0.9, extra_links=40, seed=3)
+        cold = generate_hotspot(spokes=12, hubs=2, hub_bias=0.1, extra_links=40, seed=3)
+        assert hot.hub_fraction > cold.hub_fraction
+
+    def test_link_tuples_match_pairs_and_are_unique(self):
+        from repro.workloads.hotspot import generate_hotspot
+
+        workload = generate_hotspot(seed=7)
+        tuples = workload.link_tuples()
+        assert len(tuples) == len(set(tuples)) == len(workload.pairs)
+        assert [(t["src"], t["dst"]) for t in tuples] == list(workload.pairs)
+        assert all(src != dst for src, dst in workload.pairs)
+
+    def test_graph_is_connected_through_hubs(self):
+        from repro.baselines import reachable_pairs
+        from repro.workloads.hotspot import generate_hotspot
+
+        workload = generate_hotspot(spokes=6, hubs=2, extra_links=10, seed=5)
+        truth = reachable_pairs(workload.edge_pairs())
+        # Every hub reaches at least one spoke and vice versa.
+        assert any((workload.hubs[0], spoke) in truth for spoke in workload.spokes)
+
+    def test_invalid_parameters_rejected(self):
+        import pytest
+
+        from repro.workloads.hotspot import generate_hotspot
+
+        with pytest.raises(ValueError):
+            generate_hotspot(spokes=1)
+        with pytest.raises(ValueError):
+            generate_hotspot(hubs=0)
+        with pytest.raises(ValueError):
+            generate_hotspot(hub_bias=1.5)
+        with pytest.raises(ValueError):
+            generate_hotspot(extra_links=-1)

@@ -1,0 +1,82 @@
+"""Microbenchmarks for the iterative BDD kernel (apply, n-ary ops, GC).
+
+These run under the same pytest-benchmark harness as the figure benchmarks
+(the CI perf job), so the kernel-level perf trajectory is recorded next to
+the end-to-end numbers.  Workloads are synthetic but shaped like absorption
+provenance: many small disjunction/conjunction deltas over a shared pool of
+monotone functions, plus a churn loop that makes most of the table garbage.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+
+#: Pool shape: enough variables/products for non-trivial sharing, small
+#: enough that one benchmark round stays well under a second.
+VARIABLES = 48
+PRODUCTS = 160
+CHURN_ROUNDS = 12
+
+
+def _product_pool(manager):
+    """Monotone annotations: conjunctions of 3 consecutive variables."""
+    variables = [manager.variable(f"v{i}") for i in range(VARIABLES)]
+    pool = []
+    for index in range(PRODUCTS):
+        first = index % (VARIABLES - 3)
+        pool.append(manager.conjoin_many(variables[first : first + 3]))
+    return pool
+
+
+def _apply_workload():
+    manager = BDDManager()
+    pool = _product_pool(manager)
+    acc = manager.false
+    for annotation in pool:
+        acc = acc | annotation
+        acc = acc & ~pool[(annotation.node * 7) % len(pool)]
+    return manager.stats.apply_calls
+
+
+def _disjoin_many_workload():
+    manager = BDDManager()
+    pool = _product_pool(manager)
+    for start in range(0, PRODUCTS - 16, 4):
+        manager.disjoin_many(pool[start : start + 16])
+    return manager.stats.apply_calls
+
+
+def _gc_churn_workload():
+    manager = BDDManager(gc_threshold=0.25, gc_min_table=512)
+    variables = [manager.variable(f"v{i}") for i in range(VARIABLES)]
+    live = manager.false
+    for round_ in range(CHURN_ROUNDS):
+        # Grow a disjunction, then delete most of its support: the table
+        # fills with dead nodes and the automatic GC must reclaim them.
+        for index in range(0, VARIABLES - 4, 2):
+            live = live | manager.conjoin_many(variables[index : index + 3])
+        live = live.without([f"v{i}" for i in range(VARIABLES) if i % 4 != round_ % 4])
+    stats = manager.gc_stats()
+    return stats["nodes_reclaimed"], stats["peak_table_size"]
+
+
+@pytest.mark.benchmark(group="bdd-kernel")
+def test_apply_chain_microbench(benchmark):
+    calls = benchmark.pedantic(_apply_workload, rounds=3, iterations=1)
+    assert calls > 0
+
+
+@pytest.mark.benchmark(group="bdd-kernel")
+def test_disjoin_many_microbench(benchmark):
+    calls = benchmark.pedantic(_disjoin_many_workload, rounds=3, iterations=1)
+    assert calls > 0
+
+
+@pytest.mark.benchmark(group="bdd-kernel")
+def test_gc_churn_microbench(benchmark):
+    reclaimed, peak = benchmark.pedantic(_gc_churn_workload, rounds=3, iterations=1)
+    # The collector must actually reclaim, and the live table must stay
+    # bounded: across the churn rounds several times the peak table size is
+    # allocated and reclaimed again.
+    assert reclaimed > 4 * peak
+    assert peak < 4096

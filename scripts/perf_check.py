@@ -22,12 +22,14 @@ import time
 
 from repro.data.batch import BatchPolicy
 from repro.engine.strategy import ExecutionStrategy
+from repro.harness.report import format_kernel_stats
 from repro.queries import build_executor, reachability_plan
 from repro.workloads.topology import TransitStubConfig, generate_topology
 from repro.workloads.updates import deletion_sample
 
 
-def run(nodes_per_stub, dense, strategies, batch_size=64):
+def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
+        bdd_gc_threshold=None):
     config = TransitStubConfig(nodes_per_stub=nodes_per_stub, dense=dense, seed=7)
     topo = generate_topology(config)
     links = topo.link_tuples()
@@ -37,34 +39,57 @@ def run(nodes_per_stub, dense, strategies, batch_size=64):
     print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
     results = []
     for strategy in strategies:
+        strategy = strategy.with_kernel_options(gc_threshold=bdd_gc_threshold)
         executor = build_executor(
             reachability_plan(), strategy, node_count=12, batch_policy=policy
         )
         t0 = time.time()
         ins = executor.insert_edges(links)
         t1 = time.time()
-        dels = deletion_sample(links, 0.2)
+        dels = deletion_sample(links, deletion_ratio)
         del_phase = executor.delete_edges(dels)
         t2 = time.time()
         print(
             f"{strategy.label:18s} insert {t1-t0:6.2f}s ({ins.updates_shipped} shipped, "
-            f"{executor.network.events_processed} events) delete20% {t2-t1:6.2f}s view={len(executor.view())}",
+            f"{executor.network.events_processed} events) delete{int(deletion_ratio*100)}% "
+            f"{t2-t1:6.2f}s view={len(executor.view())}",
             flush=True,
         )
-        results.append(
-            {
-                "strategy": strategy.label,
-                "insert_wall_seconds": round(t1 - t0, 4),
-                "delete_wall_seconds": round(t2 - t1, 4),
-                "insert_updates_shipped": ins.updates_shipped,
-                "insert_communication_MB": round(ins.communication_mb, 6),
-                "delete_communication_MB": round(del_phase.communication_mb, 6),
-                "insert_convergence_s": round(ins.convergence_time_s, 6),
-                "delete_convergence_s": round(del_phase.convergence_time_s, 6),
-                "events_processed": executor.network.events_processed,
-                "view_size": len(executor.view()),
+        row = {
+            "strategy": strategy.label,
+            "insert_wall_seconds": round(t1 - t0, 4),
+            "delete_wall_seconds": round(t2 - t1, 4),
+            "insert_updates_shipped": ins.updates_shipped,
+            "insert_communication_MB": round(ins.communication_mb, 6),
+            "delete_communication_MB": round(del_phase.communication_mb, 6),
+            "insert_convergence_s": round(ins.convergence_time_s, 6),
+            "delete_convergence_s": round(del_phase.convergence_time_s, 6),
+            "events_processed": executor.network.events_processed,
+            "view_size": len(executor.view()),
+        }
+        kernel = executor.store.kernel_stats()
+        if kernel is not None:
+            # Whole-run BDD kernel telemetry: the perf trajectory finally has
+            # kernel-level numbers (peak table, reclamation, pauses, time).
+            row["kernel"] = {
+                "table_size": kernel["table_size"],
+                "peak_table_size": kernel["peak_table_size"],
+                "nodes_reclaimed": kernel["nodes_reclaimed"],
+                "gc_passes": kernel["gc_passes"],
+                "gc_compactions": kernel["gc_compactions"],
+                "gc_pause_s": round(kernel["gc_pause_s"], 6),
+                "kernel_time_s": round(kernel["kernel_time_s"], 6),
+                "gc_threshold": kernel["gc_threshold"],
             }
-        )
+            # Per-phase BDD vs routing vs net decomposition.
+            for phase_label, phase in (("insert", ins), ("delete", del_phase)):
+                if phase.kernel is not None:
+                    row[f"{phase_label}_kernel_time_s"] = round(phase.kernel.kernel_time_s, 6)
+                    row[f"{phase_label}_routing_time_s"] = round(phase.kernel.routing_time_s, 6)
+                    row[f"{phase_label}_net_time_s"] = round(phase.kernel.net_time_s, 6)
+                    row[f"{phase_label}_nodes_reclaimed"] = phase.kernel.nodes_reclaimed
+            print("  " + format_kernel_stats(kernel, label="bdd-kernel"))
+        results.append(row)
     return {
         "topology": {
             "router_nodes": len(topo.nodes),
@@ -72,6 +97,7 @@ def run(nodes_per_stub, dense, strategies, batch_size=64):
             "nodes_per_stub": nodes_per_stub,
             "dense": dense,
         },
+        "deletion_ratio": deletion_ratio,
         "results": results,
     }
 
@@ -134,6 +160,19 @@ def main():
         help="update-batching knob (1 = tuple-at-a-time pipeline)",
     )
     parser.add_argument(
+        "--deletion-ratio",
+        type=float,
+        default=0.2,
+        help="fraction of links deleted in the deletion phase (0.2 = fig-12)",
+    )
+    parser.add_argument(
+        "--bdd-gc-threshold",
+        type=float,
+        default=None,
+        help="BDD-table dead fraction that triggers a compacting GC "
+        "(absorption strategies; default: the manager's 0.25)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_perf_check.json",
         help="machine-readable result file (JSON)",
@@ -153,7 +192,12 @@ def main():
 
     strategies = [ExecutionStrategy.by_name(label) for label in args.strategies.split(",")]
     report = run(
-        args.nodes_per_stub, args.density == "dense", strategies, batch_size=args.batch_size
+        args.nodes_per_stub,
+        args.density == "dense",
+        strategies,
+        batch_size=args.batch_size,
+        deletion_ratio=args.deletion_ratio,
+        bdd_gc_threshold=args.bdd_gc_threshold,
     )
     report.update(
         {

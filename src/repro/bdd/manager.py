@@ -1,4 +1,4 @@
-"""A reduced ordered BDD manager.
+"""A reduced ordered BDD manager with an iterative, garbage-collected kernel.
 
 The manager owns a :class:`~repro.bdd.node.NodeTable` plus memoisation caches
 for the binary ``apply`` operations, negation, restriction, support and
@@ -12,24 +12,43 @@ layer and operators manipulate absorption provenance::
     assert pv == (p1 & p2)
     assert pv.restrict({"p1": False}).is_false()
 
-The per-tuple provenance size metric in the paper is reported from
-:meth:`BDD.node_count` / :meth:`BDD.size_bytes`; the count is memoised per
-canonical node, which is safe because the node table is append-only — a node
-id always denotes the same function, so its size never changes.
+**Iterative kernel.**  The hot operations — ``_apply`` (AND/OR/XOR/DIFF),
+``_negate``, ``_restrict`` and ``_support`` — run as explicit-stack loops over
+the node table's flat arrays, with the arrays bound to locals and the
+hash-consing inlined.  There is no Python recursion on these paths, so
+provenance depth is bounded by memory, not by the interpreter's recursion
+limit, and there is no per-step function-call overhead.
+
+**Garbage collection.**  The node table is *compacting*: when the dead
+fraction of the table crosses ``gc_threshold``, a mark-and-sweep pass drops
+unreachable nodes, renumbers the survivors and rebuilds the unique table.
+Roots are discovered automatically — every live :class:`BDD` handle registers
+itself in a weak set at construction and is renumbered in place — and
+subsystems that hold annotations in bulk (the runtime's per-port operator
+state, the checkpoint codec, placement migration) additionally enroll through
+:meth:`BDDManager.add_root_source` / :meth:`BDDManager.defer_gc`.  Collections
+only ever run at the *end* of a public operation (never while a kernel loop
+holds raw node ids), so callers never observe a dangling id.  The id-keyed
+memo caches are *remapped* through the renumbering, so warm sub-results
+survive a compaction.
 
 All memo caches are **bounded**: when a cache reaches ``cache_limit`` entries
 it is dropped wholesale (the classic BDD-package "cache reset" policy — the
 node table itself, and therefore canonicity, is unaffected; subsequent
 operations simply recompute).  Hit/miss/eviction counters for every cache are
-surfaced through :meth:`BDDManager.cache_stats`.
+surfaced through :meth:`BDDManager.cache_stats`, and GC/pause/peak-size
+telemetry through :meth:`BDDManager.gc_stats`.
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from time import perf_counter as _perf_counter
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.bdd.node import FALSE, TERMINAL_VAR, TRUE, NodeTable
+from repro.bdd.node import FALSE, TRUE, NodeTable
 
 #: Estimated in-memory bytes per BDD node: variable index, low and high
 #: pointers plus hash-table overhead.  Used for the "per-tuple provenance
@@ -39,9 +58,29 @@ BYTES_PER_NODE = 16
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
+#: ``left AND NOT right`` — the ``deltaPv`` operation of Algorithm 1, run as a
+#: single cache-keyed binary op instead of a negate followed by a conjoin.
+_OP_DIFF = 3
 
 #: Default bound on each memo cache (entries); reaching it drops the cache.
 DEFAULT_CACHE_LIMIT = 1 << 20
+
+#: Default dead-node fraction of the table that triggers a compaction.
+DEFAULT_GC_THRESHOLD = 0.25
+
+#: Default minimum table size before automatic GC is considered at all (and
+#: the floor for the post-collection re-trigger size).
+DEFAULT_GC_MIN_TABLE = 8192
+
+#: Default table-growth factor between collections: after a compaction the
+#: next pass triggers at ``live * gc_growth`` nodes.  Larger values trade a
+#: proportionally higher bounded peak for fewer collection pauses.
+DEFAULT_GC_GROWTH = 3.0
+
+#: Handle-registry length at which dead weakrefs are swept out.
+DEFAULT_HANDLE_PRUNE = 1 << 16
+
+_weakref = weakref.ref
 
 
 @dataclass
@@ -66,10 +105,10 @@ class CacheCounters:
 class BDDOperationStats:
     """Work counters for one manager: apply/restrict invocations and caches.
 
-    ``apply_calls`` counts every (recursive) step of the Shannon expansion in
-    ``_apply`` and ``restrict_calls`` every step of ``_restrict`` — the two
-    numbers the batch-throughput benchmark compares between batched and
-    tuple-at-a-time execution.
+    ``apply_calls`` counts every step of the Shannon expansion in ``_apply``
+    and ``restrict_calls`` every step of ``_restrict`` — the two numbers the
+    batch-throughput benchmark compares between batched and tuple-at-a-time
+    execution.
     """
 
     apply_calls: int = 0
@@ -81,18 +120,47 @@ class BDDOperationStats:
     size: CacheCounters = field(default_factory=CacheCounters)
 
 
+@dataclass
+class BDDGCStats:
+    """Telemetry for the compacting garbage collector.
+
+    ``passes`` counts every mark phase; a pass either ends in a
+    ``compaction`` (table rebuilt, ids renumbered) or is ``skipped`` when the
+    dead fraction was below the threshold (the trigger size backs off
+    instead).  Pause times cover the whole pass, mark included.
+    """
+
+    passes: int = 0
+    compactions: int = 0
+    skipped: int = 0
+    nodes_reclaimed: int = 0
+    pause_seconds: float = 0.0
+    max_pause_seconds: float = 0.0
+    peak_table_size: int = 2
+
+
 class BDDError(Exception):
     """Raised on misuse of the BDD layer (unknown variables, mixed managers)."""
 
 
 class BDD:
-    """An immutable handle to a Boolean function owned by a :class:`BDDManager`."""
+    """An immutable handle to a Boolean function owned by a :class:`BDDManager`.
 
-    __slots__ = ("manager", "node")
+    Handles are weakly tracked by their manager: every live handle is a GC
+    root, and a table compaction rewrites ``node`` in place — so the identity
+    ``same function iff same (manager, node)`` keeps holding across
+    collections, but raw ``node`` ids must never be stored outside a handle.
+    """
+
+    __slots__ = ("manager", "node", "__weakref__")
 
     def __init__(self, manager: "BDDManager", node: int) -> None:
         self.manager = manager
         self.node = node
+        # Identity-tracked (a plain list of weakrefs, not a WeakSet: handles
+        # of the same node compare equal, and a set would silently drop the
+        # duplicates — every handle object must be renumbered on compaction).
+        manager._handles.append(_weakref(self))
 
     # -- identity ---------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -101,7 +169,17 @@ class BDD:
         return self.manager is other.manager and self.node == other.node
 
     def __hash__(self) -> int:
-        return hash((id(self.manager), self.node))
+        # The manager's identity hash is cached at manager construction; a
+        # node id is a small int, so this is a single xor with no tuple
+        # allocation or id() call on the hot dictionary paths.
+        #
+        # CAVEAT: a GC compaction rewrites ``node`` in place, so the hash of
+        # a live handle can change across a collection.  Hash containers
+        # keyed by handles must either be short-lived relative to GC (drop
+        # them on staleness) or key by ``id(handle)`` instead; entries
+        # inserted before a compaction degrade to cache misses, never to
+        # wrong equality (``__eq__`` always compares current ids).
+        return self.manager._id ^ self.node
 
     def __bool__(self) -> bool:
         raise TypeError(
@@ -146,7 +224,7 @@ class BDD:
 
     def implies(self, other: "BDD") -> bool:
         """Return True iff ``self -> other`` is a tautology."""
-        return (self & ~other).is_false()
+        return self.manager.diff(self, other).is_false()
 
     def equivalent(self, other: "BDD") -> bool:
         """Canonical equality: same manager node id."""
@@ -216,25 +294,67 @@ class BDDManager:
     Variables are identified by arbitrary hashable *names* (the provenance
     layer uses base-tuple keys); the manager assigns each a position in the
     global variable order in creation order.
+
+    ``gc_threshold`` is the dead-node fraction of the table that triggers a
+    compaction once the table holds at least ``gc_min_table`` nodes; ``0``
+    disables automatic collection (explicit :meth:`collect` still works).
     """
 
-    def __init__(self, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
+    def __init__(
+        self,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+        gc_threshold: float = DEFAULT_GC_THRESHOLD,
+        gc_min_table: int = DEFAULT_GC_MIN_TABLE,
+        gc_growth: float = DEFAULT_GC_GROWTH,
+    ) -> None:
         if cache_limit <= 0:
             raise ValueError("cache_limit must be positive")
+        if gc_threshold < 0 or gc_threshold > 1:
+            raise ValueError("gc_threshold must be within [0, 1]")
+        if gc_min_table < 2:
+            raise ValueError("gc_min_table must be at least 2")
+        if gc_growth < 1.0:
+            raise ValueError("gc_growth must be at least 1.0")
+        self.gc_growth = gc_growth
         self._table = NodeTable()
         self.cache_limit = cache_limit
         self.stats = BDDOperationStats()
-        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        self.gc_threshold = gc_threshold
+        self.gc_min_table = gc_min_table
+        self.gc = BDDGCStats()
+        #: Identity hash cached for :meth:`BDD.__hash__` (avoids per-hash id()).
+        self._id = id(self)
+        #: Weak references to every live handle into this manager (GC roots,
+        #: renumbered in place).  Dead entries are pruned during collections
+        #: and whenever the list outgrows ``_handle_prune_size``.
+        self._handles: List["weakref.ref[BDD]"] = []
+        self._handle_prune_size = DEFAULT_HANDLE_PRUNE
+        #: Extra root providers: zero-arg callables yielding BDD handles.
+        self._root_sources: List = []
+        #: Table size at which the next automatic collection is considered.
+        self._gc_trigger_size = gc_min_table
+        #: Nesting depth of :meth:`defer_gc` sections (0 = GC allowed).
+        self._gc_defer = 0
+        #: Wall seconds spent inside the kernel loops (apply/negate/restrict).
+        self._kernel_seconds = 0.0
+        self._apply_cache: Dict[int, int] = {}
         self._not_cache: Dict[int, int] = {}
         self._restrict_cache: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
         #: node id -> number of decision nodes reachable from it.  Node ids
-        #: are append-only (the table never frees or rewrites a node), so a
-        #: memoised count can never go stale; the bound exists purely to cap
-        #: memory.
+        #: are stable between collections; compaction drops this memo along
+        #: with every other id-keyed cache.
         self._size_cache: Dict[int, int] = {}
         self._index_by_name: Dict[Hashable, int] = {}
         self._name_by_index: List[Hashable] = []
+        #: Canonical handles for the terminals and variables.  Terminal ids
+        #: never move; variable handles are registered like any other handle,
+        #: so compaction renumbers them in place.  Caching avoids a handle
+        #: allocation per ``true``/``false``/``variable`` call on hot paths
+        #: (at the cost of keeping each declared variable's node live).
+        self._true_handle = BDD(self, TRUE)
+        self._false_handle = BDD(self, FALSE)
+        self._variable_handles: Dict[Hashable, BDD] = {}
 
     def _bound(self, cache: Dict, counters: CacheCounters) -> None:
         """Drop ``cache`` wholesale when it reaches the configured limit."""
@@ -259,13 +379,17 @@ class BDDManager:
     # -- variable management ------------------------------------------------
     def variable(self, name: Hashable) -> BDD:
         """Return (creating if needed) the BDD for the single variable ``name``."""
+        handle = self._variable_handles.get(name)
+        if handle is not None:
+            return handle
         index = self._index_by_name.get(name)
         if index is None:
             index = len(self._name_by_index)
             self._index_by_name[name] = index
             self._name_by_index.append(name)
-        node = self._table.make(index, FALSE, TRUE)
-        return BDD(self, node)
+        handle = BDD(self, self._table.make(index, FALSE, TRUE))
+        self._variable_handles[name] = handle
+        return handle
 
     def variables(self, *names: Hashable) -> Tuple[BDD, ...]:
         """Create several variables at once, in order."""
@@ -293,19 +417,19 @@ class BDDManager:
 
     @property
     def table_size(self) -> int:
-        """Total number of nodes ever allocated (terminals included)."""
+        """Current number of nodes in the table (terminals included)."""
         return len(self._table)
 
     # -- constants ------------------------------------------------------------
     @property
     def true(self) -> BDD:
         """The constant-true function."""
-        return BDD(self, TRUE)
+        return self._true_handle
 
     @property
     def false(self) -> BDD:
         """The constant-false function."""
-        return BDD(self, FALSE)
+        return self._false_handle
 
     # -- core apply -----------------------------------------------------------
     def _check(self, *operands: BDD) -> None:
@@ -314,141 +438,464 @@ class BDDManager:
                 raise BDDError("cannot combine BDDs from different managers")
 
     def apply_and(self, left: BDD, right: BDD) -> BDD:
-        """Conjunction (used when operators join tuples)."""
-        self._check(left, right)
-        return BDD(self, self._apply(_OP_AND, left.node, right.node))
+        """Conjunction (used when operators join tuples).
+
+        Returns the *operand handle itself* when the result is one of the
+        operands (absorption makes that the common case), avoiding a handle
+        allocation and registry entry per suppressed delta.
+        """
+        if left.manager is not self or right.manager is not self:
+            raise BDDError("cannot combine BDDs from different managers")
+        node = self._apply(_OP_AND, left.node, right.node)
+        if node == left.node:
+            return left
+        if node == right.node:
+            return right
+        result = BDD(self, node)
+        self._maybe_collect()
+        return result
 
     def apply_or(self, left: BDD, right: BDD) -> BDD:
         """Disjunction (used when a tuple gains an alternative derivation)."""
-        self._check(left, right)
-        return BDD(self, self._apply(_OP_OR, left.node, right.node))
+        if left.manager is not self or right.manager is not self:
+            raise BDDError("cannot combine BDDs from different managers")
+        node = self._apply(_OP_OR, left.node, right.node)
+        if node == left.node:
+            return left
+        if node == right.node:
+            return right
+        result = BDD(self, node)
+        self._maybe_collect()
+        return result
 
     def apply_xor(self, left: BDD, right: BDD) -> BDD:
         """Exclusive-or (used by tests to compare functions)."""
-        self._check(left, right)
-        return BDD(self, self._apply(_OP_XOR, left.node, right.node))
+        if left.manager is not self or right.manager is not self:
+            raise BDDError("cannot combine BDDs from different managers")
+        result = BDD(self, self._apply(_OP_XOR, left.node, right.node))
+        self._maybe_collect()
+        return result
+
+    def diff(self, left: BDD, right: BDD) -> BDD:
+        """``left AND NOT right`` as a single kernel operation.
+
+        This is the ``deltaPv = newPv AND NOT oldPv`` step of Algorithm 1; a
+        dedicated op avoids materialising the negation of ``right``.
+        """
+        if left.manager is not self or right.manager is not self:
+            raise BDDError("cannot combine BDDs from different managers")
+        node = self._apply(_OP_DIFF, left.node, right.node)
+        if node == left.node:
+            return left
+        result = BDD(self, node)
+        self._maybe_collect()
+        return result
 
     def negate(self, operand: BDD) -> BDD:
         """Logical negation."""
         self._check(operand)
-        return BDD(self, self._negate(operand.node))
+        result = BDD(self, self._negate(operand.node))
+        self._maybe_collect()
+        return result
 
     def conjoin(self, operands: Iterable[BDD]) -> BDD:
-        """AND a collection of BDDs together (empty -> True)."""
+        """AND a collection of BDDs together, left to right (empty -> True)."""
         result = TRUE
         for operand in operands:
             self._check(operand)
             result = self._apply(_OP_AND, result, operand.node)
             if result == FALSE:
                 break
-        return BDD(self, result)
+        wrapped = BDD(self, result)
+        self._maybe_collect()
+        return wrapped
 
     def disjoin(self, operands: Iterable[BDD]) -> BDD:
-        """OR a collection of BDDs together (empty -> False)."""
+        """OR a collection of BDDs together, left to right (empty -> False)."""
         result = FALSE
         for operand in operands:
             self._check(operand)
             result = self._apply(_OP_OR, result, operand.node)
             if result == TRUE:
                 break
-        return BDD(self, result)
+        wrapped = BDD(self, result)
+        self._maybe_collect()
+        return wrapped
+
+    def conjoin_many(self, operands: Iterable[BDD]) -> BDD:
+        """AND many BDDs with balanced-tree reduction (empty -> True).
+
+        Pairwise reduction keeps the intermediate results small and the apply
+        cache hot: a chain of ``k`` operands performs ``k - 1`` applies at
+        depth ``log k`` instead of a depth-``k`` ladder whose left operand
+        keeps regrowing.  The result is canonical, so it is bit-identical to
+        the chained :meth:`conjoin`.
+        """
+        nodes: List[int] = []
+        last = None
+        for operand in operands:
+            if operand.manager is not self:
+                raise BDDError("cannot combine BDDs from different managers")
+            node = operand.node
+            if node == FALSE:
+                return self._false_handle
+            if node != TRUE:
+                nodes.append(node)
+                last = operand
+        if not nodes:
+            return self._true_handle
+        if len(nodes) == 1:
+            return last
+        result = self._reduce_balanced(_OP_AND, nodes, TRUE, FALSE)
+        if result == FALSE:
+            return self._false_handle
+        wrapped = BDD(self, result)
+        self._maybe_collect()
+        return wrapped
+
+    def disjoin_many(self, operands: Iterable[BDD]) -> BDD:
+        """OR many BDDs with balanced-tree reduction (empty -> False)."""
+        nodes: List[int] = []
+        last = None
+        for operand in operands:
+            if operand.manager is not self:
+                raise BDDError("cannot combine BDDs from different managers")
+            node = operand.node
+            if node == TRUE:
+                return self._true_handle
+            if node != FALSE:
+                nodes.append(node)
+                last = operand
+        if not nodes:
+            return self._false_handle
+        if len(nodes) == 1:
+            return last
+        result = self._reduce_balanced(_OP_OR, nodes, FALSE, TRUE)
+        if result == TRUE:
+            return self._true_handle
+        wrapped = BDD(self, result)
+        self._maybe_collect()
+        return wrapped
+
+    def _reduce_balanced(self, op: int, nodes: List[int], unit: int, absorbing: int) -> int:
+        """Pairwise-reduce ``nodes`` under ``op`` (raw ids; no GC inside)."""
+        if not nodes:
+            return unit
+        apply_ = self._apply
+        while len(nodes) > 1:
+            merged: List[int] = []
+            for index in range(0, len(nodes) - 1, 2):
+                result = apply_(op, nodes[index], nodes[index + 1])
+                if result == absorbing:
+                    return absorbing
+                merged.append(result)
+            if len(nodes) & 1:
+                merged.append(nodes[-1])
+            nodes = merged
+        return nodes[0]
 
     def ite(self, cond: BDD, then: BDD, otherwise: BDD) -> BDD:
         """If-then-else composition: ``(cond AND then) OR (NOT cond AND otherwise)``."""
         self._check(cond, then, otherwise)
         positive = self._apply(_OP_AND, cond.node, then.node)
         negative = self._apply(_OP_AND, self._negate(cond.node), otherwise.node)
-        return BDD(self, self._apply(_OP_OR, positive, negative))
+        result = BDD(self, self._apply(_OP_OR, positive, negative))
+        self._maybe_collect()
+        return result
 
     def _terminal_apply(self, op: int, left: int, right: int) -> Optional[int]:
+        """Terminal-rule result of ``op`` on ``(left, right)``, or None.
+
+        Kept as a helper for the *entry* fast path only; the kernel loop
+        inlines the same rules per step.
+        """
         if op == _OP_AND:
-            if left == FALSE or right == FALSE:
-                return FALSE
-            if left == TRUE:
+            if left == 0 or right == 0:
+                return 0
+            if left == 1:
                 return right
-            if right == TRUE:
-                return left
-            if left == right:
+            if right == 1 or left == right:
                 return left
         elif op == _OP_OR:
-            if left == TRUE or right == TRUE:
-                return TRUE
-            if left == FALSE:
+            if left == 1 or right == 1:
+                return 1
+            if left == 0:
                 return right
-            if right == FALSE:
+            if right == 0 or left == right:
                 return left
+        elif op == _OP_XOR:
             if left == right:
-                return left
-        else:  # XOR
-            if left == right:
-                return FALSE
-            if left == FALSE:
+                return 0
+            if left == 0:
                 return right
-            if right == FALSE:
+            if right == 0:
+                return left
+        else:  # DIFF: left AND NOT right
+            if left == 0 or right == 1 or left == right:
+                return 0
+            if right == 0:
                 return left
         return None
 
     def _apply(self, op: int, left: int, right: int) -> int:
-        self.stats.apply_calls += 1
+        """Iterative Shannon expansion for the binary ops (no Python recursion).
+
+        The entry fast path resolves terminal rules and root cache hits
+        without touching the loop machinery (the overwhelmingly common case
+        for absorption workloads, where most public ops are small deltas
+        against already-seen operands).  Frames on the explicit stack are
+        ``(False, left, right)`` expansions and ``(True, cache_key, var)``
+        combinations; completed sub-results flow through ``results`` in
+        post-order.  The node-table arrays and the unique table are bound to
+        locals and the hash-consing is inlined, so a step costs
+        dictionary/list operations only.
+        """
+        t0 = _perf_counter()
+        stats = self.stats
+        # -- entry fast path: terminal rule or root cache hit ----------------
         terminal = self._terminal_apply(op, left, right)
         if terminal is not None:
+            stats.apply_calls += 1
+            self._kernel_seconds += _perf_counter() - t0
             return terminal
-        # Canonicalise commutative operand order for better cache hit rates.
-        if left > right:
+        is_diff = op == _OP_DIFF
+        if not is_diff and left > right:
+            # Canonicalise commutative operand order for cache hit rates.
             left, right = right, left
-        key = (op, left, right)
-        cached = self._apply_cache.get(key)
+        cache = self._apply_cache
+        cache_get = cache.get
+        root_key = (((left << 32) | right) << 2) | op
+        cached = cache_get(root_key)
         if cached is not None:
-            self.stats.apply.hits += 1
+            stats.apply_calls += 1
+            stats.apply.hits += 1
+            self._kernel_seconds += _perf_counter() - t0
             return cached
-        self.stats.apply.misses += 1
+        # -- slow path: explicit-stack expansion -----------------------------
+        counters = stats.apply
         table = self._table
-        lvar = table.var_of(left)
-        rvar = table.var_of(right)
-        var = lvar if lvar <= rvar else rvar
-        if lvar == var:
-            l_low, l_high = table.low_of(left), table.high_of(left)
+        var_arr = table._var
+        low_arr = table._low
+        high_arr = table._high
+        unique = table._unique
+        unique_get = unique.get
+        #: Remaining cache inserts before the bounded cache resets; computed
+        #: once per kernel call instead of a len() per insert.
+        room = self.cache_limit - len(cache)
+
+        calls = 1
+        hits = 0
+        misses = 1
+        results: List[int] = []
+        push_result = results.append
+        lvar = var_arr[left]
+        rvar = var_arr[right]
+        if lvar < rvar:
+            var = lvar
+            stack = [
+                (True, root_key, var),
+                (False, high_arr[left], right),
+                (False, low_arr[left], right),
+            ]
+        elif rvar < lvar:
+            var = rvar
+            stack = [
+                (True, root_key, var),
+                (False, left, high_arr[right]),
+                (False, left, low_arr[right]),
+            ]
         else:
-            l_low = l_high = left
-        if rvar == var:
-            r_low, r_high = table.low_of(right), table.high_of(right)
-        else:
-            r_low = r_high = right
-        low = self._apply(op, l_low, r_low)
-        high = self._apply(op, l_high, r_high)
-        node = table.make(var, low, high)
-        self._bound(self._apply_cache, self.stats.apply)
-        self._apply_cache[key] = node
-        return node
+            var = lvar
+            stack = [
+                (True, root_key, var),
+                (False, high_arr[left], high_arr[right]),
+                (False, low_arr[left], low_arr[right]),
+            ]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            combine, a, b = pop()
+            if combine:
+                # a = cache key, b = decision variable.
+                high = results.pop()
+                low = results[-1]
+                if low == high:
+                    node = low
+                else:
+                    bucket = unique_get(b)
+                    if bucket is None:
+                        bucket = unique[b] = {}
+                    ukey = (low << 32) | high
+                    node = bucket.get(ukey)
+                    if node is None:
+                        node = len(var_arr)
+                        var_arr.append(b)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        bucket[ukey] = node
+                if room <= 0:
+                    cache.clear()
+                    counters.evictions += 1
+                    room = self.cache_limit
+                cache[a] = node
+                room -= 1
+                results[-1] = node
+                continue
+            calls += 1
+            # Terminal rules, inlined per op (a = left, b = right).
+            if op == _OP_AND:
+                if a == 0 or b == 0:
+                    push_result(0)
+                    continue
+                if a == 1:
+                    push_result(b)
+                    continue
+                if b == 1 or a == b:
+                    push_result(a)
+                    continue
+            elif op == _OP_OR:
+                if a == 1 or b == 1:
+                    push_result(1)
+                    continue
+                if a == 0:
+                    push_result(b)
+                    continue
+                if b == 0 or a == b:
+                    push_result(a)
+                    continue
+            elif op == _OP_XOR:
+                if a == b:
+                    push_result(0)
+                    continue
+                if a == 0:
+                    push_result(b)
+                    continue
+                if b == 0:
+                    push_result(a)
+                    continue
+            else:  # DIFF: a AND NOT b
+                if a == 0 or b == 1 or a == b:
+                    push_result(0)
+                    continue
+                if b == 0:
+                    push_result(a)
+                    continue
+                # a == 1 falls through: DIFF(1, b) expands into the negation
+                # of b through the same cache (terminal cofactors handle it).
+            if not is_diff and a > b:
+                a, b = b, a
+            key = (((a << 32) | b) << 2) | op
+            cached = cache_get(key)
+            if cached is not None:
+                hits += 1
+                push_result(cached)
+                continue
+            misses += 1
+            lvar = var_arr[a]
+            rvar = var_arr[b]
+            if lvar < rvar:
+                push((True, key, lvar))
+                push((False, high_arr[a], b))
+                push((False, low_arr[a], b))
+            elif rvar < lvar:
+                push((True, key, rvar))
+                push((False, a, high_arr[b]))
+                push((False, a, low_arr[b]))
+            else:
+                push((True, key, lvar))
+                push((False, high_arr[a], high_arr[b]))
+                push((False, low_arr[a], low_arr[b]))
+        stats.apply_calls += calls
+        counters.hits += hits
+        counters.misses += misses
+        self._kernel_seconds += _perf_counter() - t0
+        return results[0]
 
     def _negate(self, node: int) -> int:
-        if node == FALSE:
-            return TRUE
-        if node == TRUE:
-            return FALSE
-        cached = self._not_cache.get(node)
+        """Iterative negation (explicit stack, memoised per node)."""
+        if node <= TRUE:
+            return 1 - node
+        t0 = _perf_counter()
+        counters = self.stats.negate
+        cache = self._not_cache
+        cache_get = cache.get
+        cached = cache_get(node)
         if cached is not None:
-            self.stats.negate.hits += 1
+            counters.hits += 1
+            self._kernel_seconds += _perf_counter() - t0
             return cached
-        self.stats.negate.misses += 1
         table = self._table
-        var, low, high = table.triple(node)
-        result = table.make(var, self._negate(low), self._negate(high))
-        self._bound(self._not_cache, self.stats.negate)
-        self._not_cache[node] = result
-        return result
+        var_arr = table._var
+        low_arr = table._low
+        high_arr = table._high
+        make = table.make
+        room = self.cache_limit - len(cache)
+
+        hits = 0
+        misses = 1
+        results: List[int] = []
+        push_result = results.append
+        stack: List[Tuple[bool, int]] = [
+            (True, node),
+            (False, high_arr[node]),
+            (False, low_arr[node]),
+        ]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            combine, n = pop()
+            if combine:
+                high = results.pop()
+                low = results[-1]
+                result = make(var_arr[n], low, high)
+                if room <= 0:
+                    cache.clear()
+                    counters.evictions += 1
+                    room = self.cache_limit
+                cache[n] = result
+                room -= 1
+                results[-1] = result
+                continue
+            if n <= TRUE:
+                push_result(1 - n)
+                continue
+            cached = cache_get(n)
+            if cached is not None:
+                hits += 1
+                push_result(cached)
+                continue
+            misses += 1
+            push((True, n))
+            push((False, high_arr[n]))
+            push((False, low_arr[n]))
+        counters.hits += hits
+        counters.misses += misses
+        self._kernel_seconds += _perf_counter() - t0
+        return results[0]
 
     # -- restriction / quantification -----------------------------------------
     def restrict(self, operand: BDD, assignment: Mapping[Hashable, bool]) -> BDD:
         """Substitute constants for named variables.
 
         Unknown variable names are ignored (they cannot occur in the function),
-        which lets callers blindly zero out deleted base tuples.
+        which lets callers blindly zero out deleted base tuples.  The common
+        single-variable case skips the sort and mapping rebuild entirely.
         """
         self._check(operand)
+        index_by_name = self._index_by_name
+        if len(assignment) == 1:
+            ((name, value),) = assignment.items()
+            index = index_by_name.get(name)
+            if index is None:
+                return operand
+            value = bool(value)
+            node = self._restrict(operand.node, {index: value}, ((index, value),))
+            result = BDD(self, node)
+            self._maybe_collect()
+            return result
         indexed: List[Tuple[int, bool]] = []
         for name, value in assignment.items():
-            index = self._index_by_name.get(name)
+            index = index_by_name.get(name)
             if index is not None:
                 indexed.append((index, bool(value)))
         if not indexed:
@@ -457,7 +904,9 @@ class BDDManager:
         key_suffix = tuple(indexed)
         mapping = dict(indexed)
         node = self._restrict(operand.node, mapping, key_suffix)
-        return BDD(self, node)
+        result = BDD(self, node)
+        self._maybe_collect()
+        return result
 
     def _restrict(
         self,
@@ -465,26 +914,88 @@ class BDDManager:
         mapping: Dict[int, bool],
         key_suffix: Tuple[Tuple[int, bool], ...],
     ) -> int:
+        """Iterative restriction (explicit stack; no Python recursion).
+
+        Frame tags: ``0`` expand, ``1`` combine two child results, ``2`` cache
+        a passthrough result (the node's variable was assigned a constant).
+        """
         if node <= TRUE:
             return node
-        self.stats.restrict_calls += 1
-        key = (node, key_suffix)
-        cached = self._restrict_cache.get(key)
+        t0 = _perf_counter()
+        stats = self.stats
+        cache = self._restrict_cache
+        cache_get = cache.get
+        cached = cache_get((node, key_suffix))
         if cached is not None:
-            self.stats.restrict.hits += 1
+            stats.restrict_calls += 1
+            stats.restrict.hits += 1
+            self._kernel_seconds += _perf_counter() - t0
             return cached
-        self.stats.restrict.misses += 1
+        counters = stats.restrict
         table = self._table
-        var, low, high = table.triple(node)
-        if var in mapping:
-            result = self._restrict(high if mapping[var] else low, mapping, key_suffix)
+        var_arr = table._var
+        low_arr = table._low
+        high_arr = table._high
+        make = table.make
+        get_assigned = mapping.get
+        room = self.cache_limit - len(cache)
+
+        calls = 1
+        hits = 0
+        misses = 1
+        results: List[int] = []
+        push_result = results.append
+        assigned = get_assigned(var_arr[node])
+        if assigned is None:
+            stack = [(1, node), (0, high_arr[node]), (0, low_arr[node])]
         else:
-            new_low = self._restrict(low, mapping, key_suffix)
-            new_high = self._restrict(high, mapping, key_suffix)
-            result = table.make(var, new_low, new_high)
-        self._bound(self._restrict_cache, self.stats.restrict)
-        self._restrict_cache[key] = result
-        return result
+            stack = [(2, node), (0, high_arr[node] if assigned else low_arr[node])]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            tag, n = pop()
+            if tag == 0:
+                if n <= TRUE:
+                    push_result(n)
+                    continue
+                calls += 1
+                cached = cache_get((n, key_suffix))
+                if cached is not None:
+                    hits += 1
+                    push_result(cached)
+                    continue
+                misses += 1
+                assigned = get_assigned(var_arr[n])
+                if assigned is None:
+                    push((1, n))
+                    push((0, high_arr[n]))
+                    push((0, low_arr[n]))
+                else:
+                    push((2, n))
+                    push((0, high_arr[n] if assigned else low_arr[n]))
+            elif tag == 1:
+                high = results.pop()
+                low = results[-1]
+                result = make(var_arr[n], low, high)
+                if room <= 0:
+                    cache.clear()
+                    counters.evictions += 1
+                    room = self.cache_limit
+                cache[(n, key_suffix)] = result
+                room -= 1
+                results[-1] = result
+            else:
+                if room <= 0:
+                    cache.clear()
+                    counters.evictions += 1
+                    room = self.cache_limit
+                cache[(n, key_suffix)] = results[-1]
+                room -= 1
+        stats.restrict_calls += calls
+        counters.hits += hits
+        counters.misses += misses
+        self._kernel_seconds += _perf_counter() - t0
+        return results[0]
 
     def exist(self, operand: BDD, names: Iterable[Hashable]) -> BDD:
         """Existential quantification over the named variables."""
@@ -498,14 +1009,223 @@ class BDDManager:
             result = self.apply_or(low, high)
         return result
 
+    # -- garbage collection ------------------------------------------------------
+    def add_root_source(self, provider) -> None:
+        """Enroll an extra GC root provider.
+
+        ``provider`` is a zero-argument callable returning an iterable of
+        :class:`BDD` handles (raw node ids are also accepted for marking, but
+        only handles are renumbered — always yield handles), or ``None`` to
+        signal that its owner is gone, which deregisters the provider at the
+        next collection (so node rebuilds under fault/elastic churn cannot
+        accumulate dead providers).  Live handles are tracked automatically;
+        sources exist for subsystems that hold annotations in bulk (operator
+        state tables, codecs, migration) to make their enrollment in the
+        root protocol explicit and robust.
+        """
+        self._root_sources.append(provider)
+
+    def remove_root_source(self, provider) -> None:
+        """Withdraw a provider previously passed to :meth:`add_root_source`."""
+        self._root_sources.remove(provider)
+
+    @contextmanager
+    def defer_gc(self):
+        """Context manager: suspend automatic collection within the block.
+
+        Used by codec paths (serialize/deserialize, checkpoint capture and
+        restore, migration slices) that interleave many small kernel calls:
+        deferral batches what would be several small collections into at most
+        one at block exit.
+        """
+        self._gc_defer += 1
+        try:
+            yield self
+        finally:
+            self._gc_defer -= 1
+            if not self._gc_defer:
+                self._maybe_collect()
+
+    def _maybe_collect(self) -> None:
+        """Run a collection pass when the table has outgrown the trigger size."""
+        if (
+            len(self._table._var) >= self._gc_trigger_size
+            and self.gc_threshold > 0.0
+            and not self._gc_defer
+        ):
+            self.collect()
+        elif len(self._handles) >= self._handle_prune_size:
+            self._prune_handles()
+
+    def _prune_handles(self) -> None:
+        """Sweep dead weakrefs out of the handle registry."""
+        self._handles = [ref for ref in self._handles if ref() is not None]
+        self._handle_prune_size = max(2 * len(self._handles), DEFAULT_HANDLE_PRUNE)
+
+    def collect(self, force: bool = False) -> Dict[str, object]:
+        """Mark-and-sweep the node table; compact and renumber when worthwhile.
+
+        Roots are every live :class:`BDD` handle plus anything yielded by the
+        enrolled root sources.  When the dead fraction reaches
+        ``gc_threshold`` (or ``force`` is true) the table is compacted, every
+        live handle's node id is rewritten in place, and the id-keyed memo
+        caches are remapped through the renumbering; otherwise the pass only
+        backs off the trigger size.  Returns a summary of the pass.
+        """
+        t0 = _perf_counter()
+        gc = self.gc
+        table = self._table
+        low_arr = table._low
+        high_arr = table._high
+        size = len(low_arr)
+        if size > gc.peak_table_size:
+            gc.peak_table_size = size
+
+        marked = bytearray(size)
+        marked[FALSE] = 1
+        marked[TRUE] = 1
+        stack: List[int] = []
+        push = stack.append
+        # Strong-ref the live handles for the duration of the pass (they are
+        # both the root set and the renumbering targets) and prune dead refs.
+        handles: List[BDD] = []
+        live_refs: List["weakref.ref[BDD]"] = []
+        for ref in self._handles:
+            handle = ref()
+            if handle is None:
+                continue
+            handles.append(handle)
+            live_refs.append(ref)
+            n = handle.node
+            if not marked[n]:
+                marked[n] = 1
+                push(n)
+        self._handles = live_refs
+        self._handle_prune_size = max(2 * len(live_refs), DEFAULT_HANDLE_PRUNE)
+        live_sources = []
+        for source in self._root_sources:
+            roots = source()
+            if roots is None:
+                continue  # owner gone: deregister by omission
+            live_sources.append(source)
+            for item in roots:
+                n = item.node if isinstance(item, BDD) else item
+                if not marked[n]:
+                    marked[n] = 1
+                    push(n)
+        self._root_sources = live_sources
+        pop = stack.pop
+        while stack:
+            n = pop()
+            child = low_arr[n]
+            if not marked[child]:
+                marked[child] = 1
+                push(child)
+            child = high_arr[n]
+            if not marked[child]:
+                marked[child] = 1
+                push(child)
+
+        live = sum(marked)
+        dead = size - live
+        gc.passes += 1
+        compacted = force or (size > 0 and dead >= size * self.gc_threshold)
+        if compacted:
+            remap = table.compact(marked)
+            for handle in handles:
+                handle.node = remap[handle.node]
+            self._remap_caches(marked, remap)
+            gc.compactions += 1
+            gc.nodes_reclaimed += dead
+            self._gc_trigger_size = max(int(live * self.gc_growth), self.gc_min_table)
+        else:
+            gc.skipped += 1
+            self._gc_trigger_size = max(int(size * self.gc_growth), self.gc_min_table)
+        pause = _perf_counter() - t0
+        gc.pause_seconds += pause
+        if pause > gc.max_pause_seconds:
+            gc.max_pause_seconds = pause
+        return {
+            "compacted": compacted,
+            "live_nodes": live,
+            "dead_nodes": dead,
+            "reclaimed": dead if compacted else 0,
+            "pause_s": pause,
+        }
+
+    def _remap_caches(self, marked: bytearray, remap: List[int]) -> None:
+        """Renumber the memo caches through ``remap`` instead of dropping them.
+
+        Every cached sub-result over surviving nodes stays warm across the
+        compaction (recomputing them is far costlier than one dict rebuild);
+        entries touching reclaimed nodes are dropped.  Memoised *values*
+        (node counts, support sets) are id-independent and survive verbatim.
+        """
+        apply_cache = self._apply_cache
+        rebuilt: Dict[int, int] = {}
+        for key, value in apply_cache.items():
+            if not marked[value]:
+                continue
+            operands = key >> 2
+            a = operands >> 32
+            b = operands & 0xFFFFFFFF
+            if marked[a] and marked[b]:
+                rebuilt[(((remap[a] << 32) | remap[b]) << 2) | (key & 3)] = remap[value]
+        self._apply_cache = rebuilt
+        self._not_cache = {
+            remap[node]: remap[value]
+            for node, value in self._not_cache.items()
+            if marked[node] and marked[value]
+        }
+        self._restrict_cache = {
+            (remap[node], suffix): remap[value]
+            for (node, suffix), value in self._restrict_cache.items()
+            if marked[node] and marked[value]
+        }
+        self._support_cache = {
+            remap[node]: value
+            for node, value in self._support_cache.items()
+            if marked[node]
+        }
+        self._size_cache = {
+            remap[node]: value
+            for node, value in self._size_cache.items()
+            if marked[node]
+        }
+
+    def gc_stats(self) -> Dict[str, object]:
+        """Kernel telemetry: table sizes, reclamation counters, pauses, time.
+
+        ``kernel_time_s`` is the cumulative wall time spent inside the
+        iterative kernel loops (apply/negate/restrict); GC pauses are counted
+        separately.
+        """
+        gc = self.gc
+        size = len(self._table)
+        if size > gc.peak_table_size:
+            gc.peak_table_size = size
+        return {
+            "table_size": size,
+            "peak_table_size": gc.peak_table_size,
+            "nodes_reclaimed": gc.nodes_reclaimed,
+            "gc_passes": gc.passes,
+            "gc_compactions": gc.compactions,
+            "gc_skipped": gc.skipped,
+            "gc_pause_s": gc.pause_seconds,
+            "gc_max_pause_s": gc.max_pause_seconds,
+            "gc_threshold": self.gc_threshold,
+            "gc_trigger_size": self._gc_trigger_size,
+            "kernel_time_s": self._kernel_seconds,
+        }
+
     # -- structural queries -----------------------------------------------------
     def node_count(self, operand: BDD) -> int:
         """Count decision nodes reachable from ``operand`` (terminals excluded).
 
         Memoised per canonical root node: annotations are re-measured on
         every send (the per-tuple provenance metric) and on every state-bytes
-        probe, and the count of a node id can never change because the node
-        table is append-only.
+        probe.  Node ids are stable between collections, and the memo is
+        dropped on compaction, so the count can never go stale.
         """
         self._check(operand)
         root = operand.node
@@ -516,16 +1236,24 @@ class BDDManager:
             self.stats.size.hits += 1
             return cached
         self.stats.size.misses += 1
-        seen: Set[int] = set()
-        stack = [root]
         table = self._table
+        low_arr = table._low
+        high_arr = table._high
+        seen: Set[int] = {root}
+        add = seen.add
+        stack = [root]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node = stack.pop()
-            if node <= TRUE or node in seen:
-                continue
-            seen.add(node)
-            stack.append(table.low_of(node))
-            stack.append(table.high_of(node))
+            node = pop()
+            child = low_arr[node]
+            if child > TRUE and child not in seen:
+                add(child)
+                push(child)
+            child = high_arr[node]
+            if child > TRUE and child not in seen:
+                add(child)
+                push(child)
         self._bound(self._size_cache, self.stats.size)
         self._size_cache[root] = len(seen)
         return len(seen)
@@ -546,18 +1274,42 @@ class BDDManager:
         return self._support(operand.node)
 
     def _support(self, node: int) -> FrozenSet[int]:
+        """Iterative support computation, memoised per root node.
+
+        The traversal consults the memo for every *sub*-node as well: under
+        hash-consing, annotations share subgraphs heavily, so a scan over a
+        provenance table (the purge fast path) pays only for nodes no earlier
+        support query has reached.
+        """
         if node <= TRUE:
             return frozenset()
-        cached = self._support_cache.get(node)
+        cache = self._support_cache
+        cached = cache.get(node)
         if cached is not None:
             self.stats.support.hits += 1
             return cached
         self.stats.support.misses += 1
         table = self._table
-        var, low, high = table.triple(node)
-        result = frozenset({var}) | self._support(low) | self._support(high)
-        self._bound(self._support_cache, self.stats.support)
-        self._support_cache[node] = result
+        var_arr = table._var
+        low_arr = table._low
+        high_arr = table._high
+        variables: Set[int] = set()
+        seen: Set[int] = {node}
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            variables.add(var_arr[n])
+            for child in (low_arr[n], high_arr[n]):
+                if child > TRUE and child not in seen:
+                    seen.add(child)
+                    known = cache.get(child)
+                    if known is not None:
+                        variables.update(known)
+                    else:
+                        stack.append(child)
+        result = frozenset(variables)
+        self._bound(cache, self.stats.support)
+        cache[node] = result
         return result
 
     def sat_count(self, operand: BDD) -> int:
@@ -660,20 +1412,19 @@ class BDDManager:
 
         ``from_products([["p1", "p2"], ["p3"]])`` is ``(p1 & p2) | p3``.
         """
-        result = self.false
-        for product in products:
-            term = self.true
-            for name in product:
-                term = term & self.variable(name)
-            result = result | term
-        return result
+        terms = [
+            self.conjoin_many([self.variable(name) for name in product])
+            for product in products
+        ]
+        return self.disjoin_many(terms)
 
     def clear_caches(self) -> None:
         """Drop operation caches (the node table itself is kept).
 
         Counters survive the clear — they describe cumulative work, not the
         current cache contents.  The node-count memo is also dropped; it will
-        repopulate with identical values (node ids are immutable).
+        repopulate with identical values (node ids are stable between
+        collections).
         """
         self._apply_cache.clear()
         self._not_cache.clear()

@@ -14,6 +14,17 @@ table enforces the two ROBDD invariants:
   shared child id is returned instead.
 * *Uniqueness*: the ``(var, low, high)`` triple is hash-consed, so structurally
   equal functions share the same id and equality checks are O(1).
+
+The unique table is a two-level dictionary — variable index to a sub-dict
+keyed by the packed ``(low << 32) | high`` integer — so the hot hash-consing
+path allocates no key tuples.  (Node ids fit comfortably in 32 bits: a
+4-billion-node table is far beyond what a pure-Python process can hold.)
+
+The table is **compactable**: :meth:`NodeTable.compact` drops every node the
+manager's mark phase did not reach and renumbers the survivors, preserving
+the children-before-parents id order that the manager's iterative kernels
+rely on.  Node ids are therefore only stable *between* collections; all
+id-keyed caches are owned by the manager, which drops them on compaction.
 """
 
 from __future__ import annotations
@@ -45,7 +56,8 @@ class NodeTable:
         self._var: List[int] = [TERMINAL_VAR, TERMINAL_VAR]
         self._low: List[int] = [FALSE, TRUE]
         self._high: List[int] = [FALSE, TRUE]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
+        #: var index -> ((low << 32) | high) -> node id.
+        self._unique: Dict[int, Dict[int, int]] = {}
 
     def __len__(self) -> int:
         return len(self._var)
@@ -74,17 +86,55 @@ class NodeTable:
         """
         if low == high:
             return low
-        key = (var, low, high)
-        found = self._unique.get(key)
+        bucket = self._unique.get(var)
+        if bucket is None:
+            bucket = self._unique[var] = {}
+        key = (low << 32) | high
+        found = bucket.get(key)
         if found is not None:
             return found
         node = len(self._var)
         self._var.append(var)
         self._low.append(low)
         self._high.append(high)
-        self._unique[key] = node
+        bucket[key] = node
         return node
 
     def triple(self, node: int) -> Tuple[int, int, int]:
         """Return ``(var, low, high)`` of ``node`` (terminals included)."""
         return self._var[node], self._low[node], self._high[node]
+
+    def compact(self, marked: bytearray) -> List[int]:
+        """Drop every unmarked node, renumber survivors, rebuild the unique table.
+
+        ``marked`` is one byte per current node id (terminals must be marked).
+        Survivors keep their relative order, so children still precede their
+        parents.  Returns the old-id -> new-id remap list; entries for dead
+        nodes are meaningless and must not be consulted.
+        """
+        old_var, old_low, old_high = self._var, self._low, self._high
+        size = len(old_var)
+        remap = [0] * size
+        remap[TRUE] = TRUE
+        new_var: List[int] = [TERMINAL_VAR, TERMINAL_VAR]
+        new_low: List[int] = [FALSE, TRUE]
+        new_high: List[int] = [FALSE, TRUE]
+        unique: Dict[int, Dict[int, int]] = {}
+        for node in range(2, size):
+            if not marked[node]:
+                continue
+            var = old_var[node]
+            low = remap[old_low[node]]
+            high = remap[old_high[node]]
+            new_id = len(new_var)
+            remap[node] = new_id
+            new_var.append(var)
+            new_low.append(low)
+            new_high.append(high)
+            bucket = unique.get(var)
+            if bucket is None:
+                bucket = unique[var] = {}
+            bucket[(low << 32) | high] = new_id
+        self._var, self._low, self._high = new_var, new_low, new_high
+        self._unique = unique
+        return remap

@@ -60,7 +60,18 @@ class SerializedBDD:
 
 
 def serialize_bdd(bdd: BDD) -> SerializedBDD:
-    """Flatten ``bdd`` into a :class:`SerializedBDD` (shared subgraphs kept shared)."""
+    """Flatten ``bdd`` into a :class:`SerializedBDD` (shared subgraphs kept shared).
+
+    The traversal holds raw node ids, which is safe because it performs no
+    kernel operations: the manager's compacting GC only runs at the end of a
+    public operation, so the table cannot be renumbered mid-walk.
+
+    The name table is emitted in the *source manager's variable order* (not
+    traversal-discovery order), so deserialization into a fresh manager
+    declares the variables in the same relative order and the bottom-up
+    ``ite`` rebuild stays linear instead of re-sorting every node under an
+    inverted order.
+    """
     manager = bdd.manager
     table = manager._table
     root = bdd.node
@@ -69,9 +80,8 @@ def serialize_bdd(bdd: BDD) -> SerializedBDD:
     if root == TRUE:
         return SerializedBDD((), (), TRUE)
 
-    names: List[Hashable] = []
-    name_refs: dict = {}
-    nodes: List[PyTuple[int, int, int]] = []
+    variables: set = set()
+    raw_nodes: List[PyTuple[int, int, int]] = []  # (var index, low_ref, high_ref)
     node_refs: dict = {}  # manager node id -> serialized reference
 
     stack: List[PyTuple[int, bool]] = [(root, False)]
@@ -85,18 +95,19 @@ def serialize_bdd(bdd: BDD) -> SerializedBDD:
             stack.append((high, False))
             stack.append((low, False))
             continue
-        name = manager.name_of(var)
-        name_ref = name_refs.get(name)
-        if name_ref is None:
-            name_ref = len(names)
-            name_refs[name] = name_ref
-            names.append(name)
+        variables.add(var)
         low_ref = low if low <= TRUE else node_refs[low]
         high_ref = high if high <= TRUE else node_refs[high]
-        node_refs[node] = len(nodes) + 2
-        nodes.append((name_ref, low_ref, high_ref))
+        node_refs[node] = len(raw_nodes) + 2
+        raw_nodes.append((var, low_ref, high_ref))
 
-    return SerializedBDD(tuple(names), tuple(nodes), node_refs[root])
+    ordered = sorted(variables)
+    position = {var: index for index, var in enumerate(ordered)}
+    names = tuple(manager.name_of(var) for var in ordered)
+    nodes = tuple(
+        (position[var], low_ref, high_ref) for var, low_ref, high_ref in raw_nodes
+    )
+    return SerializedBDD(names, nodes, node_refs[root])
 
 
 def deserialize_bdd(serialized: SerializedBDD, manager: BDDManager) -> BDD:
@@ -105,14 +116,19 @@ def deserialize_bdd(serialized: SerializedBDD, manager: BDDManager) -> BDD:
     Unknown variable names are declared on the fly; known names reuse the
     manager's existing variables, so annotations restored after a restart keep
     referring to the same base tuples.
+
+    The rebuild enrolls in the manager's GC protocol: the ``built`` handles
+    are live roots throughout, and automatic collection is deferred for the
+    duration so a large restore triggers at most one compaction at the end.
     """
-    built: List[BDD] = [manager.false, manager.true]
-    variables = [manager.variable(name) for name in serialized.names]
-    for name_ref, low_ref, high_ref in serialized.nodes:
-        built.append(
-            manager.ite(variables[name_ref], built[high_ref], built[low_ref])
-        )
-    return built[serialized.root]
+    with manager.defer_gc():
+        built: List[BDD] = [manager.false, manager.true]
+        variables = [manager.variable(name) for name in serialized.names]
+        for name_ref, low_ref, high_ref in serialized.nodes:
+            built.append(
+                manager.ite(variables[name_ref], built[high_ref], built[low_ref])
+            )
+        return built[serialized.root]
 
 
 def bdd_to_bytes(bdd: BDD) -> bytes:

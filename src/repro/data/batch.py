@@ -145,10 +145,7 @@ class UpdateBatch(Sequence):
                     # plain set-semantics repeats: keep the last one.
                     merged.append(items[-1])
                     continue
-                combined = annotations[0]
-                for annotation in annotations[1:]:
-                    combined = store.disjoin(combined, annotation)
-                merged.append(items[-1].with_provenance(combined))
+                merged.append(items[-1].with_provenance(store.disjoin_many(annotations)))
         return UpdateBatch(merged)
 
     def chunks(self, max_batch: int) -> Iterator["UpdateBatch"]:

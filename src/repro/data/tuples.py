@@ -41,6 +41,23 @@ class Schema:
                 f"partition attribute {partition!r} not in schema of {self.relation!r}"
             )
         object.__setattr__(self, "partition_attribute", partition)
+        # Attribute positions, precomputed: tuple field access is the hottest
+        # lookup in the engine (join keys, partition values, group keys).
+        object.__setattr__(
+            self, "_index", {attribute: i for i, attribute in enumerate(self.attributes)}
+        )
+
+    def __getstate__(self):
+        return (self.relation, self.attributes, self.partition_attribute)
+
+    def __setstate__(self, state):
+        relation, attributes, partition = state
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "partition_attribute", partition)
+        object.__setattr__(
+            self, "_index", {attribute: i for i, attribute in enumerate(attributes)}
+        )
 
     @property
     def arity(self) -> int:
@@ -50,8 +67,8 @@ class Schema:
     def index_of(self, attribute: str) -> int:
         """Position of ``attribute`` in the schema (raises SchemaError if absent)."""
         try:
-            return self.attributes.index(attribute)
-        except ValueError as exc:
+            return self._index[attribute]
+        except KeyError as exc:
             raise SchemaError(
                 f"attribute {attribute!r} not in schema of {self.relation!r}"
             ) from exc
@@ -89,19 +106,51 @@ def _value_size(value: Any) -> int:
     return 16
 
 
-@dataclass(frozen=True)
 class Tuple:
-    """An immutable tuple of a given :class:`Schema`."""
+    """An immutable tuple of a given :class:`Schema`.
 
-    schema: Schema
-    values: PyTuple[Any, ...]
+    Tuples are the engine's universal dictionary key (``P`` tables, join
+    indexes, MinShip buffers), so their identity operations are hot paths: a
+    plain ``__slots__`` class (constructed once per derived delta), the hash
+    computed lazily and cached, attribute access through the schema's
+    precomputed position table, and the ``key``/wire-size values memoised on
+    first use.  Treat instances as immutable.
+    """
+
+    __slots__ = ("schema", "values", "_hash", "_key", "_size")
+
+    def __init__(self, schema: Schema, values: PyTuple[Any, ...]) -> None:
+        self.schema = schema
+        self.values = values
 
     def __getitem__(self, attribute: str) -> Any:
-        return self.values[self.schema.index_of(attribute)]
+        try:
+            return self.values[self.schema._index[attribute]]
+        except KeyError as exc:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema of {self.relation!r}"
+            ) from exc
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.schema.relation, self.values))
+            self._hash = value
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self.values == other.values and (
+            self.schema is other.schema or self.schema == other.schema
+        )
 
     def get(self, attribute: str, default: Any = None) -> Any:
         """Value of ``attribute``, or ``default`` if the schema lacks it."""
-        if attribute in self.schema.attributes:
+        if attribute in self.schema._index:
             return self[attribute]
         return default
 
@@ -113,7 +162,12 @@ class Tuple:
     @property
     def key(self) -> PyTuple[Any, ...]:
         """Hashable identity used in provenance hash tables: (relation, values)."""
-        return (self.schema.relation,) + self.values
+        try:
+            return self._key
+        except AttributeError:
+            value = (self.schema.relation,) + self.values
+            self._key = value
+            return value
 
     @property
     def partition_value(self) -> Any:
@@ -141,8 +195,19 @@ class Tuple:
         return self.schema.tuple(**mapping)
 
     def size_bytes(self) -> int:
-        """Estimated wire size of the tuple payload (no provenance)."""
-        return 4 + sum(_value_size(value) for value in self.values)
+        """Estimated wire size of the tuple payload (no provenance), memoised."""
+        try:
+            return self._size
+        except AttributeError:
+            value = 4 + sum(_value_size(value) for value in self.values)
+            self._size = value
+            return value
+
+    def __getstate__(self):
+        return (self.schema, self.values)
+
+    def __setstate__(self, state):
+        self.schema, self.values = state
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.values)

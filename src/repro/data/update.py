@@ -10,7 +10,6 @@ so that soft-state windows can expire them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.data.tuples import Tuple
@@ -26,7 +25,6 @@ class UpdateType(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
 class Update:
     """A single stream element: ``(type, tuple, pv)`` plus bookkeeping fields.
 
@@ -35,13 +33,52 @@ class Update:
     (relative provenance), ``None`` (DRed / set semantics), or an integer
     (counting).  The provenance trackers in :mod:`repro.provenance` interpret
     it.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: updates are
+    constructed once per emitted delta on every operator path, and the frozen
+    dataclass ``__init__`` (one ``object.__setattr__`` per field) was a
+    measurable cost there.  Treat instances as immutable.
     """
 
-    type: UpdateType
-    tuple: Tuple
-    provenance: Any = None
-    timestamp: float = 0.0
-    origin_node: Optional[int] = None
+    __slots__ = ("type", "tuple", "provenance", "timestamp", "origin_node")
+
+    def __init__(
+        self,
+        type: UpdateType,
+        tuple: Tuple,
+        provenance: Any = None,
+        timestamp: float = 0.0,
+        origin_node: Optional[int] = None,
+    ) -> None:
+        self.type = type
+        self.tuple = tuple
+        self.provenance = provenance
+        self.timestamp = timestamp
+        self.origin_node = origin_node
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Update):
+            return NotImplemented
+        return (
+            self.type is other.type
+            and self.tuple == other.tuple
+            and self.provenance == other.provenance
+            and self.timestamp == other.timestamp
+            and self.origin_node == other.origin_node
+        )
+
+    def __hash__(self) -> int:
+        # Provenance is excluded (it may be any annotation type); equal
+        # updates still hash equal, which is all the contract requires.
+        return hash((self.type, self.tuple, self.timestamp, self.origin_node))
+
+    def __getstate__(self):
+        return (self.type, self.tuple, self.provenance, self.timestamp, self.origin_node)
+
+    def __setstate__(self, state):
+        self.type, self.tuple, self.provenance, self.timestamp, self.origin_node = state
 
     @property
     def is_insert(self) -> bool:
@@ -59,21 +96,25 @@ class Update:
         return self.tuple.relation
 
     def with_provenance(self, provenance: Any) -> "Update":
-        """Copy of the update with a different provenance annotation."""
-        return replace(self, provenance=provenance)
+        """Copy of the update with a different provenance annotation.
+
+        Hand-rolled constructor calls (rather than ``dataclasses.replace``):
+        these copies run once per emitted delta on the hot operator paths.
+        """
+        return Update(self.type, self.tuple, provenance, self.timestamp, self.origin_node)
 
     def with_type(self, update_type: UpdateType) -> "Update":
         """Copy of the update with a different type (INS <-> DEL)."""
-        return replace(self, type=update_type)
+        return Update(update_type, self.tuple, self.provenance, self.timestamp, self.origin_node)
 
     def with_timestamp(self, timestamp: float) -> "Update":
         """Copy of the update stamped at ``timestamp``."""
-        return replace(self, timestamp=timestamp)
+        return Update(self.type, self.tuple, self.provenance, timestamp, self.origin_node)
 
     def inverted(self) -> "Update":
         """The opposite operation on the same tuple (used by DRed rederivation)."""
         opposite = UpdateType.DEL if self.is_insert else UpdateType.INS
-        return replace(self, type=opposite)
+        return Update(opposite, self.tuple, self.provenance, self.timestamp, self.origin_node)
 
     def size_bytes(self, provenance_bytes: int = 0) -> int:
         """Wire size: 1 byte tag + tuple payload + provenance annotation."""

@@ -14,11 +14,13 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
+import time
+
 from repro.data.batch import BatchPolicy, UpdateBatch
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.engine.dred import DRedCoordinator
-from repro.engine.metrics import ExperimentMetrics, PhaseMetrics
+from repro.engine.metrics import ExperimentMetrics, KernelPhaseStats, PhaseMetrics
 from repro.engine.plan import RecursiveViewPlan
 from repro.engine.runtime import (
     PORT_BASE,
@@ -140,6 +142,9 @@ class DistributedViewExecutor:
         self.network.reset_stats()
         self.network.arm_wall_budget()
         phase_start = self.network.now
+        wall_start = time.perf_counter()
+        handler_start = self.network.handler_seconds
+        kernel_start = self.store.kernel_stats()
 
         self._inject_insertions(edge_inserts, seed_inserts, phase_start)
         if self.strategy.uses_dred and (edge_deletes or seed_deletes):
@@ -155,7 +160,13 @@ class DistributedViewExecutor:
             self._run_to_quiescence()
 
         self._update_live_base(edge_inserts, edge_deletes, seed_inserts, seed_deletes)
-        phase = self._collect_phase(label, phase_start)
+        phase = self._collect_phase(
+            label,
+            phase_start,
+            wall_seconds=time.perf_counter() - wall_start,
+            handler_seconds=self.network.handler_seconds - handler_start,
+            kernel_start=kernel_start,
+        )
         self.metrics.add_phase(phase)
         return phase
 
@@ -265,7 +276,14 @@ class DistributedViewExecutor:
         self.live_seeds.update(seed_inserts)
         self.live_seeds.difference_update(seed_deletes)
 
-    def _collect_phase(self, label: str, phase_start: float) -> PhaseMetrics:
+    def _collect_phase(
+        self,
+        label: str,
+        phase_start: float,
+        wall_seconds: float = 0.0,
+        handler_seconds: float = 0.0,
+        kernel_start: Optional[Dict[str, object]] = None,
+    ) -> PhaseMetrics:
         stats = self.network.stats
         elapsed = max(stats.convergence_time - phase_start, 0.0)
         return PhaseMetrics(
@@ -277,6 +295,38 @@ class DistributedViewExecutor:
             messages=stats.total_messages,
             updates_shipped=stats.total_updates_shipped,
             view_size=len(self.view()),
+            wall_seconds=wall_seconds,
+            kernel=self._kernel_phase_stats(kernel_start, wall_seconds, handler_seconds),
+        )
+
+    def _kernel_phase_stats(
+        self,
+        kernel_start: Optional[Dict[str, object]],
+        wall_seconds: float,
+        handler_seconds: float,
+    ) -> Optional[KernelPhaseStats]:
+        """Per-phase annotation-kernel telemetry (None for kernel-less stores).
+
+        Monotonic counters are reported as deltas against the phase-start
+        snapshot; ``routing_time_s`` is the handler wall time minus the
+        kernel's share of it, ``net_time_s`` the rest of the phase wall.
+        """
+        current = self.store.kernel_stats()
+        if current is None:
+            return None
+        start = kernel_start or {}
+        kernel_delta = current["kernel_time_s"] - start.get("kernel_time_s", 0.0)
+        gc_delta = current["gc_pause_s"] - start.get("gc_pause_s", 0.0)
+        return KernelPhaseStats(
+            table_size=current["table_size"],
+            peak_table_size=current["peak_table_size"],
+            nodes_reclaimed=current["nodes_reclaimed"] - start.get("nodes_reclaimed", 0),
+            gc_passes=current["gc_passes"] - start.get("gc_passes", 0),
+            gc_compactions=current["gc_compactions"] - start.get("gc_compactions", 0),
+            gc_pause_s=gc_delta,
+            kernel_time_s=kernel_delta,
+            routing_time_s=max(handler_seconds - kernel_delta - gc_delta, 0.0),
+            net_time_s=max(wall_seconds - handler_seconds, 0.0),
         )
 
     # -- results --------------------------------------------------------------------------------

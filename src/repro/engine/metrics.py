@@ -17,6 +17,42 @@ from typing import Dict, List, Optional
 
 
 @dataclass
+class KernelPhaseStats:
+    """Annotation-kernel telemetry for one phase (absorption strategies only).
+
+    Monotonic manager counters are reported as per-phase *deltas* by the
+    executor; table sizes are absolute.  ``kernel_time_s`` is wall time spent
+    inside the BDD kernel loops, ``routing_time_s`` the remaining handler
+    (operator/routing) time, and ``net_time_s`` what is left of the phase
+    wall clock — event-loop, latency bookkeeping and metric collection — so
+    the three together decompose ``wall_seconds``.
+    """
+
+    table_size: int = 0
+    peak_table_size: int = 0
+    nodes_reclaimed: int = 0
+    gc_passes: int = 0
+    gc_compactions: int = 0
+    gc_pause_s: float = 0.0
+    kernel_time_s: float = 0.0
+    routing_time_s: float = 0.0
+    net_time_s: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat ``kernel_*`` columns used by report formatting."""
+        return {
+            "kernel_table_size": self.table_size,
+            "kernel_peak_table": self.peak_table_size,
+            "kernel_reclaimed": self.nodes_reclaimed,
+            "kernel_gc_passes": self.gc_passes,
+            "kernel_gc_pause_s": round(self.gc_pause_s, 6),
+            "kernel_time_s": round(self.kernel_time_s, 6),
+            "routing_time_s": round(self.routing_time_s, 6),
+            "net_time_s": round(self.net_time_s, 6),
+        }
+
+
+@dataclass
 class PhaseMetrics:
     """Metrics for one phase of an experiment (e.g. all insertions, or one deletion batch)."""
 
@@ -28,10 +64,15 @@ class PhaseMetrics:
     messages: int = 0
     updates_shipped: int = 0
     view_size: int = 0
+    #: Wall-clock seconds the phase took to execute (simulation overhead
+    #: included; distinct from the virtual ``convergence_time_s``).
+    wall_seconds: float = 0.0
+    #: Annotation-kernel telemetry (None for strategies without one).
+    kernel: Optional[KernelPhaseStats] = None
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary used by report formatting."""
-        return {
+        row = {
             "per_tuple_provenance_B": round(self.per_tuple_provenance_bytes, 2),
             "communication_MB": round(self.communication_mb, 6),
             "state_MB": round(self.state_mb, 6),
@@ -40,6 +81,11 @@ class PhaseMetrics:
             "updates_shipped": self.updates_shipped,
             "view_size": self.view_size,
         }
+        if self.wall_seconds:
+            row["wall_seconds"] = round(self.wall_seconds, 6)
+        if self.kernel is not None:
+            row.update(self.kernel.as_row())
+        return row
 
 
 @dataclass

@@ -34,8 +34,9 @@ zero-out-the-variable path) and peers then reseed the cold node through
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.data.batch import BatchPolicy, UpdateBatch, split_runs
 from repro.data.tuples import Tuple
@@ -48,7 +49,7 @@ from repro.net.simulator import SimulatedNetwork
 from repro.operators.aggsel import AggregateSelection
 from repro.operators.fixpoint import FixpointOperator
 from repro.operators.join import PipelinedHashJoin
-from repro.operators.ship import MinShipOperator, ShipMode, ShipOperator
+from repro.operators.ship import MinShipOperator, ShipOperator
 from repro.provenance.tracker import ProvenanceStore
 
 #: Port names used between nodes.
@@ -123,6 +124,39 @@ class ProcessorNode:
         #: after a deletion gets a fresh provenance variable so that old
         #: tombstones cannot suppress the new incarnation.
         self._base_versions: Dict[object, int] = {}
+        # Enroll this node's operator state in the annotation kernel's GC
+        # root registry.  The provider holds the node weakly so a node
+        # rebuilt after a crash (or decommissioned by the elastic subsystem)
+        # does not keep its discarded state alive through the registry;
+        # returning None after the node dies deregisters the provider at the
+        # next collection.
+        node_ref = weakref.ref(self)
+
+        def _operator_state_roots():
+            node = node_ref()
+            return node._annotation_roots() if node is not None else None
+
+        store.register_root_source(_operator_state_roots)
+
+    def _annotation_roots(self) -> Iterator[object]:
+        """Every annotation handle held by this node's per-port operator state.
+
+        Consulted by the BDD manager's mark phase (GC root protocol); the
+        tables themselves hold live handles, so this is belt-and-braces
+        against any holder that slips out of automatic handle tracking.
+        """
+        yield from self.join._left.provenance.values()
+        yield from self.join._right.provenance.values()
+        yield from self.fixpoint.provenance.values()
+        if self.fixpoint.aggregate_selection is not None:
+            yield from self.fixpoint.aggregate_selection.provenance.values()
+        ship = self.ship
+        if isinstance(ship, MinShipOperator):
+            yield from ship.sent.values()
+            yield from ship.pending_insertions.values()
+            yield from ship.pending_deletions.values()
+            if ship.aggregate_selection is not None:
+                yield from ship.aggregate_selection.provenance.values()
 
     # -- network entry point -------------------------------------------------------
     def handle(self, port: str, updates: Sequence[Update], now: float) -> None:
@@ -321,29 +355,29 @@ class ProcessorNode:
         if not self._deleted_base_keys or not self.strategy.uses_provenance:
             return list(updates)
         filtered: List[Update] = []
-        #: annotation -> surviving annotation (None = dropped entirely).
-        memo: Dict[object, object] = {}
+        restrict = self.store.base_restrictor(self._deleted_base_keys)
+        #: id(annotation) -> surviving annotation (None = dropped entirely).
+        #: Keyed by object identity, not value: repeated annotations within a
+        #: batch are shared references, identity keys work for unhashable
+        #: annotation types, and — for BDD handles — identity is immune to a
+        #: GC compaction renumbering the ids (and with them the value hash)
+        #: mid-batch.  The updates list keeps every keyed annotation alive.
+        memo: Dict[int, object] = {}
         for update in updates:
             if not update.is_insert or update.provenance is None:
                 filtered.append(update)
                 continue
             annotation = update.provenance
-            try:
-                cached = memo.get(annotation, _UNFILTERED)
-                cacheable = True
-            except TypeError:  # unhashable annotation: restrict directly
-                cached = _UNFILTERED
-                cacheable = False
+            cached = memo.get(id(annotation), _UNFILTERED)
             if cached is _UNFILTERED:
-                restricted = self.store.remove_base(annotation, self._deleted_base_keys)
+                restricted = restrict(annotation)
                 if self.store.is_zero(restricted):
                     cached = None
                 elif self.store.equals(restricted, annotation):
                     cached = annotation
                 else:
                     cached = restricted
-                if cacheable:
-                    memo[annotation] = cached
+                memo[id(annotation)] = cached
             if cached is None:
                 continue
             if cached is annotation:
@@ -552,7 +586,7 @@ class ProcessorNode:
         invalidated (the consumer must not lose the tuple).
         """
         restrict = (
-            self._restrict_with_tombstones
+            self.store.base_restrictor(self._deleted_base_keys)
             if self.strategy.uses_provenance and self._deleted_base_keys
             else None
         )
@@ -568,9 +602,6 @@ class ProcessorNode:
             self._absorb_ship_tables(
                 state["ship_sent"], state["ship_pins"], state["ship_pdel"], restrict, now
             )
-
-    def _restrict_with_tombstones(self, annotation: object) -> object:
-        return self.store.remove_base(annotation, self._deleted_base_keys)
 
     def _restricted_entries(self, entries: Dict[Tuple, object], restrict) -> Dict[Tuple, object]:
         """Tombstone-restrict a migrated table, dropping entries that zero out."""

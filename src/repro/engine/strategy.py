@@ -16,8 +16,8 @@ Absorption Lazy     absorption (BDD)     lazy
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
 
 from repro.operators.ship import ShipMode
 from repro.provenance.tracker import ProvenanceStore, provenance_store_for
@@ -98,6 +98,20 @@ class ExecutionStrategy:
         kind = self.provenance_kind.capitalize()
         mode = "Eager" if self.ship_mode is ShipMode.EAGER else "Lazy"
         return f"{kind} {mode}"
+
+    def with_kernel_options(self, gc_threshold: Optional[float] = None) -> "ExecutionStrategy":
+        """Forward BDD-kernel knobs to an absorption strategy's store options.
+
+        A no-op for strategies whose store has no annotation kernel, and for
+        ``None`` knobs; explicit per-strategy ``store_options`` win over the
+        forwarded defaults.  Shared by the harness and ``perf_check`` so a
+        new kernel knob only needs wiring here.
+        """
+        if gc_threshold is None or self.provenance_kind != "absorption":
+            return self
+        options = dict(self.store_options)
+        options.setdefault("gc_threshold", gc_threshold)
+        return replace(self, store_options=options)
 
     def create_store(self) -> ProvenanceStore:
         """Instantiate the provenance store this strategy runs with."""

@@ -60,15 +60,23 @@ class NodeSnapshot:
 
 
 def capture_node_state(node: ProcessorNode, wal_sequence: int) -> NodeSnapshot:
-    """Snapshot ``node`` as of ``wal_sequence`` (annotations encoded)."""
-    return NodeSnapshot(
-        node_id=node.node_id, wal_sequence=wal_sequence, state=node.snapshot_state()
-    )
+    """Snapshot ``node`` as of ``wal_sequence`` (annotations encoded).
+
+    Runs with the provenance store's annotation-kernel GC paused (the
+    checkpoint codec's enrollment in the root protocol): a capture encodes
+    thousands of annotations back to back, and deferral turns what would be
+    several small compactions into at most one when the capture finishes.
+    """
+    with node.store.gc_paused():
+        return NodeSnapshot(
+            node_id=node.node_id, wal_sequence=wal_sequence, state=node.snapshot_state()
+        )
 
 
 def restore_node_state(node: ProcessorNode, snapshot: NodeSnapshot) -> None:
-    """Restore ``node`` from ``snapshot`` (annotations re-interned)."""
-    node.restore_state(snapshot.state)
+    """Restore ``node`` from ``snapshot`` (annotations re-interned, GC paused)."""
+    with node.store.gc_paused():
+        node.restore_state(snapshot.state)
 
 
 class CheckpointStore:

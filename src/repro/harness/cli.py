@@ -97,6 +97,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the historical tuple-at-a-time pipeline (same as --batch-size 1)",
     )
+    kernel = parser.add_argument_group("BDD kernel")
+    kernel.add_argument(
+        "--bdd-gc-threshold",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "dead-node fraction of the BDD table that triggers a compacting "
+            "GC in the absorption strategies (0 disables automatic GC; "
+            "default 0.25)"
+        ),
+    )
     elastic = parser.add_argument_group("elastic placement")
     elastic.add_argument(
         "--per-node",
@@ -157,6 +169,10 @@ def _select_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["batch_ports"] = ports
     if args.per_node:
         overrides["per_node"] = True
+    if args.bdd_gc_threshold is not None:
+        if not 0.0 <= args.bdd_gc_threshold <= 1.0:
+            raise SystemExit("--bdd-gc-threshold must be within [0, 1]")
+        overrides["bdd_gc_threshold"] = args.bdd_gc_threshold
     if args.virtual_nodes is not None:
         if args.virtual_nodes < 1:
             raise SystemExit("--virtual-nodes must be >= 1")

@@ -81,6 +81,10 @@ class ExperimentConfig:
     hotspot_extra_links: int = 20
     #: Append per-node traffic/state rows to experiment reports (skew view).
     per_node: bool = False
+    #: Dead-node fraction of the BDD node table that triggers a compacting
+    #: garbage collection in the absorption strategies' annotation kernel
+    #: (0 disables automatic GC; see ``BDDManager``).
+    bdd_gc_threshold: float = 0.25
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""

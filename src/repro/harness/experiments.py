@@ -90,6 +90,12 @@ def _batch_policy(config: ExperimentConfig) -> BatchPolicy:
     return BatchPolicy(max_batch=config.batch_size, ports=ports)
 
 
+def _strategy(scheme, config: ExperimentConfig) -> ExecutionStrategy:
+    """Resolve a scheme label, applying the config's BDD-kernel knobs."""
+    strategy = ExecutionStrategy.by_name(scheme) if isinstance(scheme, str) else scheme
+    return strategy.with_kernel_options(gc_threshold=config.bdd_gc_threshold)
+
+
 def _executor(
     plan,
     scheme: str,
@@ -99,7 +105,7 @@ def _executor(
 ) -> DistributedViewExecutor:
     return build_executor(
         plan,
-        scheme,
+        _strategy(scheme, config),
         node_count=node_count or config.node_count,
         max_events=config.max_events,
         max_wall_seconds=config.max_wall_seconds,

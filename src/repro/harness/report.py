@@ -67,3 +67,29 @@ def print_figure(rows: Sequence[Row], title: str) -> None:
     print()
     print(format_rows(rows, title=title))
     print()
+
+
+def format_kernel_stats(stats: Dict[str, object], label: str = "") -> str:
+    """One-line rendering of annotation-kernel telemetry.
+
+    Accepts either a :meth:`repro.bdd.manager.BDDManager.gc_stats` mapping or
+    the flattened ``kernel_*`` columns of a phase row; used by
+    ``scripts/perf_check.py`` and ad-hoc diagnostics.
+    """
+
+    def pick(*names: str, default: object = 0) -> object:
+        for name in names:
+            if name in stats:
+                return stats[name]
+        return default
+
+    parts = [
+        f"table={pick('table_size', 'kernel_table_size')}",
+        f"peak={pick('peak_table_size', 'kernel_peak_table')}",
+        f"reclaimed={pick('nodes_reclaimed', 'kernel_reclaimed')}",
+        f"gc_passes={pick('gc_passes', 'kernel_gc_passes')}",
+        f"gc_pause={float(pick('gc_pause_s', 'kernel_gc_pause_s')):.4f}s",
+        f"kernel={float(pick('kernel_time_s')):.4f}s",
+    ]
+    prefix = f"{label}: " if label else ""
+    return prefix + " ".join(parts)

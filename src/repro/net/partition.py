@@ -28,6 +28,9 @@ class HashPartitioner:
             raise ValueError("node_count must be positive")
         self.node_count = node_count
         self._overrides = dict(overrides or {})
+        #: key -> node memo; the FNV hash over repr() is pure but not cheap,
+        #: and routing consults the same few hundred keys millions of times.
+        self._memo: Dict[Any, int] = {}
 
     @property
     def nodes(self) -> PyTuple[int, ...]:
@@ -40,9 +43,15 @@ class HashPartitioner:
 
     def node_for(self, key: Any) -> int:
         """Processor node responsible for ``key``."""
+        node = self._memo.get(key)
+        if node is not None:
+            return node
         if key in self._overrides:
-            return self._overrides[key]
-        return stable_hash(key) % self.node_count
+            node = self._overrides[key]
+        else:
+            node = stable_hash(key) % self.node_count
+        self._memo[key] = node
+        return node
 
     def __call__(self, key: Any) -> int:
         return self.node_for(key)
@@ -52,6 +61,7 @@ class HashPartitioner:
         if not 0 <= node < self.node_count:
             raise ValueError(f"node {node} out of range for {self.node_count} nodes")
         self._overrides[key] = node
+        self._memo.clear()
 
     @staticmethod
     def identity(node_count: int, keys: Dict[Any, int]) -> "HashPartitioner":

@@ -137,6 +137,10 @@ class SimulatedNetwork:
         self._node_busy_until: Dict[int, float] = {node: 0.0 for node in range(node_count)}
         self._now = 0.0
         self._events_processed = 0
+        #: Cumulative wall seconds spent inside node handlers (operator and
+        #: routing work); the engine reports per-phase deltas of this next to
+        #: the BDD kernel's own timer to split BDD vs routing vs net time.
+        self.handler_seconds = 0.0
         #: Nodes currently crashed.
         self._down: Set[int] = set()
         #: Nodes decommissioned by the elastic placement subsystem.  They stay
@@ -381,7 +385,9 @@ class SimulatedNetwork:
             self._node_busy_until[message.dst] = completion
             self._now = completion
             self.stats.record_time(completion)
+            wall_start = time.perf_counter()
             handler(message.port, updates, completion)
+            self.handler_seconds += time.perf_counter() - wall_start
         return self.stats
 
     def _coalesce_ready(
@@ -402,8 +408,20 @@ class SimulatedNetwork:
         policy = self.batch_policy
         if not policy.batches_port(message.port) or policy.max_batch <= 1:
             return message.updates
-        updates: List[Update] = list(message.updates)
         queue = self._queue
+        if queue:
+            # Fast path: nothing coalescible at the queue front.
+            arrival, _, head = queue[0]
+            if (
+                not isinstance(head, Message)
+                or head.dst != message.dst
+                or head.port != message.port
+                or arrival > start
+            ):
+                return message.updates
+        else:
+            return message.updates
+        updates: List[Update] = list(message.updates)
         while queue and len(updates) < policy.max_batch:
             arrival, _, head = queue[0]
             if (

@@ -123,14 +123,13 @@ class AggregateSelection:
                 if len(items) == 1:
                     outputs.extend(self._process_insert(items[0]))
                     continue
-                group_or = items[0].provenance
-                if group_or is None:
-                    group_or = self.store.one()
-                for item in items[1:]:
-                    annotation = (
-                        item.provenance if item.provenance is not None else self.store.one()
-                    )
-                    group_or = self.store.disjoin(group_or, annotation)
+                one = self.store.one
+                group_or = self.store.disjoin_many(
+                    [
+                        item.provenance if item.provenance is not None else one()
+                        for item in items
+                    ]
+                )
                 outputs.extend(self._process_insert(items[-1].with_provenance(group_or)))
         return outputs
 
@@ -247,11 +246,11 @@ class AggregateSelection:
         """Zero out deleted base tuples in the buffered provenance, emitting replacements."""
         if not self.store.supports_deletion:
             return []
-        removed = list(base_keys)
+        restrict = self.store.base_restrictor(base_keys)
         outputs: List[Update] = []
         dead: List[Tuple] = []
         for tuple_, annotation in self.provenance.items():
-            restricted = self.store.remove_base(annotation, removed)
+            restricted = restrict(annotation)
             if self.store.equals(restricted, annotation):
                 continue
             if self.store.is_zero(restricted):

@@ -113,13 +113,20 @@ class Operator(abc.ABC):
         return outputs
 
     def _record_batch(self, updates: Sequence[Update], outputs: List[Update]) -> List[Update]:
-        """Bookkeeping helper for batch entry points."""
+        """Bookkeeping helper for batch entry points (bulk counter updates)."""
+        stats = self.stats
+        total = len(updates)
+        insertions = 0
         for update in updates:
-            self.stats.record_input(update)
-        self.stats.record_outputs(outputs)
-        if updates and not outputs:
-            self.stats.suppressed += len(updates)
-        self.stats.batches_processed += 1
+            if update.is_insert:
+                insertions += 1
+        stats.updates_processed += total
+        stats.insertions_seen += insertions
+        stats.deletions_seen += total - insertions
+        stats.updates_emitted += len(outputs)
+        if total and not outputs:
+            stats.suppressed += total
+        stats.batches_processed += 1
         return outputs
 
     def __repr__(self) -> str:

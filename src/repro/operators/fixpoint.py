@@ -101,12 +101,15 @@ class FixpointOperator(Operator):
 
     def _insert_group(self, tuple_: Tuple, items: List[Update]) -> List[Update]:
         """Merge a same-tuple insertion group into ``P`` and emit one delta."""
-        group_or = items[0].provenance
-        if group_or is None:
-            group_or = self.store.one()
-        for item in items[1:]:
-            annotation = item.provenance if item.provenance is not None else self.store.one()
-            group_or = self.store.disjoin(group_or, annotation)
+        if len(items) == 1:
+            group_or = items[0].provenance
+            if group_or is None:
+                group_or = self.store.one()
+        else:
+            one = self.store.one
+            group_or = self.store.disjoin_many(
+                [item.provenance if item.provenance is not None else one() for item in items]
+            )
         existing = self.provenance.get(tuple_)
         if existing is None:
             self.provenance[tuple_] = group_or
@@ -177,10 +180,11 @@ class FixpointOperator(Operator):
         if not self.store.supports_deletion:
             return []
         removed_keys = list(base_keys)
+        restrict = self.store.base_restrictor(removed_keys)
         outputs: List[Update] = []
         dead: List[Tuple] = []
         for tuple_, annotation in self.provenance.items():
-            restricted = self.store.remove_base(annotation, removed_keys)
+            restricted = restrict(annotation)
             if self.store.equals(restricted, annotation):
                 continue
             if self.store.is_zero(restricted):

@@ -21,7 +21,9 @@ selection predicates.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+from bisect import insort
+from operator import attrgetter
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.data.batch import group_by_tuple, split_runs
 from repro.data.tuples import Tuple
@@ -35,32 +37,50 @@ from repro.provenance.tracker import ProvenanceStore
 Combiner = Callable[[Tuple, Tuple], Optional[Tuple]]
 
 
+_TUPLE_ORDER = attrgetter("key")
+
+_NO_MATCHES: PyTuple[Tuple, ...] = ()
+
+
 class _JoinSide:
-    """State for one input of the symmetric hash join."""
+    """State for one input of the symmetric hash join.
+
+    Each ``h`` bucket is kept *sorted* by the tuples' identity key, so probes
+    iterate matches in deterministic order with no per-probe sort.
+    """
 
     __slots__ = ("key_fn", "by_key", "provenance", "window")
 
     def __init__(self, key_fn: Callable[[Tuple], Any], window: Optional[SlidingWindow]) -> None:
         self.key_fn = key_fn
-        #: ``h``: join-key -> set of tuples with that key.
-        self.by_key: Dict[Any, Set[Tuple]] = {}
+        #: ``h``: join-key -> list of tuples with that key, sorted by identity.
+        self.by_key: Dict[Any, List[Tuple]] = {}
         #: ``p``: tuple -> provenance annotation.
         self.provenance: Dict[Tuple, object] = {}
         self.window = window
 
     def add(self, tuple_: Tuple) -> None:
-        self.by_key.setdefault(self.key_fn(tuple_), set()).add(tuple_)
+        key = self.key_fn(tuple_)
+        bucket = self.by_key.get(key)
+        if bucket is None:
+            self.by_key[key] = [tuple_]
+        else:
+            insort(bucket, tuple_, key=_TUPLE_ORDER)
 
     def remove(self, tuple_: Tuple) -> None:
         key = self.key_fn(tuple_)
         bucket = self.by_key.get(key)
         if bucket is not None:
-            bucket.discard(tuple_)
+            try:
+                bucket.remove(tuple_)
+            except ValueError:
+                pass
             if not bucket:
                 del self.by_key[key]
 
-    def matches(self, key: Any) -> Set[Tuple]:
-        return self.by_key.get(key, set())
+    def matches(self, key: Any) -> Sequence[Tuple]:
+        """Tuples stored under ``key``, sorted by identity key."""
+        return self.by_key.get(key, _NO_MATCHES)
 
     def state_bytes(self, store: ProvenanceStore) -> int:
         total = sum(t.size_bytes() for t in self.provenance)
@@ -194,9 +214,7 @@ class PipelinedHashJoin(Operator):
             mine.add(tuple_)
         if not contributing:
             return []
-        delta = contributing[0]
-        for annotation in contributing[1:]:
-            delta = self.store.disjoin(delta, annotation)
+        delta = self.store.disjoin_many(contributing)
         return self._probe_key(
             tuple_, UpdateType.INS, delta, items[-1].timestamp, mine, other, left_is_update
         )
@@ -307,7 +325,7 @@ class PipelinedHashJoin(Operator):
     ) -> List[Update]:
         outputs: List[Update] = []
         key = mine.key_fn(tuple_)
-        for match in sorted(other.matches(key), key=lambda t: t.key):
+        for match in other.matches(key):
             if left_is_update:
                 joined = self._combine(tuple_, match)
             else:
@@ -345,11 +363,11 @@ class PipelinedHashJoin(Operator):
         """Zero out deleted base tuples in both sides' provenance tables."""
         if not self.store.supports_deletion:
             return []
-        removed = list(base_keys)
+        restrict = self.store.base_restrictor(base_keys)
         for side in (self._left, self._right):
             dead: List[Tuple] = []
             for tuple_, annotation in side.provenance.items():
-                restricted = self.store.remove_base(annotation, removed)
+                restricted = restrict(annotation)
                 if self.store.equals(restricted, annotation):
                     continue
                 if self.store.is_zero(restricted):

@@ -89,6 +89,12 @@ class MinShipOperator(Operator):
         self.pending_insertions: Dict[Tuple, object] = {}
         #: ``Pdel``: tuple -> buffered deletion provenance.
         self.pending_deletions: Dict[Tuple, object] = {}
+        #: Memo: tuple -> ``Bsent[t] OR Pins[t]``, maintained on the insert
+        #: path (where the absorption check computes exactly that value) so a
+        #: flush can update ``Bsent`` without re-running the disjunction.
+        #: Entries are dropped whenever either table changes any other way;
+        #: a missing entry just means the flush recomputes.
+        self._pending_merged: Dict[Tuple, object] = {}
 
     # -- stream processing --------------------------------------------------------
     def process(self, update: Update) -> List[Update]:
@@ -143,16 +149,36 @@ class MinShipOperator(Operator):
             outputs.append(items[0].with_provenance(first))
             if not annotations:
                 return outputs
-        group_or = annotations[0]
-        for annotation in annotations[1:]:
-            group_or = self.store.disjoin(group_or, annotation)
+        group_or = self.store.disjoin_many(annotations)
         merged = self.store.disjoin(previously_sent, group_or)
         if self.store.equals(merged, previously_sent):
             # Fully absorbed by what the consumer already knows: suppress.
             return outputs
-        buffered = self.pending_insertions.get(tuple_, self.store.zero())
-        self.pending_insertions[tuple_] = self.store.disjoin(buffered, group_or)
+        self._buffer_insertion(tuple_, group_or, merged)
         return outputs
+
+    def _buffer_insertion(self, tuple_: Tuple, annotation: object, merged: object) -> None:
+        """Fold ``annotation`` into ``Pins[t]``, keeping the flush memo exact.
+
+        ``merged`` is ``Bsent[t] OR annotation`` (the absorption check just
+        computed it); the memo invariant ``_pending_merged[t] ==
+        Bsent[t] OR Pins[t]`` is maintained so the eventual flush pays no
+        further kernel work in the common case.
+        """
+        store = self.store
+        buffered = self.pending_insertions.get(tuple_)
+        if buffered is None:
+            self.pending_insertions[tuple_] = annotation
+            self._pending_merged[tuple_] = merged
+            return
+        self.pending_insertions[tuple_] = store.disjoin(buffered, annotation)
+        memo = self._pending_merged.get(tuple_)
+        if memo is not None:
+            self._pending_merged[tuple_] = store.disjoin(memo, annotation)
+        else:
+            # The memo was invalidated (deletion/purge/import touched the
+            # tables); re-establish it from the parts.
+            self._pending_merged[tuple_] = store.disjoin(merged, buffered)
 
     def _process_one(self, update: Update) -> List[Update]:
         annotation = update.provenance if update.provenance is not None else self.store.one()
@@ -169,21 +195,22 @@ class MinShipOperator(Operator):
             if self.store.equals(merged, previously_sent):
                 # Fully absorbed by what the consumer already knows: suppress.
                 return []
-            buffered = self.pending_insertions.get(update.tuple, self.store.zero())
-            self.pending_insertions[update.tuple] = self.store.disjoin(buffered, annotation)
-            if self.mode is ShipMode.EAGER:
-                return []  # will go out with the next batch flush
-            return []
+            self._buffer_insertion(update.tuple, annotation, merged)
+            return []  # will go out with the next batch flush
         # Deletion of a tuple we have shipped before.
         if self.store.supports_deletion and update.provenance is not None:
             return self._buffer_deletion(update)
         # Set semantics: just forward the deletion.
         self.sent.pop(update.tuple, None)
         self.pending_insertions.pop(update.tuple, None)
+        self._pending_merged.pop(update.tuple, None)
         return [update]
 
     def _buffer_deletion(self, update: Update) -> List[Update]:
         annotation = update.provenance
+        # Pins is about to change under the buffered tuples: the flush memo
+        # no longer matches Bsent OR Pins, so drop it wholesale.
+        self._pending_merged.clear()
         # Remove the deleted derivations from anything still buffered (Alg 3 lines 20-25).
         not_deleted = self.store.difference(self.store.one(), annotation)
         stale: List[Tuple] = []
@@ -213,12 +240,17 @@ class MinShipOperator(Operator):
 
     def _flush_eager(self) -> List[Update]:
         outputs: List[Update] = []
+        merged_pop = self._pending_merged.pop
         for tuple_, annotation in list(self.pending_insertions.items()):
             outputs.append(Update(UpdateType.INS, tuple_, provenance=annotation))
-            self.sent[tuple_] = self.store.disjoin(
-                self.sent.get(tuple_, self.store.zero()), annotation
-            )
+            merged = merged_pop(tuple_, None)
+            if merged is None:
+                merged = self.store.disjoin(
+                    self.sent.get(tuple_, self.store.zero()), annotation
+                )
+            self.sent[tuple_] = merged
         self.pending_insertions.clear()
+        self._pending_merged.clear()
         for tuple_, annotation in list(self.pending_deletions.items()):
             outputs.append(Update(UpdateType.DEL, tuple_, provenance=annotation))
         self.pending_deletions.clear()
@@ -229,11 +261,14 @@ class MinShipOperator(Operator):
         for tuple_, annotation in list(self.pending_deletions.items()):
             outputs.append(Update(UpdateType.DEL, tuple_, provenance=annotation))
             buffered = self.pending_insertions.pop(tuple_, None)
+            merged = self._pending_merged.pop(tuple_, None)
             if buffered is not None and not self.store.is_zero(buffered):
                 outputs.append(Update(UpdateType.INS, tuple_, provenance=buffered))
-                self.sent[tuple_] = self.store.disjoin(
-                    self.sent.get(tuple_, self.store.zero()), buffered
-                )
+                if merged is None:
+                    merged = self.store.disjoin(
+                        self.sent.get(tuple_, self.store.zero()), buffered
+                    )
+                self.sent[tuple_] = merged
         self.pending_deletions.clear()
         return outputs
 
@@ -250,11 +285,14 @@ class MinShipOperator(Operator):
         if not self.store.supports_deletion:
             return []
         removed = list(base_keys)
+        restrict = self.store.base_restrictor(removed)
         outputs: List[Update] = []
+        # Both tables are about to be restricted: the flush memo is stale.
+        self._pending_merged.clear()
         # Restrict buffered insertions first.
         stale: List[Tuple] = []
         for tuple_, buffered in self.pending_insertions.items():
-            restricted = self.store.remove_base(buffered, removed)
+            restricted = restrict(buffered)
             if self.store.is_zero(restricted):
                 stale.append(tuple_)
             else:
@@ -263,7 +301,7 @@ class MinShipOperator(Operator):
             del self.pending_insertions[tuple_]
         # For every affected shipped tuple, release surviving buffered derivations.
         for tuple_, shipped in list(self.sent.items()):
-            restricted = self.store.remove_base(shipped, removed)
+            restricted = restrict(shipped)
             if self.store.equals(restricted, shipped):
                 continue
             self.sent[tuple_] = restricted
@@ -298,6 +336,7 @@ class MinShipOperator(Operator):
         self.sent = {}
         self.pending_insertions = {}
         self.pending_deletions = {}
+        self._pending_merged = {}
         return sent, pins, pdel
 
     def absorb_tables(
@@ -307,6 +346,7 @@ class MinShipOperator(Operator):
         pending_deletions: Dict[Tuple, object],
     ) -> None:
         """Disjoin-merge migrated ``Bsent``/``Pins``/``Pdel`` entries into this ship."""
+        self._pending_merged.clear()
         for table, entries in (
             (self.sent, sent),
             (self.pending_insertions, pending_insertions),
@@ -343,6 +383,7 @@ class MinShipOperator(Operator):
 
     def import_state(self, state: Dict[str, object], decode) -> None:
         """Restore the buffer tables captured by :meth:`export_state`."""
+        self._pending_merged = {}
         self.sent = {t: decode(pv) for t, pv in state["sent"].items()}
         self.pending_insertions = {
             t: decode(pv) for t, pv in state["pending_insertions"].items()

@@ -105,7 +105,19 @@ def migrate_cluster_state(executor: "ElasticExecutor", now: float) -> MigrationR
     judged against a consistent pre-migration distribution), then serialize
     and absorb each ``(source, destination)`` slice.  Returns the report the
     harness aggregates into the ``elastic`` experiment's moved-state metric.
+
+    The whole protocol runs with the provenance store's annotation-kernel GC
+    paused (migration's enrollment in the root protocol): extracted slices
+    travel as raw dicts of handles between extraction and absorption, and a
+    compaction mid-transfer would at best thrash and at worst interleave with
+    the codec; one deferred collection at the end covers the garbage the
+    decode path produced.
     """
+    with executor.store.gc_paused():
+        return _migrate_cluster_state(executor, now)
+
+
+def _migrate_cluster_state(executor: "ElasticExecutor", now: float) -> MigrationReport:
     placement = executor.placement
     plan = executor.plan
     store = executor.store

@@ -15,9 +15,14 @@ rules of Figure 6.  Storing annotations as reduced ordered BDDs means:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, Optional, Sequence
 
-from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.manager import (
+    BDD,
+    BDDManager,
+    DEFAULT_GC_MIN_TABLE,
+    DEFAULT_GC_THRESHOLD,
+)
 from repro.bdd.serialize import SerializedBDD, deserialize_bdd, serialize_bdd
 from repro.provenance.tracker import ProvenanceStore
 
@@ -29,13 +34,25 @@ class AbsorptionProvenanceStore(ProvenanceStore):
     library instance but the variables (base-tuple identifiers) are global; in
     this simulation a single shared manager plays that role, and message-size
     accounting is done from the structural size of the shipped annotation.
+
+    ``gc_threshold`` / ``gc_min_table`` tune the manager's compacting garbage
+    collector when the store builds its own manager (see
+    :class:`~repro.bdd.manager.BDDManager`); a supplied manager keeps its own
+    settings.
     """
 
     name = "absorption"
     supports_deletion = True
 
-    def __init__(self, manager: Optional[BDDManager] = None) -> None:
-        self.manager = manager or BDDManager()
+    def __init__(
+        self,
+        manager: Optional[BDDManager] = None,
+        gc_threshold: float = DEFAULT_GC_THRESHOLD,
+        gc_min_table: int = DEFAULT_GC_MIN_TABLE,
+    ) -> None:
+        self.manager = manager or BDDManager(
+            gc_threshold=gc_threshold, gc_min_table=gc_min_table
+        )
 
     # -- algebra -----------------------------------------------------------
     def base_annotation(self, base_key: Hashable) -> BDD:
@@ -49,14 +66,64 @@ class AbsorptionProvenanceStore(ProvenanceStore):
         return self.manager.true
 
     def conjoin(self, left: BDD, right: BDD) -> BDD:
-        return left & right
+        return self.manager.apply_and(left, right)
 
     def disjoin(self, left: BDD, right: BDD) -> BDD:
-        return left | right
+        return self.manager.apply_or(left, right)
+
+    def conjoin_many(self, annotations: Sequence[BDD]) -> BDD:
+        """Balanced-tree conjunction through the kernel's n-ary operation."""
+        return self.manager.conjoin_many(annotations)
+
+    def disjoin_many(self, annotations: Sequence[BDD]) -> BDD:
+        """Balanced-tree disjunction through the kernel's n-ary operation."""
+        return self.manager.disjoin_many(annotations)
 
     def remove_base(self, annotation: BDD, base_keys: Iterable[Hashable]) -> BDD:
         """Set each deleted base tuple's variable to False and simplify."""
         return annotation.without(base_keys)
+
+    def base_restrictor(self, base_keys: Iterable[Hashable]):
+        """Prepared multi-key deletion: resolve and sort the key set once.
+
+        The returned callable first consults the annotation's memoised
+        *support*: an annotation that mentions none of the deleted variables
+        is returned untouched (the overwhelmingly common case when a purge
+        scans whole state tables), and the support memo survives across purge
+        batches where the per-key-set restriction memo cannot.  Affected
+        annotations drive the kernel's ``_restrict`` directly with the
+        precompiled index mapping and memo-key suffix; the *same handle* is
+        returned when nothing changed.
+        """
+        manager = self.manager
+        index_of = manager._index_by_name.get
+        indexed = []
+        for key in base_keys:
+            index = index_of(key)
+            if index is not None:
+                indexed.append((index, False))
+        if not indexed:
+            return lambda annotation: annotation
+        indexed.sort()
+        key_suffix = tuple(indexed)
+        mapping = dict(indexed)
+        deleted = frozenset(mapping)
+        support_of = manager._support
+        kernel_restrict = manager._restrict
+        maybe_collect = manager._maybe_collect
+
+        def restrict_one(annotation: BDD) -> BDD:
+            node = annotation.node
+            if node <= 1 or support_of(node).isdisjoint(deleted):
+                return annotation
+            node = kernel_restrict(node, mapping, key_suffix)
+            if node == annotation.node:
+                return annotation
+            result = BDD(manager, node)
+            maybe_collect()
+            return result
+
+        return restrict_one
 
     def is_zero(self, annotation: BDD) -> bool:
         return annotation.is_false()
@@ -68,8 +135,12 @@ class AbsorptionProvenanceStore(ProvenanceStore):
         return left == right
 
     def difference(self, new: BDD, old: BDD) -> BDD:
-        """``deltaPv`` of Algorithm 1: the newly gained derivations, ``new AND NOT old``."""
-        return new & ~old
+        """``deltaPv`` of Algorithm 1: the newly gained derivations, ``new AND NOT old``.
+
+        Runs as the kernel's single DIFF operation instead of a negation
+        followed by a conjunction.
+        """
+        return self.manager.diff(new, old)
 
     def describe(self, annotation: BDD) -> str:
         if annotation.is_false():
@@ -98,6 +169,19 @@ class AbsorptionProvenanceStore(ProvenanceStore):
         if isinstance(encoded, SerializedBDD):
             return deserialize_bdd(encoded, self.manager)
         return encoded
+
+    # -- kernel integration (GC root protocol / telemetry) ---------------------
+    def gc_paused(self):
+        """Defer the BDD manager's compacting GC for the duration of a block."""
+        return self.manager.defer_gc()
+
+    def register_root_source(self, provider) -> None:
+        """Enroll ``provider`` (callable yielding BDD handles) as GC roots."""
+        self.manager.add_root_source(provider)
+
+    def kernel_stats(self):
+        """The BDD manager's table/GC/pause telemetry (see ``gc_stats``)."""
+        return self.manager.gc_stats()
 
     # -- diagnostics ----------------------------------------------------------
     def cache_stats(self):

@@ -19,7 +19,8 @@ alternative derivations (``disjoin``), zero out deleted base tuples
 from __future__ import annotations
 
 import abc
-from typing import Any, Hashable, Iterable, Optional
+import contextlib
+from typing import Any, Dict, Hashable, Iterable, Optional, Sequence
 
 Annotation = Any
 
@@ -53,9 +54,43 @@ class ProvenanceStore(abc.ABC):
     def disjoin(self, left: Annotation, right: Annotation) -> Annotation:
         """Merge an alternative derivation (Figure 6: union/projection rule)."""
 
+    def conjoin_many(self, annotations: Sequence[Annotation]) -> Annotation:
+        """Conjoin a whole collection (empty -> :meth:`one`).
+
+        The default is a left fold over :meth:`conjoin`; stores with an n-ary
+        kernel operation (absorption's balanced-tree reduction) override it.
+        """
+        result = self.one()
+        for annotation in annotations:
+            result = self.conjoin(result, annotation)
+        return result
+
+    def disjoin_many(self, annotations: Sequence[Annotation]) -> Annotation:
+        """Disjoin a whole collection (empty -> :meth:`zero`).
+
+        The default is a left fold over :meth:`disjoin`; stores with an n-ary
+        kernel operation (absorption's balanced-tree reduction) override it.
+        """
+        result = self.zero()
+        for annotation in annotations:
+            result = self.disjoin(result, annotation)
+        return result
+
     @abc.abstractmethod
     def remove_base(self, annotation: Annotation, base_keys: Iterable[Hashable]) -> Annotation:
         """Zero out the given base tuples inside ``annotation`` (deletion)."""
+
+    def base_restrictor(self, base_keys: Iterable[Hashable]):
+        """A prepared ``annotation -> annotation`` deletion of ``base_keys``.
+
+        Purges restrict *every* stored annotation against the same key set;
+        preparing the restriction once (resolving names, sorting, building
+        the memo key) amortises that setup across the whole table scan.  The
+        default simply closes over :meth:`remove_base`; the absorption store
+        overrides it with a kernel-level fast path.
+        """
+        keys = list(base_keys)
+        return lambda annotation: self.remove_base(annotation, keys)
 
     @abc.abstractmethod
     def is_zero(self, annotation: Annotation) -> bool:
@@ -94,6 +129,32 @@ class ProvenanceStore(abc.ABC):
     def decode_annotation(self, encoded: Any) -> Annotation:
         """Inverse of :meth:`encode_annotation` (re-interning into live state)."""
         return encoded
+
+    # -- kernel integration (GC root protocol / telemetry) ---------------------
+    @contextlib.contextmanager
+    def gc_paused(self):
+        """Suspend any automatic annotation-storage compaction in the block.
+
+        Codec-heavy paths (checkpoint capture/restore, migration slices)
+        enroll through this so a compaction cannot interleave with a bulk
+        encode/decode.  The default is a no-op; the absorption store defers
+        its BDD manager's garbage collector.
+        """
+        yield self
+
+    def register_root_source(self, provider) -> None:
+        """Enroll a callable yielding annotations the storage must keep live.
+
+        No-op for value-typed stores; the absorption store forwards to its
+        BDD manager's external-root registry.
+        """
+
+    def kernel_stats(self) -> Optional[Dict[str, object]]:
+        """Annotation-kernel telemetry (table sizes, GC counters, kernel time).
+
+        ``None`` for stores without a shared annotation kernel.
+        """
+        return None
 
 
 class NullProvenanceStore(ProvenanceStore):

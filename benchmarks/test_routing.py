@@ -1,0 +1,67 @@
+"""Routing-layer microbenchmark — the time split the columnar refactor must win.
+
+After the BDD kernel rework, per-phase telemetry showed the old per-update
+routing walk costing ~3x the kernel on the fig-11/12 Absorption deletion
+phases.  The columnar routing layer (one bulk owner lookup per batch, cached
+key→owner columns, fused admission) must invert that: the directly-measured
+``routing_time_s`` has to stay below ``kernel_time_s`` on the deletion phases,
+with a wide margin so the gate never flakes on a loaded runner.
+"""
+
+from benchmarks.conftest import report_figure, run_once
+from repro.data.batch import BatchPolicy
+from repro.engine.strategy import ExecutionStrategy
+from repro.queries import build_executor, reachability_plan
+from repro.workloads.topology import TransitStubConfig, generate_topology
+from repro.workloads.updates import deletion_sample
+
+
+def _run_routing_split():
+    """The fig-11/12 workload (transit-stub, dense, 20 % deletions), both
+    absorption strategies, returning one row per (scheme, phase) with the
+    kernel/routing/operator decomposition."""
+    config = TransitStubConfig(nodes_per_stub=2, dense=True, seed=7)
+    topo = generate_topology(config)
+    links = topo.link_tuples()
+    rows = []
+    for label in ("Absorption Lazy", "Absorption Eager"):
+        strategy = ExecutionStrategy.by_name(label)
+        executor = build_executor(
+            reachability_plan(), strategy, node_count=12,
+            batch_policy=BatchPolicy(max_batch=64),
+        )
+        insert_phase = executor.insert_edges(links)
+        delete_phase = executor.delete_edges(deletion_sample(links, 0.2))
+        for phase_label, phase in (("insert", insert_phase), ("delete", delete_phase)):
+            kernel = phase.kernel
+            rows.append(
+                {
+                    "scheme": label,
+                    "phase": phase_label,
+                    "kernel_time_s": round(kernel.kernel_time_s, 6),
+                    "routing_time_s": round(kernel.routing_time_s, 6),
+                    "operator_time_s": round(kernel.operator_time_s, 6),
+                    "routing_bulk_lookups": kernel.routing_bulk_lookups,
+                    "routing_cache_hits": kernel.routing_cache_hits,
+                }
+            )
+    return rows
+
+
+def test_routing_time_stays_below_kernel_time(benchmark):
+    rows = run_once(benchmark, _run_routing_split)
+    report_figure(
+        rows, title="Routing layer: per-phase time split (fig-11/12 workload)"
+    )
+    assert rows
+    for row in rows:
+        # The columnar path must actually be exercised: owners come from bulk
+        # lookups, not a silent fallback to per-update scalar calls.
+        assert row["routing_bulk_lookups"] > 0, row
+    deletions = [row for row in rows if row["phase"] == "delete"]
+    assert len(deletions) == 2
+    for row in deletions:
+        assert row["routing_time_s"] < row["kernel_time_s"], (
+            f"{row['scheme']}: routing {row['routing_time_s']}s should stay "
+            f"below kernel {row['kernel_time_s']}s on the deletion phase"
+        )

@@ -81,13 +81,16 @@ def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
                 "kernel_time_s": round(kernel["kernel_time_s"], 6),
                 "gc_threshold": kernel["gc_threshold"],
             }
-            # Per-phase BDD vs routing vs net decomposition.
+            # Per-phase BDD vs routing vs operator vs net decomposition.
             for phase_label, phase in (("insert", ins), ("delete", del_phase)):
                 if phase.kernel is not None:
                     row[f"{phase_label}_kernel_time_s"] = round(phase.kernel.kernel_time_s, 6)
                     row[f"{phase_label}_routing_time_s"] = round(phase.kernel.routing_time_s, 6)
+                    row[f"{phase_label}_operator_time_s"] = round(phase.kernel.operator_time_s, 6)
                     row[f"{phase_label}_net_time_s"] = round(phase.kernel.net_time_s, 6)
                     row[f"{phase_label}_nodes_reclaimed"] = phase.kernel.nodes_reclaimed
+                    row[f"{phase_label}_routing_bulk_lookups"] = phase.kernel.routing_bulk_lookups
+                    row[f"{phase_label}_routing_cache_hits"] = phase.kernel.routing_cache_hits
             print("  " + format_kernel_stats(kernel, label="bdd-kernel"))
         results.append(row)
     return {

@@ -1279,7 +1279,8 @@ class BDDManager:
         The traversal consults the memo for every *sub*-node as well: under
         hash-consing, annotations share subgraphs heavily, so a scan over a
         provenance table (the purge fast path) pays only for nodes no earlier
-        support query has reached.
+        support query has reached.  The walk is a kernel loop over the node
+        table, so its time bills to ``kernel_time_s`` like apply/restrict.
         """
         if node <= TRUE:
             return frozenset()
@@ -1289,6 +1290,7 @@ class BDDManager:
             self.stats.support.hits += 1
             return cached
         self.stats.support.misses += 1
+        t0 = _perf_counter()
         table = self._table
         var_arr = table._var
         low_arr = table._low
@@ -1310,6 +1312,7 @@ class BDDManager:
         result = frozenset(variables)
         self._bound(cache, self.stats.support)
         cache[node] = result
+        self._kernel_seconds += _perf_counter() - t0
         return result
 
     def sat_count(self, operand: BDD) -> int:

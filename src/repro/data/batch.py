@@ -132,6 +132,23 @@ class UpdateBatch(Sequence):
         annotation-less duplicates collapse to one update.  The INS/DEL run
         structure — the part of the ordering that carries meaning — is
         preserved.
+
+        **Why collapsing annotation-less duplicates is sound.**  A ``None``
+        annotation means set semantics (DRed, raw base injections), and every
+        consumer is idempotent under it: the fixpoint's insert path absorbs a
+        re-insertion of a present tuple (no change, nothing cascades), and
+        its delete path with ``provenance=None`` removes-if-present, so the
+        second DEL of the same tuple in a run is a no-op.  Dropping the
+        duplicates therefore leaves every downstream view bit-identical —
+        verified by the duplicate-update DRed cases in
+        ``tests/property/test_batch_equivalence.py``.
+
+        A *mixed* group — the same tuple carried both with and without an
+        annotation in one run — collapses to an annotation-less update:
+        ``None`` reads as the unconditionally-true annotation (``store.one()``),
+        which absorbs any disjunction it joins, so ``None`` is the merged
+        group's exact value.  Keeping ``items[-1]`` verbatim instead would
+        smuggle an arbitrary member's narrower annotation into the merge.
         """
         merged: List[Update] = []
         for _, run in split_runs(self.updates):
@@ -141,9 +158,7 @@ class UpdateBatch(Sequence):
                     continue
                 annotations = [item.provenance for item in items]
                 if any(annotation is None for annotation in annotations):
-                    # Annotation-less duplicates (raw base injections) are
-                    # plain set-semantics repeats: keep the last one.
-                    merged.append(items[-1])
+                    merged.append(items[-1].with_provenance(None))
                     continue
                 merged.append(items[-1].with_provenance(store.disjoin_many(annotations)))
         return UpdateBatch(merged)

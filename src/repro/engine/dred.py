@@ -55,15 +55,25 @@ class DRedCoordinator:
         result_partition_attribute: str,
         at_time: float,
     ) -> int:
-        """Inject tuples at their owners, grouped per owner in policy-sized chunks."""
+        """Inject tuples at their owners, grouped per owner in policy-sized chunks.
+
+        Owners resolve through one bulk partitioner call per column (edges,
+        seeds) — the same columnar path the engine's routing layer uses.
+        """
         injected = 0
+        edges = list(edges)
+        seeds = list(seeds)
+        bulk = getattr(self.partitioner, "nodes_for_many", None)
+        if bulk is None:
+            scalar = self.partitioner.node_for
+            bulk = lambda keys: [scalar(key) for key in keys]  # noqa: E731
         edges_by_owner: Dict[int, List[Update]] = defaultdict(list)
-        for edge in edges:
-            owner = self.partitioner.node_for(edge[edge_partition_attribute])
+        edge_owners = bulk([edge[edge_partition_attribute] for edge in edges])
+        for edge, owner in zip(edges, edge_owners):
             edges_by_owner[owner].append(Update(update_type, edge, timestamp=at_time))
         seeds_by_owner: Dict[int, List[Update]] = defaultdict(list)
-        for seed in seeds:
-            owner = self.partitioner.node_for(seed[result_partition_attribute])
+        seed_owners = bulk([seed[result_partition_attribute] for seed in seeds])
+        for seed, owner in zip(seeds, seed_owners):
             seeds_by_owner[owner].append(Update(update_type, seed, timestamp=at_time))
         for port, by_owner in ((PORT_BASE, edges_by_owner), (PORT_SEED, seeds_by_owner)):
             for owner, updates in by_owner.items():

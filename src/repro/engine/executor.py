@@ -22,6 +22,7 @@ from repro.data.update import Update, UpdateType
 from repro.engine.dred import DRedCoordinator
 from repro.engine.metrics import ExperimentMetrics, KernelPhaseStats, PhaseMetrics
 from repro.engine.plan import RecursiveViewPlan
+from repro.engine.routing import RoutingStats
 from repro.engine.runtime import (
     PORT_BASE,
     PORT_SEED,
@@ -67,6 +68,9 @@ class DistributedViewExecutor:
             max_wall_seconds=max_wall_seconds,
             batch_policy=self.batch_policy,
         )
+        #: One routing-telemetry accumulator shared by every node's router,
+        #: so per-phase deltas describe the whole cluster.
+        self.routing_stats = RoutingStats()
         self.nodes: List[ProcessorNode] = [
             self._make_node(node_id) for node_id in range(node_count)
         ]
@@ -90,6 +94,7 @@ class DistributedViewExecutor:
             self.partitioner,
             self.network,
             batch_policy=self.batch_policy,
+            routing_stats=self.routing_stats,
         )
 
     # -- workload API -----------------------------------------------------------------
@@ -145,6 +150,7 @@ class DistributedViewExecutor:
         wall_start = time.perf_counter()
         handler_start = self.network.handler_seconds
         kernel_start = self.store.kernel_stats()
+        routing_start = self.routing_stats.snapshot(self.partitioner)
 
         self._inject_insertions(edge_inserts, seed_inserts, phase_start)
         if self.strategy.uses_dred and (edge_deletes or seed_deletes):
@@ -166,6 +172,7 @@ class DistributedViewExecutor:
             wall_seconds=time.perf_counter() - wall_start,
             handler_seconds=self.network.handler_seconds - handler_start,
             kernel_start=kernel_start,
+            routing_start=routing_start,
         )
         self.metrics.add_phase(phase)
         return phase
@@ -185,13 +192,20 @@ class DistributedViewExecutor:
         a provenance strategy) issues one coalesced purge multicast per chunk
         instead of one per tuple.
         """
+        # Owners for the whole workload resolve in one bulk partitioner call
+        # per column (the executor-side twin of the nodes' BatchRouter).
+        bulk = getattr(self.partitioner, "nodes_for_many", None)
+        if bulk is None:
+            scalar = self.partitioner.node_for
+            bulk = lambda keys: [scalar(key) for key in keys]  # noqa: E731
         edges_by_owner: Dict[int, List[Update]] = defaultdict(list)
-        for edge in edges:
-            owner = self.partitioner.node_for(edge.partition_value)
+        edge_owners = bulk([edge.partition_value for edge in edges])
+        for edge, owner in zip(edges, edge_owners):
             edges_by_owner[owner].append(Update(update_type, edge, timestamp=at_time))
+        seed_key = self.plan.result_partition_value
         seeds_by_owner: Dict[int, List[Update]] = defaultdict(list)
-        for seed in seeds:
-            owner = self.partitioner.node_for(self.plan.result_partition_value(seed))
+        seed_owners = bulk([seed_key(seed) for seed in seeds])
+        for seed, owner in zip(seeds, seed_owners):
             seeds_by_owner[owner].append(Update(update_type, seed, timestamp=at_time))
         for port, by_owner in ((PORT_BASE, edges_by_owner), (PORT_SEED, seeds_by_owner)):
             for owner, updates in by_owner.items():
@@ -283,6 +297,7 @@ class DistributedViewExecutor:
         wall_seconds: float = 0.0,
         handler_seconds: float = 0.0,
         kernel_start: Optional[Dict[str, object]] = None,
+        routing_start: Optional[Dict[str, int]] = None,
     ) -> PhaseMetrics:
         stats = self.network.stats
         elapsed = max(stats.convergence_time - phase_start, 0.0)
@@ -296,7 +311,9 @@ class DistributedViewExecutor:
             updates_shipped=stats.total_updates_shipped,
             view_size=len(self.view()),
             wall_seconds=wall_seconds,
-            kernel=self._kernel_phase_stats(kernel_start, wall_seconds, handler_seconds),
+            kernel=self._kernel_phase_stats(
+                kernel_start, wall_seconds, handler_seconds, routing_start
+            ),
         )
 
     def _kernel_phase_stats(
@@ -304,12 +321,18 @@ class DistributedViewExecutor:
         kernel_start: Optional[Dict[str, object]],
         wall_seconds: float,
         handler_seconds: float,
+        routing_start: Optional[Dict[str, int]] = None,
     ) -> Optional[KernelPhaseStats]:
         """Per-phase annotation-kernel telemetry (None for kernel-less stores).
 
         Monotonic counters are reported as deltas against the phase-start
-        snapshot; ``routing_time_s`` is the handler wall time minus the
-        kernel's share of it, ``net_time_s`` the rest of the phase wall.
+        snapshot.  ``routing_time_s`` is the routing layer's own timer
+        (:attr:`~repro.engine.routing.RoutingStats.seconds`), directly
+        measured; ``operator_time_s`` is the handler wall time left after
+        subtracting the kernel's, GC's and routing layer's shares;
+        ``net_time_s`` the rest of the phase wall.  The routing sub-counters
+        (bulk lookups, cache hits, bounce passes) are deltas of the shared
+        :class:`~repro.engine.routing.RoutingStats`.
         """
         current = self.store.kernel_stats()
         if current is None:
@@ -317,6 +340,9 @@ class DistributedViewExecutor:
         start = kernel_start or {}
         kernel_delta = current["kernel_time_s"] - start.get("kernel_time_s", 0.0)
         gc_delta = current["gc_pause_s"] - start.get("gc_pause_s", 0.0)
+        routing_now = self.routing_stats.snapshot(self.partitioner)
+        routing_was = routing_start or {}
+        routing_delta = routing_now["seconds"] - routing_was.get("seconds", 0.0)
         return KernelPhaseStats(
             table_size=current["table_size"],
             peak_table_size=current["peak_table_size"],
@@ -325,8 +351,17 @@ class DistributedViewExecutor:
             gc_compactions=current["gc_compactions"] - start.get("gc_compactions", 0),
             gc_pause_s=gc_delta,
             kernel_time_s=kernel_delta,
-            routing_time_s=max(handler_seconds - kernel_delta - gc_delta, 0.0),
+            routing_time_s=routing_delta,
+            operator_time_s=max(
+                handler_seconds - kernel_delta - gc_delta - routing_delta, 0.0
+            ),
             net_time_s=max(wall_seconds - handler_seconds, 0.0),
+            routing_bulk_lookups=routing_now["bulk_lookups"]
+            - routing_was.get("bulk_lookups", 0),
+            routing_cache_hits=routing_now["lookup_cache_hits"]
+            - routing_was.get("lookup_cache_hits", 0),
+            routing_bounce_passes=routing_now["bounce_passes"]
+            - routing_was.get("bounce_passes", 0),
         )
 
     # -- results --------------------------------------------------------------------------------

@@ -21,11 +21,18 @@ class KernelPhaseStats:
     """Annotation-kernel telemetry for one phase (absorption strategies only).
 
     Monotonic manager counters are reported as per-phase *deltas* by the
-    executor; table sizes are absolute.  ``kernel_time_s`` is wall time spent
-    inside the BDD kernel loops, ``routing_time_s`` the remaining handler
-    (operator/routing) time, and ``net_time_s`` what is left of the phase
-    wall clock — event-loop, latency bookkeeping and metric collection — so
-    the three together decompose ``wall_seconds``.
+    executor; table sizes are absolute.  The phase wall clock decomposes
+    into four buckets: ``kernel_time_s`` is wall time spent inside the BDD
+    kernel loops (apply/restrict/support walks over the node table),
+    ``routing_time_s`` is the routing layer's own timer (key-column
+    extraction, bulk owner lookups, destination grouping — see
+    :class:`~repro.engine.routing.RoutingStats`), ``operator_time_s`` is the
+    rest of the handler time (joins, fixpoints, MinShip, provenance-table
+    scans outside the kernel loops), and ``net_time_s`` is what is left of
+    the phase wall — event-loop, latency bookkeeping and metric collection.
+    Before the dedicated routing layer existed, ``routing_time_s`` was a
+    proxy (all non-kernel handler time) that silently lumped the operator
+    bucket in with routing.
     """
 
     table_size: int = 0
@@ -36,7 +43,16 @@ class KernelPhaseStats:
     gc_pause_s: float = 0.0
     kernel_time_s: float = 0.0
     routing_time_s: float = 0.0
+    operator_time_s: float = 0.0
     net_time_s: float = 0.0
+    #: Routing-layer sub-counters (per-phase deltas): bulk owner lookups the
+    #: BatchRouter issued, key->owner cache hits inside those lookups, and
+    #: elastic ownership-verification passes over delivered batches.  They
+    #: explain *why* ``routing_time_s`` moved — one bulk lookup per batch and
+    #: a high cache-hit rate is the columnar fast path working.
+    routing_bulk_lookups: int = 0
+    routing_cache_hits: int = 0
+    routing_bounce_passes: int = 0
 
     def as_row(self) -> Dict[str, object]:
         """Flat ``kernel_*`` columns used by report formatting."""
@@ -48,7 +64,11 @@ class KernelPhaseStats:
             "kernel_gc_pause_s": round(self.gc_pause_s, 6),
             "kernel_time_s": round(self.kernel_time_s, 6),
             "routing_time_s": round(self.routing_time_s, 6),
+            "operator_time_s": round(self.operator_time_s, 6),
             "net_time_s": round(self.net_time_s, 6),
+            "routing_bulk_lookups": self.routing_bulk_lookups,
+            "routing_cache_hits": self.routing_cache_hits,
+            "routing_bounce_passes": self.routing_bounce_passes,
         }
 
 

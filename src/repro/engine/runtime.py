@@ -35,7 +35,7 @@ zero-out-the-variable path) and peers then reseed the cold node through
 from __future__ import annotations
 
 import weakref
-from collections import defaultdict
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.data.batch import BatchPolicy, UpdateBatch, split_runs
@@ -43,6 +43,16 @@ from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.data.window import SlidingWindow
 from repro.engine.plan import RecursiveViewPlan
+from repro.engine.routing import (  # noqa: F401  (PORT_* re-exported for compat)
+    PORT_BASE,
+    PORT_EDGE,
+    PORT_PURGE,
+    PORT_SEED,
+    PORT_VIEW,
+    BatchRouter,
+    RoutingStats,
+    group_updates,
+)
 from repro.engine.strategy import ExecutionStrategy
 from repro.net.partition import HashPartitioner
 from repro.net.simulator import SimulatedNetwork
@@ -51,13 +61,6 @@ from repro.operators.fixpoint import FixpointOperator
 from repro.operators.join import PipelinedHashJoin
 from repro.operators.ship import MinShipOperator, ShipOperator
 from repro.provenance.tracker import ProvenanceStore
-
-#: Port names used between nodes.
-PORT_BASE = "base"
-PORT_SEED = "seed"
-PORT_EDGE = "edge"
-PORT_VIEW = "view"
-PORT_PURGE = "purge"
 
 #: Per-port batch memo sentinel ("annotation not restricted yet").
 _UNFILTERED = object()
@@ -75,6 +78,7 @@ class ProcessorNode:
         partitioner: HashPartitioner,
         network: SimulatedNetwork,
         batch_policy: Optional[BatchPolicy] = None,
+        routing_stats: Optional[RoutingStats] = None,
     ) -> None:
         self.node_id = node_id
         self.plan = plan
@@ -83,6 +87,21 @@ class ProcessorNode:
         self.partitioner = partitioner
         self.network = network
         self.batch_policy = batch_policy or BatchPolicy()
+        #: Columnar owner resolution, shared telemetry across the cluster's
+        #: nodes when the executor passes one RoutingStats to all of them.
+        self.router = BatchRouter(node_id, plan, partitioner, routing_stats)
+        self._elastic = bool(getattr(partitioner, "elastic", False))
+        self._coalesce_view = self.batch_policy.batches_port(PORT_VIEW)
+        #: Precomputed per-port dispatch table (replaces the historical
+        #: if-chain in ``_dispatch``); ``handle`` resolves the handler with
+        #: one dictionary probe per delivered batch.
+        self._port_handlers = {
+            PORT_BASE: self._handle_base_batch,
+            PORT_SEED: self._handle_seed_batch,
+            PORT_EDGE: self._handle_edge_batch,
+            PORT_VIEW: self._handle_view_batch,
+            PORT_PURGE: self._handle_purge_batch,
+        }
 
         edge_window = SlidingWindow(plan.edge_window) if plan.edge_window else None
         self.join = PipelinedHashJoin(
@@ -162,78 +181,105 @@ class ProcessorNode:
     def handle(self, port: str, updates: Sequence[Update], now: float) -> None:
         """Dispatch a delivered batch of updates to the appropriate port handler.
 
-        Ports the batch policy enables are handled batch-wise — one filter
-        pass, grouped operator processing, destination-grouped emission, one
-        coalesced purge multicast per deletion batch.  Disabled ports fall
-        back to singleton batches, which reproduces tuple-at-a-time execution
-        exactly.
+        Ports the batch policy enables are handled batch-wise — one fused
+        admission pass, grouped operator processing, destination-grouped
+        emission, one coalesced purge multicast per deletion batch.  Disabled
+        ports fall back to singleton batches, which reproduces
+        tuple-at-a-time execution exactly (admission still runs batch-wise —
+        both of its concerns are per-update pure, see :meth:`_admit_batch`).
 
-        Under an elastic placement (see :mod:`repro.placement`) the node
-        first verifies ownership: a batch routed under a superseded placement
-        epoch may arrive at the previous owner of its keys, in which case the
+        Under an elastic placement (see :mod:`repro.placement`) admission
+        verifies ownership: a batch routed under a superseded placement epoch
+        may arrive at the previous owner of its keys, in which case the
         misrouted updates bounce exactly once to the current owner.  Purge
-        broadcasts address every node and are never misrouted.
+        broadcasts address every node and are never misrouted (nor
+        tombstone-restricted — they *carry* the tombstones).
         """
         if not updates:
             return
-        if port != PORT_PURGE and getattr(self.partitioner, "elastic", False):
-            updates = self._redirect_misrouted(port, updates, now)
+        handler = self._port_handlers.get(port)
+        if handler is None:
+            raise ValueError(f"unknown port {port!r} on node {self.node_id}")
+        if port != PORT_PURGE:
+            updates = self._admit_batch(port, updates, now)
             if not updates:
                 return
         if self.batch_policy.batches_port(port):
-            self._dispatch(port, updates, now)
+            handler(updates, now)
         else:
             for update in updates:
-                self._dispatch(port, (update,), now)
+                handler((update,), now)
 
     def _routing_key(self, port: str, update: Update) -> object:
         """The partition-key value that decides which node owns ``update`` on ``port``."""
-        if port == PORT_EDGE:
-            return self.plan.edge_join_value(update.tuple)
-        if port == PORT_BASE:
-            return update.tuple.partition_value
-        # Seeds and view updates are both owned by the view-partition key.
-        return self.plan.result_partition_value(update.tuple)
+        return self.router.key_function[port](update.tuple)
 
-    def _redirect_misrouted(
+    def _admit_batch(
         self, port: str, updates: Sequence[Update], now: float
     ) -> Sequence[Update]:
-        """Bounce updates this node no longer owns to their current owner.
+        """Fused admission: ownership check + tombstone restriction, one walk.
 
-        Returns the (possibly empty) locally owned remainder.  The common
-        case — every update owned here — allocates nothing.
+        Historically these were two separate passes over every delivered
+        batch (``_redirect_misrouted`` then ``_filter_stale_batch`` inside the
+        edge/view handlers).  Both concerns are per-update pure — ownership
+        depends only on the routing key, restriction only on the annotation —
+        so fusing them into a single walk with a columnar owner column is
+        behaviour-preserving.  Misrouted updates bounce to their current
+        owner *unrestricted*, exactly as before: the owner restricts them
+        against its own tombstone set on arrival.
+
+        Returns the locally owned, tombstone-restricted remainder.  The
+        common case — everything owned here, no tombstones — returns the
+        delivered batch untouched.
         """
-        kept: Optional[List[Update]] = None
-        by_owner: Dict[int, List[Update]] = {}
-        for index, update in enumerate(updates):
-            owner = self.partitioner.node_for(self._routing_key(port, update))
-            if owner == self.node_id:
-                if kept is not None:
-                    kept.append(update)
+        stats = self.router.stats
+        stats.admission_passes += 1
+        needs_filter = (
+            (port == PORT_EDGE or port == PORT_VIEW)
+            and bool(self._deleted_base_keys)
+            and self.strategy.uses_provenance
+        )
+        if not self._elastic:
+            if not needs_filter:
+                return updates
+            return self._filter_stale_batch(updates)
+        stats.bounce_passes += 1
+        owners = self.router.owners_of(port, updates)
+        node_id = self.node_id
+        misrouted = False
+        for owner in owners:
+            if owner != node_id:
+                misrouted = True
+                break
+        if not misrouted:
+            if not needs_filter:
+                return updates
+            return self._filter_stale_batch(updates)
+        restrict_update = self._batch_restrictor() if needs_filter else None
+        kept: List[Update] = []
+        keep = kept.append
+        bounced: Dict[int, List[Update]] = {}
+        bounced_get = bounced.get
+        for update, owner in zip(updates, owners):
+            if owner != node_id:
+                bucket = bounced_get(owner)
+                if bucket is None:
+                    bounced[owner] = [update]
+                else:
+                    bucket.append(update)
+                continue
+            if restrict_update is not None:
+                admitted = restrict_update(update)
+                if admitted is None:
+                    continue
+                keep(admitted)
             else:
-                if kept is None:
-                    kept = list(updates[:index])
-                by_owner.setdefault(owner, []).append(update)
-        if kept is None:
-            return updates
-        for owner, batch in by_owner.items():
+                keep(update)
+        for owner, batch in bounced.items():
             self._send(owner, port, batch, now)
             self.partitioner.record_misroute(len(batch))
+            stats.record_bounce(len(batch))
         return kept
-
-    def _dispatch(self, port: str, updates: Sequence[Update], now: float) -> None:
-        if port == PORT_BASE:
-            self._handle_base_batch(updates, now)
-        elif port == PORT_SEED:
-            self._handle_seed_batch(updates, now)
-        elif port == PORT_EDGE:
-            self._handle_edge_batch(updates, now)
-        elif port == PORT_VIEW:
-            self._handle_view_batch(updates, now)
-        elif port == PORT_PURGE:
-            self._handle_purge_batch(updates, now)
-        else:
-            raise ValueError(f"unknown port {port!r} on node {self.node_id}")
 
     # -- base-tuple provenance variables -------------------------------------------------
     def _base_variable_key(self, tuple_: Tuple) -> object:
@@ -278,112 +324,133 @@ class ProcessorNode:
                 )
 
     def _route_base_batch(self, updates: Sequence[Update], now: float) -> None:
-        """Send base-case view tuples and edge join copies, grouped by owner."""
-        view_by_destination: Dict[int, List[Update]] = defaultdict(list)
-        edge_by_destination: Dict[int, List[Update]] = defaultdict(list)
+        """Send base-case view tuples and edge join copies, grouped by owner.
+
+        Columnar: the view-route and edge-route routing keys are laid out in
+        one combined key column (view keys first, then edge keys) and the
+        owner column comes back from a *single* bulk partitioner call for the
+        whole batch.  Emission order is unchanged from the historical
+        per-update walk: all view batches first, then all edge batches, each
+        in first-occurrence destination order.
+        """
+        plan = self.plan
+        base_tuple_for = plan.base_tuple_for
+        result_key = plan.result_partition_value
+        edge_key = plan.edge_join_value
+        view_updates: List[Update] = []
+        keys: List[object] = []
+        append_key = keys.append
         for update in updates:
-            base_tuple = self.plan.base_tuple_for(update.tuple)
+            base_tuple = base_tuple_for(update.tuple)
             if base_tuple is not None:
-                view_update = Update(
-                    update.type, base_tuple, provenance=update.provenance, timestamp=now
+                view_updates.append(
+                    Update(
+                        update.type, base_tuple, provenance=update.provenance, timestamp=now
+                    )
                 )
-                destination = self.partitioner.node_for(
-                    self.plan.result_partition_value(base_tuple)
-                )
-                view_by_destination[destination].append(view_update)
-            join_destination = self.partitioner.node_for(
-                self.plan.edge_join_value(update.tuple)
-            )
-            edge_by_destination[join_destination].append(update)
-        for destination, batch in view_by_destination.items():
-            self._send(destination, PORT_VIEW, batch, now)
-        for destination, batch in edge_by_destination.items():
+                append_key(result_key(base_tuple))
+        view_count = len(view_updates)
+        for update in updates:
+            append_key(edge_key(update.tuple))
+        owners = self.router.resolve(keys)
+        stats = self.router.stats
+        if view_updates:
+            t0 = perf_counter()
+            grouped = group_updates(view_updates, owners[:view_count])
+            stats.seconds += perf_counter() - t0
+            for destination, batch in grouped.items():
+                self._send(destination, PORT_VIEW, batch, now)
+        t0 = perf_counter()
+        grouped = group_updates(updates, owners[view_count:])
+        stats.seconds += perf_counter() - t0
+        for destination, batch in grouped.items():
             self._send(destination, PORT_EDGE, batch, now)
 
     # -- seeds (base-case view tuples provided directly, e.g. region seeds) -------------
     def _handle_seed_batch(self, updates: Sequence[Update], now: float) -> None:
+        router = self.router
         for is_insert, run in split_runs(updates):
             if is_insert:
-                by_destination: Dict[int, List[Update]] = defaultdict(list)
-                for update in run:
-                    view_update = update.with_provenance(
-                        self._base_annotation_for(update.tuple)
-                    )
-                    destination = self.partitioner.node_for(
-                        self.plan.result_partition_value(update.tuple)
-                    )
-                    by_destination[destination].append(view_update)
-                for destination, batch in by_destination.items():
+                annotated = [
+                    update.with_provenance(self._base_annotation_for(update.tuple))
+                    for update in run
+                ]
+                for destination, batch in router.group(PORT_SEED, annotated).items():
                     self._send(destination, PORT_VIEW, batch, now)
             elif self.strategy.uses_provenance:
                 self._broadcast_purge_batch(run, now)
             else:
-                by_destination = defaultdict(list)
-                for update in run:
-                    destination = self.partitioner.node_for(
-                        self.plan.result_partition_value(update.tuple)
-                    )
-                    by_destination[destination].append(update.with_provenance(None))
-                for destination, batch in by_destination.items():
+                stripped = [update.with_provenance(None) for update in run]
+                for destination, batch in router.group(PORT_SEED, stripped).items():
                     self._send(destination, PORT_VIEW, batch, now)
 
     # -- join input (edge side) ------------------------------------------------------------
     def _handle_edge_batch(self, updates: Sequence[Update], now: float) -> None:
-        filtered = self._filter_stale_batch(updates)
-        if not filtered:
-            return
-        joined = self.join.process_left_batch(filtered)
+        # Tombstone restriction already ran in the fused admission pass.
+        joined = self.join.process_left_batch(updates)
         self._ship_view_updates(joined, now)
 
     # -- view / fixpoint input ----------------------------------------------------------------
     def _handle_view_batch(self, updates: Sequence[Update], now: float) -> None:
-        filtered = self._filter_stale_batch(updates)
-        if not filtered:
-            return
-        changed = self.fixpoint.process_batch(filtered)
+        # Tombstone restriction already ran in the fused admission pass.
+        changed = self.fixpoint.process_batch(updates)
         if not changed:
             return
         joined = self.join.process_right_batch(changed)
         self._ship_view_updates(joined, now)
 
-    def _filter_stale_batch(self, updates: Sequence[Update]) -> List[Update]:
-        """One tombstone-restriction pass over a whole delivered batch.
+    def _batch_restrictor(self):
+        """A per-batch update restrictor closure (tombstone restriction).
 
         Distinct updates frequently share the same canonical annotation, so
         the per-batch memo turns repeated restrictions into dictionary hits.
+        The memo is keyed by id(annotation), not value: repeated annotations
+        within a batch are shared references, identity keys work for
+        unhashable annotation types, and — for BDD handles — identity is
+        immune to a GC compaction renumbering the ids (and with them the
+        value hash) mid-batch.  The delivered batch keeps every keyed
+        annotation alive for the closure's lifetime.
         """
-        if not self._deleted_base_keys or not self.strategy.uses_provenance:
-            return list(updates)
-        filtered: List[Update] = []
         restrict = self.store.base_restrictor(self._deleted_base_keys)
+        is_zero = self.store.is_zero
+        equals = self.store.equals
         #: id(annotation) -> surviving annotation (None = dropped entirely).
-        #: Keyed by object identity, not value: repeated annotations within a
-        #: batch are shared references, identity keys work for unhashable
-        #: annotation types, and — for BDD handles — identity is immune to a
-        #: GC compaction renumbering the ids (and with them the value hash)
-        #: mid-batch.  The updates list keeps every keyed annotation alive.
         memo: Dict[int, object] = {}
-        for update in updates:
+        memo_get = memo.get
+
+        def restrict_update(update: Update) -> Optional[Update]:
             if not update.is_insert or update.provenance is None:
-                filtered.append(update)
-                continue
+                return update
             annotation = update.provenance
-            cached = memo.get(id(annotation), _UNFILTERED)
+            cached = memo_get(id(annotation), _UNFILTERED)
             if cached is _UNFILTERED:
                 restricted = restrict(annotation)
-                if self.store.is_zero(restricted):
+                if is_zero(restricted):
                     cached = None
-                elif self.store.equals(restricted, annotation):
+                elif equals(restricted, annotation):
                     cached = annotation
                 else:
                     cached = restricted
                 memo[id(annotation)] = cached
             if cached is None:
-                continue
+                return None
             if cached is annotation:
-                filtered.append(update)
-            else:
-                filtered.append(update.with_provenance(cached))
+                return update
+            return update.with_provenance(cached)
+
+        return restrict_update
+
+    def _filter_stale_batch(self, updates: Sequence[Update]) -> List[Update]:
+        """One tombstone-restriction pass over a whole delivered batch."""
+        if not self._deleted_base_keys or not self.strategy.uses_provenance:
+            return list(updates)
+        restrict_update = self._batch_restrictor()
+        filtered: List[Update] = []
+        append = filtered.append
+        for update in updates:
+            admitted = restrict_update(update)
+            if admitted is not None:
+                append(admitted)
         return filtered
 
     def _filter_stale(self, update: Update) -> Optional[Update]:
@@ -474,35 +541,45 @@ class ProcessorNode:
     def _route_view_updates(self, updates: Iterable[Update], now: float) -> None:
         """Group outgoing view updates per destination; one message each.
 
-        With batching enabled the destination batch is coalesced first:
-        same-tuple updates within a type run merge their annotations, so a
-        tuple derived several ways in one delta crosses the wire as a single
-        update carrying the pre-grouped (disjoined) annotation.
+        Columnar: one bulk owner lookup for the whole delta, destination
+        groups built from the owner column.  With batching enabled the
+        destination batch is coalesced first: same-tuple updates within a
+        type run merge their annotations, so a tuple derived several ways in
+        one delta crosses the wire as a single update carrying the
+        pre-grouped (disjoined) annotation.
         """
-        coalesce = self.batch_policy.batches_port(PORT_VIEW)
-        by_destination: Dict[int, List[Update]] = defaultdict(list)
-        for update in updates:
-            destination = self.partitioner.node_for(
-                self.plan.result_partition_value(update.tuple)
-            )
-            by_destination[destination].append(update)
-        for destination, batch in by_destination.items():
+        if not isinstance(updates, (list, tuple)):
+            updates = list(updates)
+        if not updates:
+            return
+        store = self.store
+        coalesce = self._coalesce_view
+        for destination, batch in self.router.group(PORT_VIEW, updates).items():
             if coalesce and len(batch) > 1:
-                batch = list(UpdateBatch(batch).coalesced(self.store))
+                batch = list(UpdateBatch(batch).coalesced(store))
             self._send(destination, PORT_VIEW, batch, now)
 
     def _send(self, destination: int, port: str, updates: Sequence[Update], now: float) -> None:
         if not updates:
             return
+        size_bytes = self.store.size_bytes
         size = 0
-        for update in updates:
-            annotation = update.provenance
-            annotation_bytes = (
-                self.store.size_bytes(annotation) if annotation is not None else 0
-            )
-            size += update.size_bytes(provenance_bytes=annotation_bytes)
-            if destination != self.node_id:
-                self.network.stats.record_provenance(annotation_bytes, 1)
+        if destination != self.node_id:
+            annotation_total = 0
+            for update in updates:
+                annotation = update.provenance
+                annotation_bytes = size_bytes(annotation) if annotation is not None else 0
+                annotation_total += annotation_bytes
+                size += update.size_bytes(provenance_bytes=annotation_bytes)
+            # One stats call per message, not one per update: record_provenance
+            # is a pure accumulator, so totals are identical.
+            self.network.stats.record_provenance(annotation_total, len(updates))
+        else:
+            for update in updates:
+                annotation = update.provenance
+                size += update.size_bytes(
+                    provenance_bytes=size_bytes(annotation) if annotation is not None else 0
+                )
         self.network.send(self.node_id, destination, port, updates, size, at_time=now)
 
     # -- durability (checkpoint / recovery support) ----------------------------------------------------------

@@ -3,15 +3,13 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.data.update import Update
 
 _message_ids = itertools.count()
 
 
-@dataclass(frozen=True)
 class Message:
     """A batch of updates shipped from ``src`` to ``dst`` addressed to ``port``.
 
@@ -28,16 +26,33 @@ class Message:
     moved on carries a *stale* epoch; the receiving node re-checks ownership
     of each update and bounces misrouted ones to the current owner.  Static
     clusters never change placement, so the epoch stays 0 for them.
+
+    A ``__slots__`` class, not a dataclass: one Message is allocated per
+    ``send``/``inject`` on the simulator hot path, and slot storage skips the
+    per-instance ``__dict__`` (the same treatment Tuple and Update received).
     """
 
-    src: int
-    dst: int
-    port: str
-    updates: Sequence[Update]
-    size_bytes: int
-    sent_at: float
-    epoch: int = 0
-    message_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = ("src", "dst", "port", "updates", "size_bytes", "sent_at", "epoch", "message_id")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        port: str,
+        updates: Sequence[Update],
+        size_bytes: int,
+        sent_at: float,
+        epoch: int = 0,
+        message_id: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.updates = updates
+        self.size_bytes = size_bytes
+        self.sent_at = sent_at
+        self.epoch = epoch
+        self.message_id = next(_message_ids) if message_id is None else message_id
 
     @property
     def is_local(self) -> bool:

@@ -11,7 +11,7 @@ the worked-example tests (where node A literally stores ``src = A``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.data.relation import stable_hash
 
@@ -31,6 +31,17 @@ class HashPartitioner:
         #: key -> node memo; the FNV hash over repr() is pure but not cheap,
         #: and routing consults the same few hundred keys millions of times.
         self._memo: Dict[Any, int] = {}
+        #: Placement version.  The modulo partitioner is static, so the epoch
+        #: only moves when :meth:`assign` pins a key — which is exactly when
+        #: any owner cache layered above (see
+        #: :meth:`repro.placement.map.PlacementMap.nodes_for_many` and the
+        #: engine's :class:`~repro.engine.routing.BatchRouter`) must drop its
+        #: entries.
+        self.epoch = 0
+        #: Bulk-lookup telemetry (see :meth:`routing_stats`).
+        self.bulk_lookups = 0
+        self.keys_routed = 0
+        self.lookup_cache_hits = 0
 
     @property
     def nodes(self) -> PyTuple[int, ...]:
@@ -56,12 +67,52 @@ class HashPartitioner:
     def __call__(self, key: Any) -> int:
         return self.node_for(key)
 
+    def nodes_for_many(self, keys: Sequence[Any]) -> List[int]:
+        """Owners of a whole key column, resolved in one bulk pass.
+
+        The columnar twin of :meth:`node_for`: the memo, override table and
+        hash function are bound once per *batch* instead of once per key,
+        which is what the engine's :class:`~repro.engine.routing.BatchRouter`
+        calls on every delivered batch.
+        """
+        memo = self._memo
+        memo_get = memo.get
+        overrides = self._overrides
+        node_count = self.node_count
+        owners: List[int] = []
+        append = owners.append
+        hits = 0
+        for key in keys:
+            node = memo_get(key)
+            if node is None:
+                if overrides:
+                    node = overrides.get(key)
+                if node is None:
+                    node = stable_hash(key) % node_count
+                memo[key] = node
+            else:
+                hits += 1
+            append(node)
+        self.bulk_lookups += 1
+        self.keys_routed += len(owners)
+        self.lookup_cache_hits += hits
+        return owners
+
+    def routing_stats(self) -> Dict[str, int]:
+        """Bulk-lookup counters (uniform across partitioner implementations)."""
+        return {
+            "bulk_lookups": self.bulk_lookups,
+            "keys_routed": self.keys_routed,
+            "lookup_cache_hits": self.lookup_cache_hits,
+        }
+
     def assign(self, key: Any, node: int) -> None:
         """Pin ``key`` to an explicit node (used by the paper's worked example)."""
         if not 0 <= node < self.node_count:
             raise ValueError(f"node {node} out of range for {self.node_count} nodes")
         self._overrides[key] = node
         self._memo.clear()
+        self.epoch += 1
 
     @staticmethod
     def identity(node_count: int, keys: Dict[Any, int]) -> "HashPartitioner":

@@ -296,8 +296,10 @@ class SimulatedNetwork:
         counted as network traffic.  Delivery respects FIFO ordering per
         (src, dst) channel.
         """
-        self._validate_node(src)
-        self._validate_node(dst)
+        if not 0 <= src < self.node_count:
+            self._validate_node(src)
+        if not 0 <= dst < self.node_count:
+            self._validate_node(dst)
         if src in self._down:
             raise SimulationError(f"node {src} is down and cannot send")
         if not updates:
@@ -308,10 +310,15 @@ class SimulatedNetwork:
             size_bytes=size_bytes, sent_at=sent_at, epoch=self.current_epoch,
         )
         self.stats.record_message(message)
+        # The channel key and watermark probe are the send hot path: one tuple
+        # allocation and one dict probe, no intermediate attribute lookups.
         arrival = sent_at + self.latency_model.latency(src, dst)
+        last_delivery = self._last_delivery
         fifo_key = (src, dst)
-        arrival = max(arrival, self._last_delivery.get(fifo_key, 0.0))
-        self._last_delivery[fifo_key] = arrival
+        watermark = last_delivery.get(fifo_key, 0.0)
+        if watermark > arrival:
+            arrival = watermark
+        last_delivery[fifo_key] = arrival
         heapq.heappush(self._queue, (arrival, next(self._sequence), message))
         return message
 
@@ -344,50 +351,67 @@ class SimulatedNetwork:
         Returns the accumulated statistics; the convergence-time watermark is
         the completion time of the last piece of work performed.
         """
-        while self._queue:
-            arrival, _, message = heapq.heappop(self._queue)
-            if until is not None and arrival > until:
-                heapq.heappush(self._queue, (arrival, next(self._sequence), message))
+        queue = self._queue
+        pop = heapq.heappop
+        down = self._down
+        handlers_get = self._handlers.get
+        busy_until = self._node_busy_until
+        processing_cost = self.processing_cost
+        max_events = self.max_events
+        monotonic = time.monotonic
+        perf_counter = time.perf_counter
+        while queue:
+            # Peek before popping: a too-late event must keep its original
+            # sequence number.  Popping and re-pushing it with a fresh
+            # ``next(self._sequence)`` would silently demote it behind any
+            # same-arrival event pushed later, changing the delivery order of
+            # a subsequent ``run`` — a determinism leak across the ``until``
+            # boundary.
+            if until is not None and queue[0][0] > until:
                 break
-            if isinstance(message, _FaultEvent):
-                self._apply_fault_event(message, arrival)
+            arrival, _, message = pop(queue)
+            if not isinstance(message, Message):
+                if isinstance(message, _FaultEvent):
+                    self._apply_fault_event(message, arrival)
+                else:
+                    self._now = max(self._now, arrival)
+                    message.callback(self._now)
                 continue
-            if isinstance(message, _ControlEvent):
-                self._now = max(self._now, arrival)
-                message.callback(self._now)
-                continue
-            if message.dst in self._down:
+            dst = message.dst
+            if dst in down:
                 # The reliable channel holds the message until the destination
                 # recovers (delivery order within the channel is preserved).
-                self._held.setdefault(message.dst, []).append(message)
+                self._held.setdefault(dst, []).append(message)
                 continue
             self._events_processed += 1
-            if self._events_processed > self.max_events:
+            if self._events_processed > max_events:
                 raise SimulationBudgetExceeded(
-                    f"exceeded {self.max_events} events; the computation is not converging"
+                    f"exceeded {max_events} events; the computation is not converging"
                 )
             if (
                 self._wall_deadline is not None
                 and self._events_processed % 32 == 0
-                and time.monotonic() > self._wall_deadline
+                and monotonic() > self._wall_deadline
             ):
                 raise SimulationBudgetExceeded(
                     f"exceeded the wall-clock budget of {self.max_wall_seconds} seconds"
                 )
-            handler = self._handlers.get(message.dst)
+            handler = handlers_get(dst)
             if handler is None:
-                raise SimulationError(f"no handler registered for node {message.dst}")
+                raise SimulationError(f"no handler registered for node {dst}")
             if message.epoch < self.current_epoch:
                 self.stats.stale_epoch_messages += 1
-            start = max(arrival, self._node_busy_until[message.dst])
+            start = busy_until[dst]
+            if arrival > start:
+                start = arrival
             updates = self._coalesce_ready(message, start, until)
-            completion = start + self.processing_cost * max(len(updates), 1)
-            self._node_busy_until[message.dst] = completion
+            completion = start + processing_cost * max(len(updates), 1)
+            busy_until[dst] = completion
             self._now = completion
             self.stats.record_time(completion)
-            wall_start = time.perf_counter()
+            wall_start = perf_counter()
             handler(message.port, updates, completion)
-            self.handler_seconds += time.perf_counter() - wall_start
+            self.handler_seconds += perf_counter() - wall_start
         return self.stats
 
     def _coalesce_ready(
@@ -409,38 +433,59 @@ class SimulatedNetwork:
         if not policy.batches_port(message.port) or policy.max_batch <= 1:
             return message.updates
         queue = self._queue
+        dst = message.dst
+        port = message.port
         if queue:
             # Fast path: nothing coalescible at the queue front.
             arrival, _, head = queue[0]
             if (
                 not isinstance(head, Message)
-                or head.dst != message.dst
-                or head.port != message.port
+                or head.dst != dst
+                or head.port != port
                 or arrival > start
             ):
                 return message.updates
         else:
             return message.updates
+        pop = heapq.heappop
+        max_batch = policy.max_batch
+        max_events = self.max_events
+        wall_deadline = self._wall_deadline
+        monotonic = time.monotonic
+        current_epoch = self.current_epoch
         updates: List[Update] = list(message.updates)
-        while queue and len(updates) < policy.max_batch:
+        extend = updates.extend
+        while queue and len(updates) < max_batch:
             arrival, _, head = queue[0]
             if (
                 not isinstance(head, Message)
-                or head.dst != message.dst
-                or head.port != message.port
+                or head.dst != dst
+                or head.port != port
                 or arrival > start
                 or (until is not None and arrival > until)
             ):
                 break
             self._events_processed += 1
-            if self._events_processed > self.max_events:
+            if self._events_processed > max_events:
                 raise SimulationBudgetExceeded(
-                    f"exceeded {self.max_events} events; the computation is not converging"
+                    f"exceeded {max_events} events; the computation is not converging"
                 )
-            heapq.heappop(queue)
-            if head.epoch < self.current_epoch:
+            # The drain loop consumes events just like the outer run loop, so
+            # it must honour the same wall-clock budget: a huge coalescible
+            # queue would otherwise be drained (and its updates handed to one
+            # arbitrarily long handler call) with the deadline never checked.
+            if (
+                wall_deadline is not None
+                and self._events_processed % 32 == 0
+                and monotonic() > wall_deadline
+            ):
+                raise SimulationBudgetExceeded(
+                    f"exceeded the wall-clock budget of {self.max_wall_seconds} seconds"
+                )
+            pop(queue)
+            if head.epoch < current_epoch:
                 self.stats.stale_epoch_messages += 1
-            updates.extend(head.updates)
+            extend(head.updates)
             self.coalesced_deliveries += 1
         return updates
 

@@ -21,7 +21,7 @@ checks on.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from repro.placement.ring import Partitioner, RingError
 
@@ -47,6 +47,16 @@ class PlacementMap:
         self.misrouted_batches = 0
         #: Updates carried by those bounced batches.
         self.misrouted_updates = 0
+        #: key -> owner cache, valid for one placement epoch.  Ring lookups
+        #: (hash + bisect) dominate the per-update routing cost; the engine's
+        #: routing layer resolves whole batches through this cache and any
+        #: placement mutation invalidates it wholesale via the epoch stamp.
+        self._owner_cache: Dict[Any, int] = {}
+        self._cache_epoch = 0
+        #: Bulk-lookup telemetry (see :meth:`routing_stats`).
+        self.bulk_lookups = 0
+        self.keys_routed = 0
+        self.lookup_cache_hits = 0
 
     @property
     def partitioner(self) -> Partitioner:
@@ -66,7 +76,58 @@ class PlacementMap:
 
     def node_for(self, key: Any) -> int:
         """Current owner of ``key``."""
-        return self._partitioner.node_for(key)
+        cache = self._valid_cache()
+        owner = cache.get(key)
+        if owner is None:
+            owner = self._partitioner.node_for(key)
+            cache[key] = owner
+        return owner
+
+    def nodes_for_many(self, keys: Sequence[Any]) -> List[int]:
+        """Current owners of a whole key column in one bulk pass.
+
+        Cache hits cost one dictionary probe; misses fall through to the
+        wrapped partitioner's own bulk lookup *as one call* (the uncached
+        keys are collected and resolved columnar-style, then back-filled into
+        their positions), so a cold batch still performs a single
+        ``nodes_for_many`` against the ring.
+        """
+        cache = self._valid_cache()
+        cache_get = cache.get
+        owners: List[Optional[int]] = []
+        append = owners.append
+        misses: List[Any] = []
+        miss_positions: List[int] = []
+        for position, key in enumerate(keys):
+            owner = cache_get(key)
+            if owner is None:
+                misses.append(key)
+                miss_positions.append(position)
+            append(owner)
+        if misses:
+            resolved = self._partitioner.nodes_for_many(misses)
+            for position, key, owner in zip(miss_positions, misses, resolved):
+                owners[position] = owner
+                cache[key] = owner
+        self.bulk_lookups += 1
+        self.keys_routed += len(owners)
+        self.lookup_cache_hits += len(owners) - len(misses)
+        return owners  # type: ignore[return-value]
+
+    def _valid_cache(self) -> Dict[Any, int]:
+        """The owner cache, dropped wholesale when the epoch has moved on."""
+        if self._cache_epoch != self.epoch:
+            self._owner_cache.clear()
+            self._cache_epoch = self.epoch
+        return self._owner_cache
+
+    def routing_stats(self) -> Dict[str, int]:
+        """Bulk-lookup counters (uniform across partitioner implementations)."""
+        return {
+            "bulk_lookups": self.bulk_lookups,
+            "keys_routed": self.keys_routed,
+            "lookup_cache_hits": self.lookup_cache_hits,
+        }
 
     def __call__(self, key: Any) -> int:
         return self.node_for(key)

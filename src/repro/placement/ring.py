@@ -22,7 +22,16 @@ engine, so a :class:`~repro.placement.map.PlacementMap` can wrap either.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple as PyTuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple as PyTuple,
+)
 
 from repro.data.relation import stable_hash
 
@@ -65,6 +74,10 @@ class Partitioner(Protocol):
 
     def node_for(self, key: Any) -> int:
         """Processor node responsible for ``key``."""
+        ...  # pragma: no cover - protocol
+
+    def nodes_for_many(self, keys: Sequence[Any]) -> List[int]:
+        """Owners of a key column, positionally parallel to ``keys``."""
         ...  # pragma: no cover - protocol
 
 
@@ -173,6 +186,31 @@ class ConsistentHashRing:
             raise RingError("the ring has no nodes")
         index = bisect_right(self._points, ring_hash(key)) % len(self._points)
         return self._owners[index]
+
+    def nodes_for_many(self, keys: Sequence[Any]) -> List[int]:
+        """Owners of a whole key column in one bulk pass (columnar routing).
+
+        Binds the ring arrays, the override table and the hash/bisect calls
+        once per batch; the result list is positionally parallel to ``keys``.
+        """
+        if not self._points:
+            raise RingError("the ring has no nodes")
+        points = self._points
+        owners = self._owners
+        size = len(points)
+        overrides_get = self._overrides.get if self._overrides else None
+        bisect = bisect_right
+        hash_ = ring_hash
+        result: List[int] = []
+        append = result.append
+        for key in keys:
+            if overrides_get is not None:
+                pinned = overrides_get(key)
+                if pinned is not None:
+                    append(pinned)
+                    continue
+            append(owners[bisect(points, hash_(key)) % size])
+        return result
 
     def __call__(self, key: Any) -> int:
         return self.node_for(key)

@@ -114,7 +114,16 @@ class AbsorptionProvenanceStore(ProvenanceStore):
 
         def restrict_one(annotation: BDD) -> BDD:
             node = annotation.node
-            if node <= 1 or support_of(node).isdisjoint(deleted):
+            if node <= 1:
+                return annotation
+            # Memo-first: a purge scan re-visits mostly cached supports, so
+            # skip the kernel call (and its counter churn) on the hit path.
+            # Looked up fresh each call — a compaction mid-purge replaces the
+            # cache dict wholesale (node ids are remapped).
+            support = manager._support_cache.get(node)
+            if support is None:
+                support = support_of(node)
+            if support.isdisjoint(deleted):
                 return annotation
             node = kernel_restrict(node, mapping, key_suffix)
             if node == annotation.node:

@@ -11,13 +11,14 @@ injected messages and per-update port handling.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.baselines import reachable_pairs
 from repro.bdd.expr import BoolExpr
 from repro.bdd.manager import BDD
-from repro.data.batch import BatchPolicy
-from repro.engine.runtime import PORT_PURGE, PORT_VIEW
+from repro.data.batch import BatchPolicy, UpdateBatch
+from repro.data.update import Update, UpdateType
+from repro.engine.runtime import PORT_BASE, PORT_PURGE, PORT_VIEW
 from repro.queries import build_executor, link, reachability_plan
 
 NODES = ["n0", "n1", "n2", "n3", "n4"]
@@ -92,14 +93,6 @@ def _canonical(annotation):
     return annotation
 
 
-def _implies(weaker: BoolExpr, stronger: BoolExpr) -> bool:
-    """Monotone implication: every product of ``weaker`` subsumes one of ``stronger``."""
-    return all(
-        any(product >= other for other in stronger.products)
-        for product in weaker.products
-    )
-
-
 def _true_products(live, view_tuple):
     """Ground-truth witness link-key-sets for a reachable tuple (simple paths)."""
     src, dst = view_tuple["src"], view_tuple["dst"]
@@ -130,6 +123,23 @@ def _annotations(executor):
 
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(_phases(), st.sampled_from(STRATEGIES), st.integers(min_value=2, max_value=8))
+# A pinned case where the batched and sequential lazy consumers end up with
+# *incomparable* (both sound) derivation sets for reachable('n1','n1'): the
+# sequential pipeline ships the four-link cycle first, the batched join emits
+# the three-link cycle first.
+@example(
+    raw_phases=[
+        [
+            ("ins", ("n1", "n0")),
+            ("ins", ("n4", "n3")),
+            ("ins", ("n0", "n4")),
+            ("ins", ("n0", "n3")),
+            ("ins", ("n3", "n1")),
+        ]
+    ],
+    scheme="Absorption Lazy",
+    max_batch=3,
+)
 def test_batched_views_and_provenance_match_tuple_at_a_time(
     raw_phases, scheme, max_batch
 ):
@@ -154,23 +164,28 @@ def test_batched_views_and_provenance_match_tuple_at_a_time(
             )
         elif isinstance(annotation, BoolExpr):
             # Lazy shipping intentionally keeps alternate derivations at the
-            # producer; a batched delivery can carry several derivations in
-            # its *first* shipment, so the batched consumer may know MORE --
-            # never less, and never anything untrue.
-            assert _implies(expected, annotation), (
-                f"batched consumer lost derivations for {key} under {scheme}"
-            )
+            # producer and ships whichever derivation materialises first.
+            # Batch boundaries legitimately reorder derivation discovery (a
+            # batched join can emit a short cycle before the longer one the
+            # sequential pipeline found first — see the pinned @example), so
+            # the two consumers may hold *incomparable* non-empty subsets of
+            # the true derivations.  The invariant lazy shipping guarantees:
+            # each consumer holds at least one derivation, and nothing it
+            # holds is underivable.
             node_id, view_tuple = key
             truth = _true_products(live, view_tuple)
-            held = {
-                # Variable names are (tuple-key, incarnation); only the live
-                # incarnations survive purging, so project the version away.
-                frozenset(name for name, _version in product)
-                for product in annotation.products
-            }
-            assert all(
-                any(product >= witness for witness in truth) for product in held
-            ), f"batched consumer holds an underivable product for {key}"
+            for side, held_expr in (("batched", annotation), ("sequential", expected)):
+                held = {
+                    # Variable names are (tuple-key, incarnation); only the
+                    # live incarnations survive purging, so project the
+                    # version away.
+                    frozenset(name for name, _version in product)
+                    for product in held_expr.products
+                }
+                assert held, f"{side} consumer holds no derivation for {key}"
+                assert all(
+                    any(product >= witness for witness in truth) for product in held
+                ), f"{side} consumer holds an underivable product for {key}"
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -200,3 +215,86 @@ def test_batched_deletion_of_everything_empties_the_view(links):
         assert executor.view_values() == reachable_pairs(links)
         executor.delete_edges([link(a, b) for a, b in links])
         assert executor.view_values() == set()
+
+
+def _inject_base(executor, update_type, pairs, copies_of):
+    """Inject base updates at their owners, ``copies_of[pair]`` copies each.
+
+    Bypasses the executor's workload API (which normalises to set semantics)
+    so a single injected batch can genuinely carry same-tuple duplicates, the
+    way a raw upstream feed would.
+    """
+    network = executor.network
+    now = network.now
+    by_owner = {}
+    for pair in pairs:
+        edge = link(*pair)
+        owner = executor.partitioner.node_for(edge.partition_value)
+        by_owner.setdefault(owner, []).extend(
+            Update(update_type, edge, timestamp=now) for _ in range(copies_of[pair])
+        )
+    for owner, updates in by_owner.items():
+        network.inject(owner, PORT_BASE, updates, now)
+    executor._run_to_quiescence()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(link_strategy, min_size=2, max_size=8, unique=True),
+    st.data(),
+)
+def test_duplicate_annotationless_updates_are_set_semantics(links, data):
+    """DRed duplicates within one batch leave every node's view bit-identical.
+
+    The coalescing layer collapses annotation-less same-tuple duplicates to a
+    single update (``UpdateBatch.coalesced``); this is sound because every
+    consumer is idempotent under set semantics — a repeated INS of a present
+    tuple changes nothing, a repeated DEL with ``provenance=None`` finds the
+    tuple already gone.  Verified here end to end: a run whose injected
+    batches carry duplicates must produce exactly the per-node views of a
+    run fed single copies.
+    """
+    copies_of = {pair: data.draw(st.integers(min_value=2, max_value=3)) for pair in links}
+    deleted = data.draw(
+        st.lists(st.sampled_from(links), min_size=1, max_size=len(links), unique=True)
+    )
+
+    def run(with_duplicates):
+        executor = build_executor(
+            reachability_plan(), "DRed", node_count=4, batch_policy=BatchPolicy()
+        )
+        counts = copies_of if with_duplicates else {pair: 1 for pair in links}
+        _inject_base(executor, UpdateType.INS, links, counts)
+        _inject_base(executor, UpdateType.DEL, deleted, counts)
+        return executor
+
+    duplicated = run(with_duplicates=True)
+    single = run(with_duplicates=False)
+    assert duplicated.view_values() == single.view_values()
+    for node_id in range(4):
+        assert duplicated.view_at(node_id) == single.view_at(node_id)
+
+
+def test_coalesced_collapses_annotationless_duplicates_to_one_update():
+    edge = link("a", "b")
+    batch = UpdateBatch(
+        [Update(UpdateType.INS, edge), Update(UpdateType.INS, edge)]
+    )
+    merged = list(batch.coalesced(store=None))  # no store call on the None path
+    assert len(merged) == 1
+    assert merged[0].provenance is None
+
+
+def test_coalesced_mixed_group_collapses_to_annotationless():
+    """None reads as the absorbing ``one()`` annotation, so a mixed group
+    must merge to None — not to an arbitrary member's narrower annotation."""
+    edge = link("a", "b")
+    batch = UpdateBatch(
+        [
+            Update(UpdateType.INS, edge, provenance="x"),
+            Update(UpdateType.INS, edge, provenance=None),
+        ]
+    )
+    merged = list(batch.coalesced(store=None))
+    assert len(merged) == 1
+    assert merged[0].provenance is None

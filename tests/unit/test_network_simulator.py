@@ -174,6 +174,32 @@ class TestSimulatedNetwork:
         network.run()
         assert network.pending_events() == 0
 
+    def test_run_until_preserves_tie_break_order(self):
+        # Two events from different channels arrive at the same virtual time;
+        # their delivery order is decided by the send-time sequence numbers.
+        # A run() stopped short of them must not disturb that order: the old
+        # implementation popped the first too-late event and re-pushed it with
+        # a *fresh* sequence number, demoting it behind its same-arrival peer.
+        def build():
+            network = SimulatedNetwork(node_count=3, latency_model=UniformLatencyModel(1.0))
+            order = []
+            network.register(1, lambda port, updates, now: order.append(port))
+            network.register(0, lambda port, updates, now: None)
+            network.register(2, lambda port, updates, now: None)
+            network.send(0, 1, "first", [_update()], 10, at_time=0.0)
+            network.send(2, 1, "second", [_update()], 10, at_time=0.0)
+            return network, order
+
+        network, baseline = build()
+        network.run()
+        assert baseline == ["first", "second"]
+
+        network, order = build()
+        network.run(until=0.5)  # both events sit beyond the horizon
+        assert order == [] and network.pending_events() == 2
+        network.run()
+        assert order == baseline
+
 
 class TestElasticMembership:
     def test_add_node_grows_the_cluster(self):
@@ -312,6 +338,27 @@ class TestDeliveryCoalescing:
         network.send(0, 1, "edge", [_update()], 10, at_time=0.0)
         network.run()
         assert order == ["view", "edge"]
+
+    def test_wall_budget_enforced_inside_coalescing_drain(self):
+        from repro.data.batch import BatchPolicy
+
+        # One delivery whose coalescing drain consumes the entire queue: the
+        # outer run loop only sees a single event, so the wall-clock deadline
+        # must be checked inside the drain loop itself or an exhausted budget
+        # silently completes.
+        network = SimulatedNetwork(
+            node_count=2,
+            latency_model=UniformLatencyModel(0.01),
+            batch_policy=BatchPolicy(max_batch=10_000),
+            max_wall_seconds=0.0,
+        )
+        network.register(1, lambda port, updates, now: None)
+        network.register(0, lambda port, updates, now: None)
+        for _ in range(200):
+            network.send(0, 1, "view", [_update()], 10, at_time=0.0)
+        network.arm_wall_budget()
+        with pytest.raises(SimulationBudgetExceeded):
+            network.run()
 
     def test_message_counts_by_port_counts_wire_messages(self):
         network = SimulatedNetwork(node_count=3)

@@ -1,0 +1,236 @@
+"""Unit + property tests for the columnar routing layer.
+
+The contract under test: bulk owner resolution (``nodes_for_many``) agrees
+with the scalar ``node_for`` path for every partitioner implementation, across
+placement mutations (epochs, weights); the PlacementMap's key->owner cache
+invalidates wholesale on an epoch change; and a batch routed through
+:class:`~repro.engine.routing.BatchRouter` is grouped bit-identically to the
+historical per-update ``node_for`` + ``defaultdict`` walk, for every port,
+under both a static modulo partitioner and an elastic placement.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.update import delete, insert
+from repro.engine.routing import (
+    PORT_BASE,
+    PORT_EDGE,
+    PORT_SEED,
+    PORT_VIEW,
+    BatchRouter,
+    RoutingStats,
+    group_updates,
+)
+from repro.net.partition import HashPartitioner
+from repro.placement.map import PlacementMap
+from repro.placement.ring import ConsistentHashRing
+from repro.queries import link, reachability_plan
+
+key_strategy = st.one_of(
+    st.text(max_size=8),
+    st.integers(min_value=-1000, max_value=1000),
+    st.tuples(st.text(max_size=4), st.integers(min_value=0, max_value=9)),
+)
+
+NODES = ["n0", "n1", "n2", "n3", "n4", "n5"]
+pair_strategy = st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+    lambda pair: pair[0] != pair[1]
+)
+
+
+class TestBulkLookupAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(key_strategy, max_size=40),
+        st.integers(min_value=1, max_value=9),
+    )
+    def test_hash_partitioner_bulk_matches_scalar(self, keys, node_count):
+        partitioner = HashPartitioner(node_count)
+        assert partitioner.nodes_for_many(keys) == [partitioner.node_for(k) for k in keys]
+        # A second pass answers from the memo and must agree too.
+        assert partitioner.nodes_for_many(keys) == [partitioner.node_for(k) for k in keys]
+
+    def test_hash_partitioner_bulk_respects_overrides_and_assign_epoch(self):
+        partitioner = HashPartitioner.identity(3, {"A": 0, "B": 1})
+        assert partitioner.nodes_for_many(["A", "B"]) == [0, 1]
+        epoch = partitioner.epoch
+        partitioner.assign("C", 2)
+        assert partitioner.epoch == epoch + 1  # owner caches above must drop
+        assert partitioner.nodes_for_many(["A", "B", "C"]) == [0, 1, 2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(key_strategy, max_size=30),
+        st.lists(
+            st.sampled_from(["add", "remove", "reweigh"]), max_size=4
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_ring_bulk_matches_scalar_across_mutations(self, keys, mutations, rng):
+        ring = ConsistentHashRing(range(3), virtual_nodes=8)
+        assert ring.nodes_for_many(keys) == [ring.node_for(k) for k in keys]
+        next_node = 3
+        for mutation in mutations:
+            members = list(ring.nodes)
+            if mutation == "add":
+                ring.add_node(next_node, weight=rng.choice([4, 8, 16]))
+                next_node += 1
+            elif mutation == "remove" and len(members) > 1:
+                ring.remove_node(rng.choice(members))
+            elif mutation == "reweigh":
+                ring.set_weight(rng.choice(members), rng.choice([2, 8, 24]))
+            assert ring.nodes_for_many(keys) == [ring.node_for(k) for k in keys]
+
+    def test_ring_bulk_respects_overrides(self):
+        ring = ConsistentHashRing(range(4), overrides={"pinned": 3})
+        owners = ring.nodes_for_many(["pinned", "free"])
+        assert owners[0] == 3
+        assert owners[1] == ring.node_for("free")
+
+
+class TestPlacementMapOwnerCache:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(key_strategy, max_size=30))
+    def test_bulk_matches_wrapped_partitioner(self, keys):
+        placement = PlacementMap(ConsistentHashRing(range(4), virtual_nodes=8))
+        ring = placement.partitioner
+        assert placement.nodes_for_many(keys) == [ring.node_for(k) for k in keys]
+
+    def test_cache_hits_are_counted_and_correct(self):
+        placement = PlacementMap(ConsistentHashRing(range(4), virtual_nodes=8))
+        keys = [f"key-{i}" for i in range(20)]
+        first = placement.nodes_for_many(keys)
+        assert placement.lookup_cache_hits == 0
+        second = placement.nodes_for_many(keys)
+        assert second == first
+        assert placement.lookup_cache_hits == len(keys)
+        assert placement.bulk_lookups == 2
+        assert placement.keys_routed == 2 * len(keys)
+
+    def test_cache_invalidates_on_placement_epoch_change(self):
+        placement = PlacementMap(ConsistentHashRing(range(2), virtual_nodes=16))
+        keys = [f"key-{i}" for i in range(64)]
+        before = placement.nodes_for_many(keys)
+        placement.add_node(2)
+        after = placement.nodes_for_many(keys)
+        fresh = [placement.partitioner.node_for(k) for k in keys]
+        assert after == fresh
+        # Growing a 2-node ring by one must re-home some keys; if the cache
+        # survived the epoch bump these would all still show the old owners.
+        assert any(a != b for a, b in zip(after, before))
+        assert all(owner in (0, 1) for owner in before)
+        assert 2 in set(after)
+
+    def test_scalar_node_for_also_uses_and_refreshes_the_cache(self):
+        placement = PlacementMap(ConsistentHashRing(range(2), virtual_nodes=16))
+        keys = [f"key-{i}" for i in range(64)]
+        scalar_before = [placement.node_for(k) for k in keys]
+        placement.set_weights({0: 48, 1: 4})
+        scalar_after = [placement.node_for(k) for k in keys]
+        fresh = [placement.partitioner.node_for(k) for k in keys]
+        assert scalar_after == fresh
+        assert scalar_after != scalar_before  # the reweigh moved keys
+
+
+class TestGroupUpdates:
+    def test_empty(self):
+        assert group_updates([], []) == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4), max_size=30))
+    def test_matches_defaultdict_reference(self, owners):
+        updates = list(range(len(owners)))  # payload identity is all that matters
+        reference = defaultdict(list)
+        for update, owner in zip(updates, owners):
+            reference[owner].append(update)
+        grouped = group_updates(updates, owners)
+        assert list(grouped.items()) == list(reference.items())  # order too
+
+
+def _partitioners():
+    ring = ConsistentHashRing(range(4), virtual_nodes=8)
+    return [
+        pytest.param(HashPartitioner(4), id="static"),
+        pytest.param(PlacementMap(ring), id="elastic"),
+    ]
+
+
+class TestBatchRouter:
+    @pytest.fixture
+    def plan(self):
+        return reachability_plan()
+
+    def _reference_key(self, plan, port, tuple_):
+        # The pre-refactor per-update key selection, spelled out directly.
+        if port == PORT_EDGE:
+            return plan.edge_join_value(tuple_)
+        if port == PORT_BASE:
+            return tuple_.partition_value
+        return plan.result_partition_value(tuple_)
+
+    @pytest.mark.parametrize("partitioner", _partitioners())
+    @pytest.mark.parametrize("port", [PORT_BASE, PORT_EDGE, PORT_SEED, PORT_VIEW])
+    def test_grouping_bit_identical_to_per_update_path(self, plan, partitioner, port):
+        router = BatchRouter(0, plan, partitioner, RoutingStats())
+        updates = [
+            insert(link(a, b)) if (i % 3) else delete(link(a, b))
+            for i, (a, b) in enumerate(
+                (a, b) for a in NODES for b in NODES if a != b
+            )
+        ]
+        reference = defaultdict(list)
+        for update in updates:
+            owner = partitioner.node_for(self._reference_key(plan, port, update.tuple))
+            reference[owner].append(update)
+        grouped = router.group(port, updates)
+        assert list(grouped.items()) == list(reference.items())
+
+    @pytest.mark.parametrize("partitioner", _partitioners())
+    def test_owners_survive_epoch_change(self, plan, partitioner):
+        router = BatchRouter(0, plan, partitioner, RoutingStats())
+        updates = [insert(link(a, b)) for a, b in [("n0", "n1"), ("n2", "n3"), ("n4", "n5")]]
+        router.owners_of(PORT_VIEW, updates)  # warm any caches
+        if isinstance(partitioner, PlacementMap):
+            partitioner.add_node(4)
+        else:
+            partitioner.assign(plan.result_partition_value(updates[0].tuple), 3)
+        expected = [
+            partitioner.node_for(plan.result_partition_value(update.tuple))
+            for update in updates
+        ]
+        assert router.owners_of(PORT_VIEW, updates) == expected
+
+    def test_scalar_fallback_for_foreign_partitioners(self, plan):
+        class Modulo:
+            node_count = 3
+
+            def node_for(self, key):
+                return hash(key) % 3
+
+        foreign = Modulo()
+        router = BatchRouter(0, plan, foreign, RoutingStats())
+        updates = [insert(link("n0", "n1")), insert(link("n1", "n2"))]
+        assert router.owners_of(PORT_VIEW, updates) == [
+            foreign.node_for(plan.result_partition_value(update.tuple))
+            for update in updates
+        ]
+
+    def test_stats_snapshot_merges_partitioner_counters(self):
+        stats = RoutingStats()
+        stats.admission_passes = 5
+        stats.record_bounce(3)
+        partitioner = HashPartitioner(2)
+        partitioner.nodes_for_many(["a", "b", "a"])
+        snapshot = stats.snapshot(partitioner)
+        assert snapshot["admission_passes"] == 5
+        assert snapshot["bounced_batches"] == 1
+        assert snapshot["bounced_updates"] == 3
+        assert snapshot["bulk_lookups"] == 1
+        assert snapshot["keys_routed"] == 3
+        assert snapshot["lookup_cache_hits"] == 1
+        # A partitioner without counters contributes zeroes, not a KeyError.
+        bare = stats.snapshot(None)
+        assert bare["bulk_lookups"] == 0

@@ -1,0 +1,79 @@
+"""Tracing overhead benchmark — the zero-overhead-off contract, measured.
+
+Two gates:
+
+* **off** — with no tracer installed, the instrumented hot paths must hold
+  ``None`` (a pointer comparison per delivered batch, not even a null-object
+  method call), checked structurally, and the wall time of the fig-11/12
+  workload must stay within a generous anti-flake factor of itself run twice
+  (regression canary for accidentally re-enabling per-event work);
+* **on** — a fully traced run of the same workload must finish within ~15 %
+  of the untraced wall clock (wide margin: the bar is 1.5x so a loaded CI
+  runner never flakes; the observed ratio is printed for trend-watching).
+"""
+
+import time
+
+from benchmarks.conftest import report_figure, run_once
+from repro.data.batch import BatchPolicy
+from repro.engine.strategy import ExecutionStrategy
+from repro.obs.trace import Tracer, install_tracer
+from repro.queries import build_executor, reachability_plan
+from repro.workloads.topology import TransitStubConfig, generate_topology
+from repro.workloads.updates import deletion_sample
+
+
+def _run_workload():
+    """The fig-11/12 dense insertion+deletion workload, one absorption scheme."""
+    config = TransitStubConfig(nodes_per_stub=2, dense=True, seed=7)
+    links = generate_topology(config).link_tuples()
+    executor = build_executor(
+        reachability_plan(),
+        ExecutionStrategy.absorption_lazy(),
+        node_count=12,
+        batch_policy=BatchPolicy(max_batch=64),
+    )
+    started = time.perf_counter()
+    executor.insert_edges(links)
+    executor.delete_edges(deletion_sample(links, 0.2))
+    return executor, time.perf_counter() - started
+
+
+def test_disabled_tracer_is_absent_from_hot_paths():
+    """Untraced executors cache ``None``, not a tracer object, everywhere hot."""
+    install_tracer(None)
+    executor, _ = _run_workload()
+    assert executor.network._tracer is None
+    assert executor.network.tracer is None
+    for node in executor.nodes:
+        assert node._tracer is None
+        assert node.router.tracer is None
+
+
+def test_traced_overhead_within_bar(benchmark):
+    def measure():
+        install_tracer(None)
+        _, untraced_s = _run_workload()
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            traced_executor, traced_s = _run_workload()
+        finally:
+            install_tracer(None)
+        tracer.finish()
+        return {
+            "untraced_s": round(untraced_s, 4),
+            "traced_s": round(traced_s, 4),
+            "ratio": round(traced_s / untraced_s, 3),
+            "events": len(tracer.events),
+            "nodes": len(traced_executor.nodes),
+        }
+
+    row = run_once(benchmark, measure)
+    report_figure([row], title="Tracing overhead (fig-11/12 workload, trace on vs off)")
+    assert row["events"] > 1000, "traced run produced implausibly few events"
+    # Target is <1.15x; the gate is 1.5x so CI never flakes on a noisy runner.
+    assert row["ratio"] < 1.5, (
+        f"tracing overhead {row['ratio']}x exceeds the 1.5x gate "
+        f"(traced {row['traced_s']}s vs untraced {row['untraced_s']}s)"
+    )

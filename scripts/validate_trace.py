@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Validate an exported Chrome trace file (CI gate for ``--trace`` output).
+
+Checks the JSON shape, span durations, per-track nesting, required span
+categories and per-node track presence via
+:func:`repro.obs.export.validate_chrome_trace`, then prints the trace
+summary.  Exit status 1 on any violation::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json \
+        --require-cats kernel routing operator net gc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace file (.json or .jsonl)")
+    parser.add_argument(
+        "--require-cats",
+        nargs="*",
+        default=(),
+        metavar="CAT",
+        help="span categories that must be present (e.g. kernel routing gc)",
+    )
+    parser.add_argument(
+        "--require-node-tracks",
+        type=int,
+        default=1,
+        metavar="N",
+        help="minimum number of per-node tracks (default 1)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        summary = validate_chrome_trace(
+            args.trace,
+            require_categories=args.require_cats,
+            require_node_tracks=args.require_node_tracks,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"INVALID: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.trace}")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from time import perf_counter as _perf_counter
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.bdd.node import FALSE, TRUE, NodeTable
+from repro.obs.trace import GC_TID, KERNEL_PID, current_tracer
 
 #: Estimated in-memory bytes per BDD node: variable index, low and high
 #: pointers plus hash-table overhead.  Used for the "per-tuple provenance
@@ -1072,6 +1073,22 @@ class BDDManager:
         caches are remapped through the renumbering; otherwise the pass only
         backs off the trigger size.  Returns a summary of the pass.
         """
+        tracer = current_tracer()
+        span = None
+        if tracer.enabled:
+            # GC runs are rare and already pay a full table scan, so looking
+            # up the global tracer here (instead of plumbing one through every
+            # manager owner) costs nothing measurable.  The node-context pid
+            # attributes passes triggered inside a delivery to that node's
+            # track; passes outside any handler land on the shared
+            # ``bdd-kernel`` track.
+            span = tracer.begin(
+                tracer.context_pid(KERNEL_PID),
+                "gc-pass",
+                "gc",
+                tid=GC_TID,
+                args={"forced": force},
+            )
         t0 = _perf_counter()
         gc = self.gc
         table = self._table
@@ -1145,13 +1162,16 @@ class BDDManager:
         gc.pause_seconds += pause
         if pause > gc.max_pause_seconds:
             gc.max_pause_seconds = pause
-        return {
+        summary = {
             "compacted": compacted,
             "live_nodes": live,
             "dead_nodes": dead,
             "reclaimed": dead if compacted else 0,
             "pause_s": pause,
         }
+        if span is not None:
+            tracer.end(span, args=summary)
+        return summary
 
     def _remap_caches(self, marked: bytearray, remap: List[int]) -> None:
         """Renumber the memo caches through ``remap`` instead of dropping them.
@@ -1192,6 +1212,15 @@ class BDDManager:
             for node, value in self._size_cache.items()
             if marked[node]
         }
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Cumulative wall seconds spent inside the kernel loops (monotonic).
+
+        The tracer diffs this around each delivery to synthesise per-node
+        kernel-time spans; ``gc_stats`` reports it as ``kernel_time_s``.
+        """
+        return self._kernel_seconds
 
     def gc_stats(self) -> Dict[str, object]:
         """Kernel telemetry: table sizes, reclamation counters, pauses, time.

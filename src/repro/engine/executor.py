@@ -32,6 +32,8 @@ from repro.engine.strategy import ExecutionStrategy
 from repro.net.latency import LatencyModel
 from repro.net.partition import HashPartitioner
 from repro.net.simulator import SimulatedNetwork
+from repro.obs.metrics import Histogram, MetricsRegistry, current_metrics_log
+from repro.obs.trace import HARNESS_PID, current_tracer
 from repro.operators.ship import MinShipOperator, ShipMode
 
 
@@ -68,6 +70,12 @@ class DistributedViewExecutor:
             max_wall_seconds=max_wall_seconds,
             batch_policy=self.batch_policy,
         )
+        #: The span tracer for this run: the process-wide active tracer
+        #: (installed by ``--trace``), resolved once at construction.  The
+        #: network stores ``None`` when tracing is off, and the nodes read
+        #: that — install the tracer *before* building an executor.
+        self.tracer = current_tracer()
+        self.network.set_tracer(self.tracer)
         #: One routing-telemetry accumulator shared by every node's router,
         #: so per-phase deltas describe the whole cluster.
         self.routing_stats = RoutingStats()
@@ -83,6 +91,62 @@ class DistributedViewExecutor:
         self.live_edges: Set[Tuple] = set()
         self.live_seeds: Set[Tuple] = set()
         self.metrics = ExperimentMetrics(experiment=experiment, scheme=strategy.label)
+        #: Unified registry over the run's live stat objects (lazy probes:
+        #: nothing is read until a snapshot is taken).
+        self.metrics_registry = self._build_metrics_registry()
+
+    def _build_metrics_registry(self) -> MetricsRegistry:
+        """Register every subsystem's stat object into one metrics registry.
+
+        Probes close over ``self`` (not over the stat objects) because several
+        of them are replaced wholesale during a run — ``reset_stats`` swaps
+        the network accumulator at each phase boundary.
+        """
+        registry = MetricsRegistry()
+        network = self.network
+
+        def net_probe():
+            stats = network.stats
+            return {
+                "messages": stats.total_messages,
+                "updates_shipped": stats.total_updates_shipped,
+                "communication_mb": stats.communication_mb,
+                "stale_epoch_messages": stats.stale_epoch_messages,
+                "convergence_time_s": stats.convergence_time,
+                "handler_seconds": network.handler_seconds,
+                "pending_events": network.pending_events(),
+            }
+
+        registry.register_probe("net", net_probe)
+
+        def queue_probe():
+            depths = network.queue_depths()
+            flat = {f"node{node}": depth for node, depth in sorted(depths.items())}
+            flat["total"] = sum(depths.values())
+            return flat
+
+        registry.register_probe("queue_depth", queue_probe)
+        registry.register_probe(
+            "routing", lambda: self.routing_stats.snapshot(self.partitioner)
+        )
+
+        def kernel_probe():
+            stats = self.store.kernel_stats()
+            return stats if stats is not None else {}
+
+        registry.register_probe("kernel", kernel_probe)
+
+        def fixpoint_probe():
+            rollup = None
+            for node in self.nodes:
+                histogram = node.fixpoint.delta_histogram
+                if rollup is None:
+                    rollup = Histogram(histogram.name)
+                rollup.merge(histogram)
+            return rollup.as_flat() if rollup is not None else {}
+
+        registry.register_probe("fixpoint", fixpoint_probe)
+        return registry
 
     def _make_node(self, node_id: int) -> ProcessorNode:
         """Build one processor node (also used to rebuild a node after a crash)."""
@@ -147,6 +211,20 @@ class DistributedViewExecutor:
         self.network.reset_stats()
         self.network.arm_wall_budget()
         phase_start = self.network.now
+        tracer = self.tracer
+        traced = tracer.enabled
+        phase_span = None
+        if traced:
+            phase_span = tracer.begin(
+                HARNESS_PID,
+                f"phase:{label}",
+                "phase",
+                sim_ts=phase_start,
+                args={
+                    "experiment": self.metrics.experiment,
+                    "scheme": self.metrics.scheme,
+                },
+            )
         wall_start = time.perf_counter()
         handler_start = self.network.handler_seconds
         kernel_start = self.store.kernel_stats()
@@ -166,6 +244,12 @@ class DistributedViewExecutor:
             self._run_to_quiescence()
 
         self._update_live_base(edge_inserts, edge_deletes, seed_inserts, seed_deletes)
+        if traced:
+            # One boundary collection pass (mark-only unless the dead fraction
+            # warrants compacting) so every traced run carries GC spans even
+            # when no automatic collection fired mid-phase.  Phases are
+            # quiescent here, which is exactly when a pass is safe.
+            self.store.collect(force=False)
         phase = self._collect_phase(
             label,
             phase_start,
@@ -175,6 +259,18 @@ class DistributedViewExecutor:
             routing_start=routing_start,
         )
         self.metrics.add_phase(phase)
+        if traced:
+            tracer.end(phase_span, sim_ts=self.network.now)
+        log = current_metrics_log()
+        if log is not None:
+            log.record(
+                {
+                    "experiment": self.metrics.experiment,
+                    "scheme": self.metrics.scheme,
+                    "phase": label,
+                },
+                self.metrics_registry.snapshot(),
+            )
         return phase
 
     def _inject_batches(

@@ -101,8 +101,10 @@ class PhaseMetrics:
             "updates_shipped": self.updates_shipped,
             "view_size": self.view_size,
         }
-        if self.wall_seconds:
-            row["wall_seconds"] = round(self.wall_seconds, 6)
+        # Unconditional: a truthiness test here used to drop the column for
+        # phases that completed in under clock resolution (wall_seconds 0.0),
+        # which made CSV columns ragged across rows.
+        row["wall_seconds"] = round(self.wall_seconds, 6)
         if self.kernel is not None:
             row.update(self.kernel.as_row())
         return row

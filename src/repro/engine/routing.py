@@ -146,7 +146,7 @@ class BatchRouter:
     the port's key attribute every time.
     """
 
-    __slots__ = ("node_id", "partitioner", "stats", "key_function", "_bulk_lookup")
+    __slots__ = ("node_id", "partitioner", "stats", "key_function", "_bulk_lookup", "tracer")
 
     def __init__(
         self,
@@ -154,10 +154,15 @@ class BatchRouter:
         plan: Any,
         partitioner: Any,
         stats: Optional[RoutingStats] = None,
+        tracer: Any = None,
     ) -> None:
         self.node_id = node_id
         self.partitioner = partitioner
         self.stats = stats if stats is not None else RoutingStats()
+        #: ``None`` when tracing is off — public methods pay one pointer
+        #: comparison; when on, each batch operation becomes one
+        #: ``routing``-category span on the node's pipeline track.
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         result_key = plan.result_partition_value
         edge_key = plan.edge_join_value
         #: port -> (tuple -> routing key).  Seeds and view updates are both
@@ -197,27 +202,51 @@ class BatchRouter:
 
     def resolve(self, keys: Sequence[Any]) -> List[int]:
         """Owner column for a key column — one bulk partitioner call."""
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                self.node_id, "route:resolve", "routing", args={"keys": len(keys)}
+            )
         t0 = perf_counter()
         owners = self._bulk_lookup(keys)
         self.stats.seconds += perf_counter() - t0
+        if span is not None:
+            tracer.end(span)
         return owners
 
     def owners_of(self, port: str, updates: Sequence[Update]) -> List[int]:
         """Owner column of a batch: key extraction + one bulk lookup."""
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                self.node_id, f"route:{port}", "routing", args={"updates": len(updates)}
+            )
         t0 = perf_counter()
         key_of = self.key_function[port]
         owners = self._bulk_lookup([key_of(update.tuple) for update in updates])
         self.stats.seconds += perf_counter() - t0
+        if span is not None:
+            tracer.end(span)
         return owners
 
     def group(self, port: str, updates: Sequence[Update]) -> Dict[int, List[Update]]:
         """Destination grouping of a whole batch (columnar, one bulk lookup)."""
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                self.node_id, f"route:{port}", "routing", args={"updates": len(updates)}
+            )
         t0 = perf_counter()
         key_of = self.key_function[port]
         grouped = group_updates(
             updates, self._bulk_lookup([key_of(update.tuple) for update in updates])
         )
         self.stats.seconds += perf_counter() - t0
+        if span is not None:
+            tracer.end(span)
         return grouped
 
 

@@ -87,9 +87,17 @@ class ProcessorNode:
         self.partitioner = partitioner
         self.network = network
         self.batch_policy = batch_policy or BatchPolicy()
+        #: The active tracer, or ``None`` when tracing is off: ``handle``
+        #: pays one pointer comparison per delivered batch and nothing else
+        #: (the zero-overhead-off contract of :mod:`repro.obs.trace`).  Read
+        #: from the network so every node of a cluster shares one switch;
+        #: the executor installs the tracer before building its nodes.
+        self._tracer = network.tracer
         #: Columnar owner resolution, shared telemetry across the cluster's
         #: nodes when the executor passes one RoutingStats to all of them.
-        self.router = BatchRouter(node_id, plan, partitioner, routing_stats)
+        self.router = BatchRouter(
+            node_id, plan, partitioner, routing_stats, tracer=network.tracer
+        )
         self._elastic = bool(getattr(partitioner, "elastic", False))
         self._coalesce_view = self.batch_policy.batches_port(PORT_VIEW)
         #: Precomputed per-port dispatch table (replaces the historical
@@ -197,6 +205,10 @@ class ProcessorNode:
         """
         if not updates:
             return
+        tracer = self._tracer
+        if tracer is not None:
+            self._handle_traced(tracer, port, updates, now)
+            return
         handler = self._port_handlers.get(port)
         if handler is None:
             raise ValueError(f"unknown port {port!r} on node {self.node_id}")
@@ -209,6 +221,43 @@ class ProcessorNode:
         else:
             for update in updates:
                 handler((update,), now)
+
+    def _handle_traced(
+        self, tracer, port: str, updates: Sequence[Update], now: float
+    ) -> None:
+        """The :meth:`handle` body under tracing: identical dispatch, plus an
+        ``admit`` span, an ``op:<port>`` operator span and one synthesised
+        kernel-lane span covering the delivery's share of the annotation
+        kernel's cumulative clock."""
+        handler = self._port_handlers.get(port)
+        if handler is None:
+            raise ValueError(f"unknown port {port!r} on node {self.node_id}")
+        kernel_clock = self.store.kernel_clock
+        kernel_start = kernel_clock()
+        node_id = self.node_id
+        if port != PORT_PURGE:
+            span = tracer.begin(
+                node_id, f"admit:{port}", "routing", sim_ts=now,
+                args={"updates": len(updates)},
+            )
+            updates = self._admit_batch(port, updates, now)
+            tracer.end(span, args={"admitted": len(updates)})
+            if not updates:
+                tracer.kernel_slice(node_id, kernel_clock() - kernel_start, sim_ts=now)
+                return
+        span = tracer.begin(
+            node_id, f"op:{port}", "operator", sim_ts=now,
+            args={"updates": len(updates)},
+        )
+        try:
+            if self.batch_policy.batches_port(port):
+                handler(updates, now)
+            else:
+                for update in updates:
+                    handler((update,), now)
+        finally:
+            tracer.end(span)
+            tracer.kernel_slice(node_id, kernel_clock() - kernel_start, sim_ts=now)
 
     def _routing_key(self, port: str, update: Update) -> object:
         """The partition-key value that decides which node owns ``update`` on ``port``."""

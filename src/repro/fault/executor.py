@@ -116,6 +116,21 @@ class FaultTolerantExecutor(DistributedViewExecutor):
             self.network.register(runtime.node_id, runtime.handle)
         self.recovery = RecoveryManager(self, recovery_policy)
         self.network.set_fault_listener(self.recovery)
+        self.metrics_registry.register_probe("wal", self._wal_probe)
+
+    def _wal_probe(self) -> Dict[str, object]:
+        """WAL append rates and durability counters for the metrics registry."""
+        wall = self.network.handler_seconds
+        return {
+            "appends": self.wal.append_count,
+            "appended_updates": self.wal.appended_updates,
+            "retained_entries": self.wal.total_entries(),
+            "appends_per_handler_s": (
+                round(self.wal.append_count / wall, 3) if wall > 0 else 0.0
+            ),
+            "checkpoints_taken": self.checkpoints.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoints.total_bytes(),
+        }
 
     # -- failure injection --------------------------------------------------------------
     def schedule_crash(self, node_id: int, at_time: float) -> None:

@@ -77,18 +77,38 @@ class RecoveryManager(FaultListener):
         #: Diagnostics: one record per recovery, consumed by tests/harness.
         self.recovery_log: List[Dict[str, object]] = []
 
+    def _span(self, node_id: int, name: str, now: float):
+        """Open a ``fault``-category span on the node's track (None when untraced).
+
+        The network already emits the crash/recover *instants*; these spans
+        cover the recovery *work* — purge fan-out, checkpoint restore, WAL
+        replay, peer reseed — so a trace shows where recovery time goes.
+        """
+        tracer = self.executor.network.tracer
+        if tracer is None:
+            return None, None
+        return tracer, tracer.begin(
+            node_id, name, "fault", sim_ts=now, args={"policy": self.policy.value}
+        )
+
     # -- FaultListener protocol ------------------------------------------------------
     def on_crash(self, node_id: int, now: float) -> None:
         self.crash_count += 1
         if self.policy is RecoveryPolicy.PROVENANCE_PURGE:
+            tracer, span = self._span(node_id, "crash-purge", now)
             self._purge_dead_base(node_id, now)
+            if tracer is not None:
+                tracer.end(span)
 
     def on_recover(self, node_id: int, now: float) -> None:
         self.recovery_count += 1
+        tracer, span = self._span(node_id, "recovery", now)
         if self.policy is RecoveryPolicy.CHECKPOINT_REPLAY:
             self._restore_and_replay(node_id, now)
         else:
             self._cold_restart(node_id, now)
+        if tracer is not None:
+            tracer.end(span)
 
     def should_redeliver(self, message: Message) -> bool:
         if self.policy is RecoveryPolicy.CHECKPOINT_REPLAY:

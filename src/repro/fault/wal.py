@@ -78,6 +78,11 @@ class UpdateLog:
     def __init__(self, retain_entries: bool = True) -> None:
         self._logs: Dict[int, _NodeLog] = {}
         self.retain_entries = retain_entries
+        #: Monotone append telemetry for the metrics registry's WAL probe
+        #: (counted even when entries are not retained — the write-ahead
+        #: discipline runs either way).
+        self.append_count = 0
+        self.appended_updates = 0
 
     def _log(self, node_id: int) -> _NodeLog:
         log = self._logs.get(node_id)
@@ -102,6 +107,8 @@ class UpdateLog:
         log = self._log(node_id)
         sequence = log.next_sequence
         log.next_sequence += 1
+        self.append_count += 1
+        self.appended_updates += len(updates)
         if self.retain_entries:
             log.entries.append(LogEntry(sequence, port, tuple(updates), time))
         if port in (PORT_BASE, PORT_SEED):

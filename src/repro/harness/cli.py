@@ -16,9 +16,14 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+import re
+
 from repro.harness import experiments
 from repro.harness.config import DEFAULT_CONFIG, PAPER_SCALE_CONFIG, QUICK_CONFIG, ExperimentConfig
 from repro.harness.report import format_rows, rows_to_csv
+from repro.obs.export import write_metrics_json, write_trace
+from repro.obs.metrics import MetricsLog, install_metrics_log
+from repro.obs.trace import HARNESS_PID, Tracer, install_tracer
 
 #: Mapping from CLI experiment name to (driver, description).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -141,6 +146,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deliveries between checkpoints under checkpoint+replay recovery",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a Chrome trace-event file of the run (open in Perfetto / "
+            "chrome://tracing); a .jsonl suffix writes one event per line"
+        ),
+    )
+    obs.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write one metrics-registry snapshot per experiment phase as JSON",
+    )
     return parser
 
 
@@ -202,10 +225,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     requested: List[str] = []
     for name in args.experiments:
+        # ``fig11`` and friends are accepted as shorthand for ``figure11``.
+        alias = re.sub(r"^fig(?=\d+$)", "figure", name)
         if name == "all":
             requested.extend(EXPERIMENTS)
         elif name in EXPERIMENTS:
             requested.append(name)
+        elif alias in EXPERIMENTS:
+            requested.append(alias)
         else:
             parser.error(f"unknown experiment {name!r}; use --list to see the choices")
 
@@ -214,15 +241,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
 
-    for name in requested:
-        driver, description = EXPERIMENTS[name]
-        rows = driver(config)
-        print()
-        print(format_rows(rows, title=f"{name}: {description}"))
-        if args.csv_dir is not None:
-            target = args.csv_dir / f"{name}.csv"
-            target.write_text(rows_to_csv(rows))
-            print(f"(wrote {target})")
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer()
+        install_tracer(tracer)
+    metrics_log = None
+    if args.metrics_json is not None:
+        metrics_log = MetricsLog()
+        install_metrics_log(metrics_log)
+
+    try:
+        for name in requested:
+            driver, description = EXPERIMENTS[name]
+            span = None
+            if tracer is not None:
+                span = tracer.begin(HARNESS_PID, f"experiment:{name}", "harness")
+            try:
+                rows = driver(config)
+            finally:
+                if span is not None:
+                    tracer.end(span)
+            print()
+            print(format_rows(rows, title=f"{name}: {description}"))
+            if args.csv_dir is not None:
+                target = args.csv_dir / f"{name}.csv"
+                target.write_text(rows_to_csv(rows))
+                print(f"(wrote {target})")
+    finally:
+        if tracer is not None:
+            install_tracer(None)
+            write_trace(tracer, args.trace)
+            print(f"(wrote trace: {args.trace}, {len(tracer.events)} events)")
+        if metrics_log is not None:
+            install_metrics_log(None)
+            write_metrics_json(metrics_log, args.metrics_json)
+            print(
+                f"(wrote metrics: {args.metrics_json}, "
+                f"{len(metrics_log.records)} snapshots)"
+            )
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.engine.strategy import ExecutionStrategy
 from repro.fault import RecoveryPolicy, fault_tolerant_executor
 from repro.harness.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.net.latency import ClusterLatencyModel
+from repro.obs.trace import HARNESS_PID, current_tracer
 from repro.net.simulator import SimulationBudgetExceeded
 from repro.queries.builder import build_executor
 from repro.queries.reachability import reachability_plan
@@ -117,6 +118,12 @@ def _executor(
 def _base_row(figure: str, scheme: str, **parameters: object) -> Row:
     row: Row = {"figure": figure, "scheme": scheme}
     row.update(parameters)
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Every driver starts a (figure, scheme, x) point through here, so
+        # one instant on the harness track marks each sweep point in a trace.
+        point = ",".join(f"{k}={v}" for k, v in parameters.items())
+        tracer.instant(HARNESS_PID, f"fig{figure}[{scheme}] {point}", "harness")
     return row
 
 

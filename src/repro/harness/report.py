@@ -8,6 +8,7 @@ for further processing/plotting.
 
 from __future__ import annotations
 
+import csv
 import io
 from typing import Dict, Iterable, List, Sequence
 
@@ -51,14 +52,21 @@ def format_rows(rows: Sequence[Row], title: str = "") -> str:
 
 
 def rows_to_csv(rows: Sequence[Row]) -> str:
-    """Render rows as CSV text (header row first)."""
+    """Render rows as CSV text (header row first).
+
+    Serialized through the stdlib :mod:`csv` writer so values containing
+    commas, quotes or newlines (e.g. ``processors="8->16"``-style labels or
+    parenthesised budget markers) are quoted correctly instead of corrupting
+    the column structure.
+    """
     if not rows:
         return ""
     columns = _columns(rows)
     buffer = io.StringIO()
-    buffer.write(",".join(columns) + "\n")
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
     for row in rows:
-        buffer.write(",".join(_render(row.get(column, "")) for column in columns) + "\n")
+        writer.writerow([_render(row.get(column, "")) for column in columns])
     return buffer.getvalue()
 
 
@@ -90,6 +98,9 @@ def format_kernel_stats(stats: Dict[str, object], label: str = "") -> str:
         f"gc_passes={pick('gc_passes', 'kernel_gc_passes')}",
         f"gc_pause={float(pick('gc_pause_s', 'kernel_gc_pause_s')):.4f}s",
         f"kernel={float(pick('kernel_time_s')):.4f}s",
+        f"routing={float(pick('routing_time_s')):.4f}s",
+        f"operator={float(pick('operator_time_s')):.4f}s",
+        f"net={float(pick('net_time_s')):.4f}s",
     ]
     prefix = f"{label}: " if label else ""
     return prefix + " ".join(parts)

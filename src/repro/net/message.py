@@ -30,9 +30,23 @@ class Message:
     A ``__slots__`` class, not a dataclass: one Message is allocated per
     ``send``/``inject`` on the simulator hot path, and slot storage skips the
     per-instance ``__dict__`` (the same treatment Tuple and Update received).
+
+    ``trace_flow`` is the flow-event id linking this message's send span to
+    its delivery span when tracing is enabled (see :mod:`repro.obs.trace`);
+    ``None`` — the untraced default — costs one slot write per message.
     """
 
-    __slots__ = ("src", "dst", "port", "updates", "size_bytes", "sent_at", "epoch", "message_id")
+    __slots__ = (
+        "src",
+        "dst",
+        "port",
+        "updates",
+        "size_bytes",
+        "sent_at",
+        "epoch",
+        "message_id",
+        "trace_flow",
+    )
 
     def __init__(
         self,
@@ -53,6 +67,7 @@ class Message:
         self.sent_at = sent_at
         self.epoch = epoch
         self.message_id = next(_message_ids) if message_id is None else message_id
+        self.trace_flow: Optional[int] = None
 
     @property
     def is_local(self) -> bool:

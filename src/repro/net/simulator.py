@@ -43,6 +43,7 @@ from repro.data.update import Update
 from repro.net.latency import LatencyModel, UniformLatencyModel
 from repro.net.message import Message
 from repro.net.stats import NetworkStats
+from repro.obs.trace import CONTROL_PID
 
 #: A node handler receives (port, updates, virtual time) and reacts by calling
 #: :meth:`SimulatedNetwork.send` zero or more times.
@@ -155,6 +156,13 @@ class SimulatedNetwork:
         #: Supplies the current placement epoch stamped onto outgoing
         #: messages (installed by the elastic executor; static runs stay at 0).
         self._epoch_provider: Optional[Callable[[], int]] = None
+        #: The active tracer, or ``None`` when tracing is off — the run loop
+        #: pays exactly one ``is None`` check per delivery (see
+        #: :mod:`repro.obs.trace` for the zero-overhead-off contract).
+        self._tracer = None
+        #: Flow ids of messages merged into the current coalesced delivery,
+        #: landed inside the delivery span (traced runs only).
+        self._coalesced_flows: List[int] = []
 
     # -- wiring -----------------------------------------------------------------
     def register(self, node: int, handler: NodeHandler) -> None:
@@ -173,6 +181,16 @@ class SimulatedNetwork:
     def set_epoch_provider(self, provider: Optional[Callable[[], int]]) -> None:
         """Install the placement-epoch source stamped onto every sent message."""
         self._epoch_provider = provider
+
+    def set_tracer(self, tracer) -> None:
+        """Install the span tracer; disabled tracers are stored as ``None``
+        so the delivery loop's only tracing cost is a pointer comparison."""
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+
+    @property
+    def tracer(self):
+        """The active tracer, or ``None`` when tracing is off."""
+        return self._tracer
 
     @property
     def current_epoch(self) -> int:
@@ -248,6 +266,9 @@ class SimulatedNetwork:
 
     def _apply_fault_event(self, event: _FaultEvent, at_time: float) -> None:
         self._now = max(self._now, at_time)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(event.node, event.kind, "fault", sim_ts=self._now)
         if event.kind == "crash":
             if event.node in self._down:
                 raise SimulationError(f"node {event.node} is already down")
@@ -309,6 +330,10 @@ class SimulatedNetwork:
             src=src, dst=dst, port=port, updates=tuple(updates),
             size_bytes=size_bytes, sent_at=sent_at, epoch=self.current_epoch,
         )
+        tracer = self._tracer
+        if tracer is not None and src != dst:
+            # Flow arrow from the sender's current span to the delivery span.
+            message.trace_flow = tracer.flow_start(src, sim_ts=sent_at)
         self.stats.record_message(message)
         # The channel key and watermark probe are the send hot path: one tuple
         # allocation and one dict probe, no intermediate attribute lookups.
@@ -338,6 +363,12 @@ class SimulatedNetwork:
         self._validate_node(dst)
         if not updates:
             return
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                dst, f"inject:{port}", "inject", sim_ts=at_time,
+                args={"updates": len(updates)},
+            )
         message = Message(
             src=dst, dst=dst, port=port, updates=tuple(updates),
             size_bytes=size_bytes, sent_at=at_time, epoch=self.current_epoch,
@@ -375,6 +406,10 @@ class SimulatedNetwork:
                     self._apply_fault_event(message, arrival)
                 else:
                     self._now = max(self._now, arrival)
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            CONTROL_PID, "control-callback", "control", sim_ts=self._now
+                        )
                     message.callback(self._now)
                 continue
             dst = message.dst
@@ -409,10 +444,48 @@ class SimulatedNetwork:
             busy_until[dst] = completion
             self._now = completion
             self.stats.record_time(completion)
-            wall_start = perf_counter()
-            handler(message.port, updates, completion)
-            self.handler_seconds += perf_counter() - wall_start
+            tracer = self._tracer
+            if tracer is None:
+                wall_start = perf_counter()
+                handler(message.port, updates, completion)
+                self.handler_seconds += perf_counter() - wall_start
+            else:
+                self._deliver_traced(tracer, handler, message, updates, completion)
         return self.stats
+
+    def _deliver_traced(
+        self,
+        tracer,
+        handler: NodeHandler,
+        message: Message,
+        updates: Sequence[Update],
+        completion: float,
+    ) -> None:
+        """Deliver one message under tracing: a ``net``-category delivery span
+        on the destination's pipeline lane, incoming flow arrows landed inside
+        it, and the node context set so kernel GC passes fired from within the
+        handler attach to this node's track."""
+        span = tracer.begin(
+            message.dst,
+            f"deliver:{message.port}",
+            "net",
+            sim_ts=completion,
+            args={"src": message.src, "msg": message.message_id, "updates": len(updates)},
+        )
+        tracer.flow_finish(message.trace_flow, message.dst)
+        coalesced = self._coalesced_flows
+        if coalesced:
+            for flow_id in coalesced:
+                tracer.flow_finish(flow_id, message.dst)
+            coalesced.clear()
+        tracer.set_node_context(message.dst)
+        wall_start = time.perf_counter()
+        try:
+            handler(message.port, updates, completion)
+        finally:
+            self.handler_seconds += time.perf_counter() - wall_start
+            tracer.clear_node_context()
+            tracer.end(span)
 
     def _coalesce_ready(
         self, message: Message, start: float, until: Optional[float]
@@ -453,6 +526,7 @@ class SimulatedNetwork:
         wall_deadline = self._wall_deadline
         monotonic = time.monotonic
         current_epoch = self.current_epoch
+        tracer = self._tracer
         updates: List[Update] = list(message.updates)
         extend = updates.extend
         while queue and len(updates) < max_batch:
@@ -485,6 +559,10 @@ class SimulatedNetwork:
             pop(queue)
             if head.epoch < current_epoch:
                 self.stats.stale_epoch_messages += 1
+            if tracer is not None and head.trace_flow is not None:
+                # Landed inside the delivery span about to open, so every
+                # coalesced sender's arrow converges on the merged delivery.
+                self._coalesced_flows.append(head.trace_flow)
             extend(head.updates)
             self.coalesced_deliveries += 1
         return updates
@@ -502,6 +580,22 @@ class SimulatedNetwork:
     def pending_events(self) -> int:
         """Number of undelivered messages (useful in tests)."""
         return len(self._queue)
+
+    def queue_depths(self) -> Dict[int, int]:
+        """Pending message deliveries per destination node (live probe).
+
+        Counts only real messages — fault and control events have no
+        destination.  Held messages towards crashed nodes count too: they are
+        queued work the destination will face on recovery.
+        """
+        depths: Dict[int, int] = {}
+        for _, _, entry in self._queue:
+            if isinstance(entry, Message):
+                depths[entry.dst] = depths.get(entry.dst, 0) + 1
+        for node, held in self._held.items():
+            if held:
+                depths[node] = depths.get(node, 0) + len(held)
+        return depths
 
     def reset_stats(self) -> None:
         """Start a fresh statistics accumulator (e.g. between insert and delete phases)."""

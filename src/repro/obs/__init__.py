@@ -1,0 +1,39 @@
+"""Unified observability: span tracing, metrics registry, Perfetto export.
+
+See :mod:`repro.obs.trace` for the tracer and track model,
+:mod:`repro.obs.metrics` for the counter/gauge/histogram registry and probe
+API, and :mod:`repro.obs.export` for the Chrome trace-event / JSONL writers
+and validators.
+"""
+
+from repro.obs.metrics import (
+    MetricsLog,
+    MetricsRegistry,
+    current_metrics_log,
+    install_metrics_log,
+)
+from repro.obs.trace import (
+    CONTROL_PID,
+    HARNESS_PID,
+    KERNEL_PID,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    install_tracer,
+)
+
+__all__ = [
+    "CONTROL_PID",
+    "HARNESS_PID",
+    "KERNEL_PID",
+    "NULL_TRACER",
+    "MetricsLog",
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "current_metrics_log",
+    "current_tracer",
+    "install_metrics_log",
+    "install_tracer",
+]

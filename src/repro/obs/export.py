@@ -1,0 +1,180 @@
+"""Trace and metrics serialisation: Chrome trace-event JSON and JSONL.
+
+Two trace formats from one :class:`~repro.obs.trace.Tracer`:
+
+* **Chrome trace-event JSON** (the default, any other extension): the object
+  form ``{"traceEvents": [...]}`` that Perfetto (https://ui.perfetto.dev) and
+  ``about://tracing`` load directly;
+* **JSONL structured event log** (``*.jsonl``): one JSON event per line, for
+  ``jq``/pandas-style post-processing without loading the whole trace.
+
+:func:`validate_chrome_trace` is the shared validity check used by the tests
+and by ``scripts/validate_trace.py`` in CI: the JSON must parse, every
+complete event needs a non-negative duration, spans within a track must nest
+properly (a proper tree — no partial overlap), and required categories and
+per-node tracks must be present.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import Tracer
+
+#: Tolerance (microseconds) for float jitter in nesting comparisons.
+_NEST_EPSILON_US = 0.5
+
+
+def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
+    """The Perfetto-loadable object form of a finished trace."""
+    tracer.finish()
+    return {
+        "traceEvents": tracer.chrome_events(),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "clock": "wall-us (sim time in args)"},
+    }
+
+
+def write_trace(tracer: Tracer, path: Any) -> None:
+    """Write the trace to ``path`` — JSONL when it ends in ``.jsonl``,
+    Chrome trace-event JSON otherwise."""
+    if str(path).endswith(".jsonl"):
+        tracer.finish()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in tracer.chrome_events():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace_dict(tracer), handle)
+
+
+def write_metrics_json(log: Any, path: Any) -> None:
+    """Write a :class:`~repro.obs.metrics.MetricsLog` as one JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"snapshots": log.records}, handle, indent=2, sort_keys=True)
+
+
+def load_trace_events(path: Any) -> List[Dict[str, Any]]:
+    """Load events back from either export format."""
+    if str(path).endswith(".jsonl"):
+        with open(path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace object has no traceEvents list")
+        return events
+    if isinstance(data, list):  # bare array form is also legal chrome format
+        return data
+    raise ValueError(f"unrecognised trace JSON shape: {type(data).__name__}")
+
+
+def validate_span_nesting(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check that complete events nest properly within each (pid, tid) track.
+
+    Spans on one track must form a proper tree: sorted by start (ties broken
+    longest-first), every span either starts after the enclosing span ends or
+    lies entirely inside it.  Partial overlap — a span crossing another's end
+    boundary — is a recording bug and is reported.  Returns a list of
+    human-readable violations (empty means valid).
+    """
+    errors: List[str] = []
+    tracks: Dict[tuple, List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        duration = event.get("dur")
+        if duration is None or duration < 0:
+            errors.append(f"complete event without non-negative dur: {event.get('name')}")
+            continue
+        tracks.setdefault((event.get("pid"), event.get("tid")), []).append(event)
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[Dict[str, Any]] = []
+        for span in spans:
+            start, end = span["ts"], span["ts"] + span["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - _NEST_EPSILON_US:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if end > parent_end + _NEST_EPSILON_US:
+                    errors.append(
+                        f"track ({pid}, {tid}): span {span['name']!r} "
+                        f"[{start:.1f}, {end:.1f}]us overlaps end of "
+                        f"{stack[-1]['name']!r} [{stack[-1]['ts']:.1f}, {parent_end:.1f}]us"
+                    )
+                    continue
+            stack.append(span)
+    return errors
+
+
+def trace_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Shape overview of an event list: counts, categories, tracks, flows."""
+    categories: Dict[str, int] = {}
+    node_pids = set()
+    tracks = set()
+    spans = instants = flow_starts = flow_finishes = 0
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        cat = event.get("cat")
+        if cat:
+            categories[cat] = categories.get(cat, 0) + 1
+        tracks.add((event.get("pid"), event.get("tid")))
+        if phase == "X":
+            spans += 1
+        elif phase == "i":
+            instants += 1
+        elif phase == "s":
+            flow_starts += 1
+        elif phase == "f":
+            flow_finishes += 1
+        pid = event.get("pid", 0)
+        if isinstance(pid, int) and pid < (1 << 20):
+            node_pids.add(pid)
+    return {
+        "events": len(events),
+        "spans": spans,
+        "instants": instants,
+        "flow_starts": flow_starts,
+        "flow_finishes": flow_finishes,
+        "categories": categories,
+        "tracks": len(tracks),
+        "node_pids": sorted(node_pids),
+    }
+
+
+def validate_chrome_trace(
+    path: Any,
+    require_categories: Optional[Sequence[str]] = None,
+    require_node_tracks: int = 1,
+) -> Dict[str, Any]:
+    """Full validity check of an exported trace file; returns its summary.
+
+    Raises :class:`ValueError` describing every problem found: unparseable
+    JSON shape, negative durations, nesting violations, missing required
+    span categories, or fewer per-node tracks than ``require_node_tracks``.
+    """
+    events = load_trace_events(path)
+    problems = validate_span_nesting(events)
+    summary = trace_summary(events)
+    if require_categories:
+        span_categories = {
+            event.get("cat") for event in events if event.get("ph") == "X"
+        }
+        missing = [cat for cat in require_categories if cat not in span_categories]
+        if missing:
+            problems.append(f"missing span categories: {', '.join(missing)}")
+    if len(summary["node_pids"]) < require_node_tracks:
+        problems.append(
+            f"expected ≥{require_node_tracks} per-node tracks, "
+            f"found {len(summary['node_pids'])}"
+        )
+    if problems:
+        raise ValueError("; ".join(problems))
+    return summary

@@ -1,0 +1,196 @@
+"""Central metrics registry unifying the engine's scattered stat objects.
+
+The engine grew one telemetry island per subsystem — ``KernelPhaseStats`` in
+the executor, ``RoutingStats`` in the routing layer, ``NetworkStats`` on the
+simulator, the BDD manager's ``cache_stats()``/``gc_stats()`` — each with its
+own shape and its own snapshot discipline.  :class:`MetricsRegistry` gives
+them one home: subsystems register *probes* (callables returning flat
+name→number dictionaries, read lazily at snapshot time so live objects are
+never copied eagerly) alongside plain :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` instruments, and every consumer reads one
+:meth:`~MetricsRegistry.snapshot` / :meth:`~MetricsRegistry.delta` API.
+
+New live probes introduced with the registry (per the observability issue):
+
+* per-node event-queue depth (:meth:`repro.net.simulator.SimulatedNetwork.queue_depths`),
+* per-fixpoint-round delta-size histogram
+  (:attr:`repro.operators.fixpoint.FixpointOperator.round_delta_sizes`),
+* WAL append counters/rates (:class:`repro.fault.wal.UpdateLog`).
+
+:class:`MetricsLog` accumulates snapshots over a run (the harness records one
+per executor phase) for ``--metrics-json`` export.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, read from ``fn`` at snapshot time."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative integer samples.
+
+    Bucket ``k`` counts samples whose bit length is ``k`` — i.e. values in
+    ``[2**(k-1), 2**k)``, with bucket 0 holding exact zeros.  Coarse on
+    purpose: recording is one ``bit_length`` plus one dictionary update, cheap
+    enough for per-fixpoint-round use.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def observe(self, value: int) -> None:
+        bucket = value.bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (for cluster rollups)."""
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+
+    def as_flat(self) -> Dict[str, int]:
+        """Flat name→number view: one ``_p2_<k>`` key per occupied bucket."""
+        flat = {
+            f"{self.name}_count": self.count,
+            f"{self.name}_sum": self.total,
+            f"{self.name}_max": self.max,
+        }
+        for bucket in sorted(self.buckets):
+            flat[f"{self.name}_p2_{bucket}"] = self.buckets[bucket]
+        return flat
+
+
+class MetricsRegistry:
+    """One registry per executor: instruments plus lazily-read subsystem probes.
+
+    A *probe* is a zero-argument callable returning a flat name→number
+    dictionary; its keys are namespaced with the registering prefix.  Probes
+    read the live stat objects only when :meth:`snapshot` runs, so an idle
+    registry costs nothing and a registered subsystem keeps mutating its own
+    counters exactly as before.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._probes: List[tuple] = []
+        self._created = perf_counter()
+
+    # -- instruments --------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        instrument = Gauge(name, fn)
+        self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def register_probe(self, prefix: str, fn: Callable[[], Dict[str, Any]]) -> None:
+        """Register a subsystem stat reader; its keys get ``prefix.`` prepended."""
+        self._probes.append((prefix, fn))
+
+    # -- reading ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """One flat name→number view of every instrument and probe, right now."""
+        snap: Dict[str, float] = {"elapsed_s": round(perf_counter() - self._created, 6)}
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.fn()
+        for histogram in self._histograms.values():
+            snap.update(histogram.as_flat())
+        for prefix, fn in self._probes:
+            for key, value in fn().items():
+                snap[f"{prefix}.{key}"] = value
+        return snap
+
+    @staticmethod
+    def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+        """Numeric difference of two snapshots (keys only in ``after`` pass through)."""
+        diff: Dict[str, float] = {}
+        for key, value in after.items():
+            base = before.get(key)
+            if isinstance(value, (int, float)) and isinstance(base, (int, float)):
+                diff[key] = value - base
+            else:
+                diff[key] = value
+        return diff
+
+
+class MetricsLog:
+    """An append-only log of labelled snapshots, for ``--metrics-json``."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def record(self, labels: Dict[str, Any], snapshot: Dict[str, float]) -> None:
+        entry = dict(labels)
+        entry["metrics"] = snapshot
+        self.records.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: The process-wide metrics log the harness installs for ``--metrics-json``;
+#: ``None`` (the default) means per-phase snapshots are not being collected.
+_ACTIVE_LOG: Optional[MetricsLog] = None
+
+
+def install_metrics_log(log: Optional[MetricsLog]) -> Optional[MetricsLog]:
+    """Install ``log`` as the process-wide snapshot sink; returns the previous one."""
+    global _ACTIVE_LOG
+    previous = _ACTIVE_LOG
+    _ACTIVE_LOG = log
+    return previous
+
+
+def current_metrics_log() -> Optional[MetricsLog]:
+    return _ACTIVE_LOG

@@ -1,0 +1,360 @@
+"""Span-based tracing of the distributed engine (wall + simulated clocks).
+
+One :class:`Tracer` records the full batch lifecycle as Chrome trace events —
+inject, route, admit, operator work, kernel time, GC pauses, ship and
+delivery — on **per-node tracks**, with flow events linking a message's send
+to its delivery and instant events for the control plane (crash, recover,
+placement changes, migrations).  The export side
+(:mod:`repro.obs.export`) renders the event list as Chrome trace-event JSON
+(loadable in Perfetto or ``about://tracing``) or as a JSONL structured log.
+
+**Track layout.**  Every processor node is one trace *process* (``pid`` =
+node id) with three lanes:
+
+* ``pipeline`` (tid 1) — delivery spans and their nested admit / routing /
+  operator children, exactly the four phase-time buckets the per-phase
+  telemetry reports (``net``/``routing``/``operator`` categories);
+* ``kernel`` (tid 2) — one aggregate span per delivery covering the wall
+  time the delivery spent inside the BDD kernel loops (category ``kernel``);
+* ``gc`` (tid 3) — annotation-kernel collection passes that fired while this
+  node's handler was running (category ``gc``).
+
+Three synthetic processes carry everything that is not a node:
+``cluster-control`` (placement changes, migrations, injected workload),
+``bdd-kernel`` (GC passes outside any handler) and ``harness`` (experiment
+phases and per-run markers).
+
+**Zero overhead off.**  The disabled tracer is the :data:`NULL_TRACER` null
+object; instrumented hot paths hold ``None`` instead of it and pay exactly
+one pointer comparison per delivered batch (see
+:meth:`repro.net.simulator.SimulatedNetwork.set_tracer` and
+:class:`repro.engine.runtime.ProcessorNode`).  ``benchmarks/test_obs_overhead.py``
+gates this.
+
+**Clocks.**  The primary timestamp of every event is the wall clock
+(microseconds since the tracer was created — what Perfetto lays out), and the
+simulated clock rides along in every event's ``args`` as ``sim``, so a trace
+answers both "where did the wall time go" and "when in virtual time did this
+happen".
+"""
+
+from __future__ import annotations
+
+import itertools
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Per-node lanes (Chrome ``tid``).
+PIPELINE_TID = 1
+KERNEL_TID = 2
+GC_TID = 3
+
+#: Synthetic processes (Chrome ``pid``) for non-node tracks.  Far above any
+#: plausible node id so the two namespaces never collide.
+CONTROL_PID = 1 << 20
+KERNEL_PID = (1 << 20) + 1
+HARNESS_PID = (1 << 20) + 2
+
+_SYNTHETIC_NAMES = {
+    CONTROL_PID: "cluster-control",
+    KERNEL_PID: "bdd-kernel",
+    HARNESS_PID: "harness",
+}
+
+_LANE_NAMES = {PIPELINE_TID: "pipeline", KERNEL_TID: "kernel", GC_TID: "gc"}
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths additionally cache ``None`` instead of this object so the
+    disabled cost is a pointer comparison, not even a method call; the null
+    object exists so *cold* call sites (GC passes, control-plane events,
+    phase boundaries) can call the tracer unconditionally.
+    """
+
+    enabled = False
+
+    def begin(self, pid, name, cat, tid=PIPELINE_TID, sim_ts=None, args=None):
+        return None
+
+    def end(self, span, args=None, sim_ts=None):
+        return None
+
+    def instant(self, pid, name, cat, tid=PIPELINE_TID, sim_ts=None, args=None):
+        return None
+
+    def flow_start(self, pid, sim_ts=None):
+        return None
+
+    def flow_finish(self, flow_id, pid):
+        return None
+
+    def kernel_slice(self, pid, seconds, sim_ts=None, name="kernel"):
+        return None
+
+    def set_node_context(self, pid):
+        return None
+
+    def clear_node_context(self):
+        return None
+
+    def context_pid(self, default):
+        return default
+
+    def finish(self):
+        return None
+
+
+#: The process-wide disabled tracer (shared, stateless).
+NULL_TRACER = NullTracer()
+
+#: The active tracer; :func:`install_tracer` swaps it, everything else reads it.
+_ACTIVE: Any = NULL_TRACER
+
+
+def install_tracer(tracer: Optional["Tracer"]) -> Any:
+    """Install ``tracer`` as the process-wide active tracer; returns the previous one.
+
+    Passing ``None`` restores the disabled :data:`NULL_TRACER`.  Executors
+    pick the active tracer up at construction, so install it *before*
+    building the executor whose run should be traced.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def current_tracer() -> Any:
+    """The process-wide active tracer (the null object when tracing is off)."""
+    return _ACTIVE
+
+
+class Tracer:
+    """Records spans, instants and flow links as Chrome trace events.
+
+    Spans are *complete* events (``ph: "X"``): :meth:`begin` appends the
+    event and returns it as the token :meth:`end` later stamps the duration
+    onto — two timestamps and two dictionary writes per span, cheap enough
+    for per-delivery use.  Per-track open-span stacks are maintained so an
+    export can close dangling spans (:meth:`finish`) and so the nesting
+    property ("a track's spans form a proper tree") is testable.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._t0 = perf_counter()
+        #: Flat chrome-format event list (metadata events added at export).
+        self.events: List[Dict[str, Any]] = []
+        self._open: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+        self._flow_ids = itertools.count(1)
+        self._tracks: set = set()
+        #: Node whose handler is currently running (for attributing GC passes
+        #: fired from inside kernel operations to the right node track).
+        self._context_pid: Optional[int] = None
+
+    # -- clock -------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (perf_counter() - self._t0) * 1e6
+
+    # -- spans -------------------------------------------------------------------
+    def begin(
+        self,
+        pid: int,
+        name: str,
+        cat: str,
+        tid: int = PIPELINE_TID,
+        sim_ts: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Open a span; returns the event token to pass to :meth:`end`."""
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": cat,
+            "ts": self._now_us(),
+            "dur": 0.0,
+        }
+        if sim_ts is not None or args:
+            event_args = dict(args) if args else {}
+            if sim_ts is not None:
+                event_args["sim"] = sim_ts
+            event["args"] = event_args
+        self._tracks.add((pid, tid))
+        self.events.append(event)
+        self._open.setdefault((pid, tid), []).append(event)
+        return event
+
+    def end(
+        self,
+        span: Optional[Dict[str, Any]],
+        args: Optional[Dict[str, Any]] = None,
+        sim_ts: Optional[float] = None,
+    ) -> None:
+        """Close a span opened by :meth:`begin` (None tokens are ignored)."""
+        if span is None:
+            return
+        span["dur"] = self._now_us() - span["ts"]
+        if args or sim_ts is not None:
+            event_args = span.setdefault("args", {})
+            if args:
+                event_args.update(args)
+            if sim_ts is not None:
+                event_args["sim_end"] = sim_ts
+        stack = self._open.get((span["pid"], span["tid"]))
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # defensive: out-of-order close
+            stack.remove(span)
+
+    def instant(
+        self,
+        pid: int,
+        name: str,
+        cat: str,
+        tid: int = PIPELINE_TID,
+        sim_ts: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point-in-time event (crash, recover, placement change...)."""
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": cat,
+            "ts": self._now_us(),
+        }
+        if sim_ts is not None or args:
+            event_args = dict(args) if args else {}
+            if sim_ts is not None:
+                event_args["sim"] = sim_ts
+            event["args"] = event_args
+        self._tracks.add((pid, tid))
+        self.events.append(event)
+
+    # -- flows (message causality) --------------------------------------------------
+    def flow_start(self, pid: int, sim_ts: Optional[float] = None) -> int:
+        """Open a flow arrow at the sender (inside the sender's current span)."""
+        flow_id = next(self._flow_ids)
+        event: Dict[str, Any] = {
+            "ph": "s",
+            "id": flow_id,
+            "pid": pid,
+            "tid": PIPELINE_TID,
+            "name": "msg",
+            "cat": "flow",
+            "ts": self._now_us(),
+        }
+        if sim_ts is not None:
+            event["args"] = {"sim": sim_ts}
+        self._tracks.add((pid, PIPELINE_TID))
+        self.events.append(event)
+        return flow_id
+
+    def flow_finish(self, flow_id: Optional[int], pid: int) -> None:
+        """Land a flow arrow at the receiver (inside the delivery span)."""
+        if flow_id is None:
+            return
+        self.events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": pid,
+                "tid": PIPELINE_TID,
+                "name": "msg",
+                "cat": "flow",
+                "ts": self._now_us(),
+            }
+        )
+
+    # -- aggregate kernel lane ---------------------------------------------------------
+    def kernel_slice(
+        self, pid: int, seconds: float, sim_ts: Optional[float] = None, name: str = "kernel"
+    ) -> None:
+        """One aggregate kernel-time span for the delivery that just finished.
+
+        Placed on the node's ``kernel`` lane covering the last ``seconds`` of
+        wall clock: the kernel loops' cumulative share of the delivery, ending
+        now.  Kept on its own lane because the kernel time interleaves with
+        the operator spans on the pipeline lane (it accrues *inside* them).
+        """
+        if seconds <= 0.0:
+            return
+        now = self._now_us()
+        duration = seconds * 1e6
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "pid": pid,
+            "tid": KERNEL_TID,
+            "name": name,
+            "cat": "kernel",
+            "ts": now - duration,
+            "dur": duration,
+        }
+        if sim_ts is not None:
+            event["args"] = {"sim": sim_ts}
+        self._tracks.add((pid, KERNEL_TID))
+        self.events.append(event)
+
+    # -- node context (GC attribution) ------------------------------------------------
+    def set_node_context(self, pid: int) -> None:
+        """Mark ``pid`` as the node whose handler is currently executing."""
+        self._context_pid = pid
+
+    def clear_node_context(self) -> None:
+        self._context_pid = None
+
+    def context_pid(self, default: int) -> int:
+        """The current node context, or ``default`` outside any handler."""
+        return self._context_pid if self._context_pid is not None else default
+
+    # -- export ------------------------------------------------------------------------
+    def open_span_count(self) -> int:
+        """Spans currently open (should be 0 at any quiescent point)."""
+        return sum(len(stack) for stack in self._open.values())
+
+    def finish(self) -> None:
+        """Close any dangling spans (defensive; a clean run leaves none)."""
+        for stack in self._open.values():
+            while stack:
+                self.end(stack[-1])
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """The event list plus track-naming metadata, ready for JSON export."""
+        metadata: List[Dict[str, Any]] = []
+        pids = sorted({pid for pid, _ in self._tracks})
+        for pid in pids:
+            name = _SYNTHETIC_NAMES.get(pid, f"node {pid}")
+            metadata.append(
+                {"ph": "M", "pid": pid, "tid": 0, "name": "process_name", "args": {"name": name}}
+            )
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": pid},
+                }
+            )
+        for pid, tid in sorted(self._tracks):
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": _LANE_NAMES.get(tid, f"lane {tid}")},
+                }
+            )
+        return metadata + self.events
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.events)} events, {len(self._tracks)} tracks)"

@@ -29,6 +29,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 from repro.data.batch import group_by_tuple, split_runs
 from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
+from repro.obs.metrics import Histogram
 from repro.operators.aggsel import AggregateSelection
 from repro.operators.base import Operator, annotation_state_bytes
 from repro.provenance.tracker import ProvenanceStore
@@ -48,6 +49,11 @@ class FixpointOperator(Operator):
         self.provenance: Dict[Tuple, object] = {}
         #: Optional aggregate-selection module "pushed into" the fixpoint (Section 6).
         self.aggregate_selection = aggregate_selection
+        #: Distribution of per-round emitted-delta sizes (how much each
+        #: fixpoint round actually changed the view) — a live probe the
+        #: metrics registry rolls up cluster-wide.  Power-of-two buckets:
+        #: one ``bit_length`` + dict update per processed batch.
+        self.delta_histogram = Histogram("round_delta_size")
 
     # -- view access -----------------------------------------------------------
     def view_tuples(self) -> List[Tuple]:
@@ -97,6 +103,7 @@ class FixpointOperator(Operator):
                     outputs.extend(self._insert_group(tuple_, items))
                 else:
                     outputs.extend(self._delete_group(tuple_, items))
+        self.delta_histogram.observe(len(outputs))
         return self._record_batch(updates, outputs)
 
     def _insert_group(self, tuple_: Tuple, items: List[Update]) -> List[Update]:

@@ -34,6 +34,7 @@ from repro.engine.strategy import ExecutionStrategy
 from repro.net.latency import ClusterLatencyModel, LatencyModel
 from repro.placement.balancer import LoadAwareRebalancer
 from repro.placement.map import PlacementError, PlacementMap
+from repro.obs.trace import CONTROL_PID
 from repro.placement.migration import MigrationReport, migrate_cluster_state
 from repro.placement.ring import ConsistentHashRing
 
@@ -77,6 +78,9 @@ class ElasticExecutor(DistributedViewExecutor):
         """
         at_time = self.network.now if now is None else now
         node_id = self.network.add_node()
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(CONTROL_PID, f"add-node:{node_id}", "control", sim_ts=at_time)
         node = self._make_node(node_id)
         # A late joiner missed every purge broadcast so far; the union of the
         # cluster's tombstones is exactly what it must know about before any
@@ -98,6 +102,11 @@ class ElasticExecutor(DistributedViewExecutor):
             raise PlacementError(f"node {node_id} is not an active cluster member")
         if node_id not in self.placement.nodes:
             raise PlacementError(f"node {node_id} is not in the placement map")
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                CONTROL_PID, f"remove-node:{node_id}", "control", sim_ts=at_time
+            )
         self.placement.remove_node(node_id)
         self._migrate(at_time)
         self.network.deactivate(node_id)
@@ -115,6 +124,9 @@ class ElasticExecutor(DistributedViewExecutor):
         )
         if proposal is None:
             return None
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(CONTROL_PID, "rebalance", "control", sim_ts=at_time)
         self.placement.set_weights(proposal)
         return self._migrate(at_time)
 

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple as PyTuple
 
 from repro.engine.plan import RecursiveViewPlan
 from repro.fault.snapshot import state_from_bytes, state_to_bytes
+from repro.obs.trace import CONTROL_PID
 from repro.operators.ship import MinShipOperator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,8 +114,25 @@ def migrate_cluster_state(executor: "ElasticExecutor", now: float) -> MigrationR
     the codec; one deferred collection at the end covers the garbage the
     decode path produced.
     """
+    tracer = executor.network.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            CONTROL_PID, "migration", "control", sim_ts=now,
+            args={"epoch": executor.placement.epoch},
+        )
     with executor.store.gc_paused():
-        return _migrate_cluster_state(executor, now)
+        report = _migrate_cluster_state(executor, now)
+    if span is not None:
+        tracer.end(
+            span,
+            args={
+                "moved_entries": report.moved_entries,
+                "moved_state_bytes": report.moved_state_bytes,
+                "transfers": len(report.transfers),
+            },
+        )
+    return report
 
 
 def _migrate_cluster_state(executor: "ElasticExecutor", now: float) -> MigrationReport:

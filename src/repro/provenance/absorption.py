@@ -192,6 +192,14 @@ class AbsorptionProvenanceStore(ProvenanceStore):
         """The BDD manager's table/GC/pause telemetry (see ``gc_stats``)."""
         return self.manager.gc_stats()
 
+    def kernel_clock(self) -> float:
+        """Cumulative wall seconds spent inside the BDD kernel loops."""
+        return self.manager.kernel_seconds
+
+    def collect(self, force: bool = False):
+        """Run one mark(-and-compact) pass of the BDD manager's collector."""
+        return self.manager.collect(force=force)
+
     # -- diagnostics ----------------------------------------------------------
     def cache_stats(self):
         """The BDD manager's work and memo-cache counters (see ``cache_stats``)."""

@@ -156,6 +156,23 @@ class ProvenanceStore(abc.ABC):
         """
         return None
 
+    def kernel_clock(self) -> float:
+        """Cumulative wall seconds the annotation kernel has run for.
+
+        The tracer snapshots this around each delivery to synthesise per-node
+        kernel-time spans.  Stores without a kernel sit at 0.0 forever.
+        """
+        return 0.0
+
+    def collect(self, force: bool = False) -> Optional[Dict[str, object]]:
+        """Run one annotation-storage collection pass, if the store has one.
+
+        Traced runs trigger a pass at each phase boundary so every trace
+        contains GC spans even when no automatic collection fired; value-typed
+        stores have nothing to collect and return ``None``.
+        """
+        return None
+
 
 class NullProvenanceStore(ProvenanceStore):
     """Set-semantics execution: no annotations at all (DRed's data model).

@@ -1,0 +1,384 @@
+"""Unit tests for the observability layer: tracer, metrics registry, export."""
+
+import json
+
+import pytest
+
+from repro.engine.strategy import ExecutionStrategy
+from repro.obs.export import (
+    chrome_trace_dict,
+    load_trace_events,
+    trace_summary,
+    validate_chrome_trace,
+    validate_span_nesting,
+    write_metrics_json,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsLog,
+    MetricsRegistry,
+    current_metrics_log,
+    install_metrics_log,
+)
+from repro.obs.trace import (
+    CONTROL_PID,
+    GC_TID,
+    HARNESS_PID,
+    KERNEL_TID,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    install_tracer,
+)
+from repro.queries import build_executor, reachability_plan
+from repro.workloads import TransitStubConfig, generate_topology
+
+TINY_TOPOLOGY = generate_topology(
+    TransitStubConfig(nodes_per_stub=2, stubs_per_transit=2, dense=True, seed=5)
+)
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    previous = install_tracer(t)
+    yield t
+    install_tracer(previous if isinstance(previous, Tracer) else None)
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        null = NullTracer()
+        assert null.enabled is False
+        assert null.begin(0, "x", "cat") is None
+        assert null.end(None) is None
+        assert null.instant(0, "x", "cat") is None
+        assert null.flow_start(0) is None
+        assert null.flow_finish(None, 0) is None
+        assert null.kernel_slice(0, 1.0) is None
+        assert null.context_pid(42) == 42
+
+    def test_default_active_tracer_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert current_tracer().enabled is False
+
+    def test_install_and_restore(self):
+        t = Tracer()
+        previous = install_tracer(t)
+        try:
+            assert current_tracer() is t
+        finally:
+            install_tracer(None)
+        assert current_tracer() is NULL_TRACER
+        assert previous is NULL_TRACER
+
+
+class TestTracer:
+    def test_span_records_duration_and_args(self):
+        t = Tracer()
+        span = t.begin(3, "work", "operator", sim_ts=1.5, args={"n": 7})
+        t.end(span, args={"out": 2}, sim_ts=2.0)
+        assert span["ph"] == "X"
+        assert span["dur"] >= 0
+        assert span["args"] == {"n": 7, "sim": 1.5, "out": 2, "sim_end": 2.0}
+        assert t.open_span_count() == 0
+
+    def test_nested_spans_balance(self):
+        t = Tracer()
+        outer = t.begin(0, "outer", "net")
+        inner = t.begin(0, "inner", "routing")
+        assert t.open_span_count() == 2
+        t.end(inner)
+        t.end(outer)
+        assert t.open_span_count() == 0
+        assert validate_span_nesting(t.events) == []
+
+    def test_finish_closes_dangling_spans(self):
+        t = Tracer()
+        t.begin(0, "left-open", "net")
+        t.begin(0, "also-open", "net")
+        t.finish()
+        assert t.open_span_count() == 0
+        assert all(e["dur"] >= 0 for e in t.events)
+
+    def test_flow_ids_increment_and_land(self):
+        t = Tracer()
+        first = t.flow_start(0, sim_ts=0.1)
+        second = t.flow_start(1)
+        assert second == first + 1
+        t.flow_finish(first, 2)
+        t.flow_finish(None, 2)  # ignored
+        phases = [e["ph"] for e in t.events]
+        assert phases.count("s") == 2 and phases.count("f") == 1
+
+    def test_kernel_slice_ends_now(self):
+        t = Tracer()
+        t.kernel_slice(4, 0.001, sim_ts=0.5)
+        t.kernel_slice(4, 0.0)  # zero seconds -> skipped
+        t.kernel_slice(4, -1.0)  # negative -> skipped
+        slices = [e for e in t.events if e["tid"] == KERNEL_TID]
+        assert len(slices) == 1
+        event = slices[0]
+        assert event["cat"] == "kernel"
+        assert event["dur"] == pytest.approx(1000.0)
+        assert event["ts"] + event["dur"] <= t._now_us() + 1.0
+
+    def test_node_context_attribution(self):
+        t = Tracer()
+        assert t.context_pid(99) == 99
+        t.set_node_context(3)
+        assert t.context_pid(99) == 3
+        t.clear_node_context()
+        assert t.context_pid(99) == 99
+
+    def test_chrome_events_include_track_metadata(self):
+        t = Tracer()
+        t.end(t.begin(2, "x", "net"))
+        t.instant(CONTROL_PID, "rebalance", "control")
+        events = t.chrome_events()
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        }
+        assert "node 2" in names and "cluster-control" in names
+
+
+class TestValidation:
+    def test_partial_overlap_is_reported(self):
+        events = [
+            {"ph": "X", "pid": 0, "tid": 1, "name": "a", "cat": "x", "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "pid": 0, "tid": 1, "name": "b", "cat": "x", "ts": 5.0, "dur": 10.0},
+        ]
+        errors = validate_span_nesting(events)
+        assert len(errors) == 1 and "overlaps" in errors[0]
+
+    def test_proper_nesting_and_siblings_pass(self):
+        events = [
+            {"ph": "X", "pid": 0, "tid": 1, "name": "a", "cat": "x", "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "pid": 0, "tid": 1, "name": "b", "cat": "x", "ts": 1.0, "dur": 4.0},
+            {"ph": "X", "pid": 0, "tid": 1, "name": "c", "cat": "x", "ts": 6.0, "dur": 4.0},
+            {"ph": "X", "pid": 0, "tid": 1, "name": "d", "cat": "x", "ts": 20.0, "dur": 1.0},
+        ]
+        assert validate_span_nesting(events) == []
+
+    def test_negative_duration_is_reported(self):
+        events = [
+            {"ph": "X", "pid": 0, "tid": 1, "name": "bad", "cat": "x", "ts": 0.0, "dur": -1.0}
+        ]
+        assert any("dur" in e for e in validate_span_nesting(events))
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        t = Tracer()
+        t.end(t.begin(1, "x", "net"))
+        path = tmp_path / "trace.json"
+        write_trace(t, path)
+        events = load_trace_events(path)
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert len(spans) == 1 and spans[0]["name"] == "x"
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data and data["displayTimeUnit"] == "ms"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = Tracer()
+        t.end(t.begin(1, "x", "net"))
+        t.instant(1, "mark", "inject")
+        path = tmp_path / "trace.jsonl"
+        write_trace(t, path)
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert all(json.loads(line) for line in lines)
+        events = load_trace_events(path)
+        assert trace_summary(events)["spans"] == 1
+
+    def test_chrome_trace_dict_finishes(self):
+        t = Tracer()
+        t.begin(0, "open", "net")
+        data = chrome_trace_dict(t)
+        assert t.open_span_count() == 0
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_validate_chrome_trace_missing_category(self, tmp_path):
+        t = Tracer()
+        t.end(t.begin(1, "x", "net"))
+        path = tmp_path / "trace.json"
+        write_trace(t, path)
+        with pytest.raises(ValueError, match="missing span categories"):
+            validate_chrome_trace(path, require_categories=["kernel"])
+
+    def test_validate_chrome_trace_requires_node_tracks(self, tmp_path):
+        t = Tracer()
+        t.end(t.begin(HARNESS_PID, "only-synthetic", "harness"))
+        path = tmp_path / "trace.json"
+        write_trace(t, path)
+        with pytest.raises(ValueError, match="per-node tracks"):
+            validate_chrome_trace(path, require_node_tracks=1)
+
+    def test_write_metrics_json(self, tmp_path):
+        log = MetricsLog()
+        log.record({"phase": "insert"}, {"a": 1})
+        path = tmp_path / "metrics.json"
+        write_metrics_json(log, path)
+        data = json.loads(path.read_text())
+        assert data["snapshots"][0]["phase"] == "insert"
+        assert data["snapshots"][0]["metrics"] == {"a": 1}
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(4)
+        value = {"x": 7}
+        registry.gauge("depth", lambda: value["x"])
+        snapshot = registry.snapshot()
+        assert snapshot["events"] == 5
+        assert snapshot["depth"] == 7
+        value["x"] = 9
+        assert registry.snapshot()["depth"] == 9
+
+    def test_histogram_buckets_by_power_of_two(self):
+        h = Histogram("sizes")
+        for v in (0, 1, 2, 3, 4, 1000):
+            h.observe(v)
+        assert h.count == 6 and h.total == 1010 and h.max == 1000
+        flat = h.as_flat()
+        assert flat["sizes_count"] == 6
+        assert flat["sizes_p2_0"] == 1  # the single 0
+        assert flat["sizes_p2_1"] == 1  # 1
+        assert flat["sizes_p2_2"] == 2  # 2, 3
+        assert flat["sizes_p2_10"] == 1  # 1000
+
+    def test_histogram_merge(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.observe(4)
+        b.observe(4)
+        b.observe(70)
+        a.merge(b)
+        assert a.count == 3 and a.max == 70
+
+    def test_probe_prefixing_and_delta(self):
+        registry = MetricsRegistry()
+        state = {"n": 10}
+        registry.register_probe("net", lambda: {"messages": state["n"]})
+        before = registry.snapshot()
+        state["n"] = 25
+        after = registry.snapshot()
+        assert before["net.messages"] == 10
+        delta = MetricsRegistry.delta(before, after)
+        assert delta["net.messages"] == 15
+
+    def test_metrics_log_install(self):
+        assert current_metrics_log() is None
+        log = MetricsLog()
+        install_metrics_log(log)
+        try:
+            assert current_metrics_log() is log
+        finally:
+            install_metrics_log(None)
+        assert current_metrics_log() is None
+
+
+class TestTracedExecutor:
+    """End-to-end: a traced run emits the full batch lifecycle."""
+
+    @pytest.fixture
+    def traced_run(self, tracer):
+        executor = build_executor(
+            reachability_plan(), ExecutionStrategy.absorption_lazy(), node_count=4
+        )
+        executor.insert_edges(TINY_TOPOLOGY.link_tuples())
+        tracer.finish()
+        return executor, tracer
+
+    def test_all_phase_buckets_present(self, traced_run):
+        _, t = traced_run
+        categories = {e.get("cat") for e in t.events if e.get("ph") == "X"}
+        assert {"net", "routing", "operator", "kernel", "gc", "phase"} <= categories
+
+    def test_per_node_tracks(self, traced_run):
+        executor, t = traced_run
+        summary = trace_summary(t.events)
+        assert set(summary["node_pids"]) == set(range(len(executor.nodes)))
+
+    def test_nesting_is_valid(self, traced_run):
+        _, t = traced_run
+        assert validate_span_nesting(t.events) == []
+
+    def test_flows_balance(self, traced_run):
+        _, t = traced_run
+        summary = trace_summary(t.events)
+        assert summary["flow_starts"] > 0
+        assert summary["flow_finishes"] == summary["flow_starts"]
+
+    def test_untraced_executor_has_no_tracer_on_hot_path(self):
+        install_tracer(None)
+        executor = build_executor(
+            reachability_plan(), ExecutionStrategy.absorption_lazy(), node_count=4
+        )
+        assert executor.network._tracer is None
+        assert all(node._tracer is None for node in executor.nodes)
+        assert all(node.router.tracer is None for node in executor.nodes)
+
+    def test_metrics_registry_snapshot_covers_subsystems(self):
+        executor = build_executor(
+            reachability_plan(), ExecutionStrategy.absorption_lazy(), node_count=4
+        )
+        executor.insert_edges(TINY_TOPOLOGY.link_tuples())
+        snapshot = executor.metrics_registry.snapshot()
+        assert snapshot["net.messages"] > 0
+        assert snapshot["queue_depth.total"] == 0
+        assert snapshot["routing.bulk_lookups"] > 0
+        assert snapshot["kernel.kernel_time_s"] >= 0
+        assert snapshot["fixpoint.round_delta_size_count"] > 0
+
+
+class TestCliObservability:
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        exit_code = main(
+            [
+                "--quick",
+                "--trace",
+                str(trace_path),
+                "--metrics-json",
+                str(metrics_path),
+                "ablation-encoding",
+            ]
+        )
+        assert exit_code == 0
+        assert current_tracer() is NULL_TRACER
+        assert current_metrics_log() is None
+        summary = validate_chrome_trace(
+            trace_path,
+            require_categories=["net", "routing", "operator", "kernel", "gc"],
+        )
+        assert summary["node_pids"]
+        data = json.loads(metrics_path.read_text())
+        assert data["snapshots"]
+        output = capsys.readouterr().out
+        assert "wrote trace" in output and "wrote metrics" in output
+
+    def test_fig_alias(self, monkeypatch, capsys):
+        from repro.harness.cli import EXPERIMENTS, main
+
+        called = {}
+
+        def fake_driver(config):
+            called["ran"] = True
+            return [{"figure": "11"}]
+
+        monkeypatch.setitem(EXPERIMENTS, "figure11", (fake_driver, "stub"))
+        assert main(["--quick", "fig11"]) == 0
+        assert called.get("ran") is True
+
+    def test_fig_alias_does_not_shadow_unknown(self):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--quick", "fig99"])

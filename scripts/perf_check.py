@@ -28,21 +28,13 @@ from repro.workloads.topology import TransitStubConfig, generate_topology
 from repro.workloads.updates import deletion_sample
 
 
-def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
-        bdd_gc_threshold=None):
-    config = TransitStubConfig(nodes_per_stub=nodes_per_stub, dense=dense, seed=7)
-    topo = generate_topology(config)
-    links = topo.link_tuples()
-    policy = (
-        BatchPolicy(max_batch=batch_size) if batch_size > 1 else BatchPolicy.tuple_at_a_time()
+def _measure(strategy, label, policy, links, deletion_ratio, backend="sim", workers=None):
+    """One insert-then-delete cycle under ``strategy``; returns a result row."""
+    executor = build_executor(
+        reachability_plan(), strategy, node_count=12, batch_policy=policy,
+        backend=backend, workers=workers,
     )
-    print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
-    results = []
-    for strategy in strategies:
-        strategy = strategy.with_kernel_options(gc_threshold=bdd_gc_threshold)
-        executor = build_executor(
-            reachability_plan(), strategy, node_count=12, batch_policy=policy
-        )
+    try:
         t0 = time.time()
         ins = executor.insert_edges(links)
         t1 = time.time()
@@ -50,13 +42,13 @@ def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
         del_phase = executor.delete_edges(dels)
         t2 = time.time()
         print(
-            f"{strategy.label:18s} insert {t1-t0:6.2f}s ({ins.updates_shipped} shipped, "
+            f"{label:28s} insert {t1-t0:6.2f}s ({ins.updates_shipped} shipped, "
             f"{executor.network.events_processed} events) delete{int(deletion_ratio*100)}% "
             f"{t2-t1:6.2f}s view={len(executor.view())}",
             flush=True,
         )
         row = {
-            "strategy": strategy.label,
+            "strategy": label,
             "insert_wall_seconds": round(t1 - t0, 4),
             "delete_wall_seconds": round(t2 - t1, 4),
             "insert_updates_shipped": ins.updates_shipped,
@@ -92,7 +84,40 @@ def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
                     row[f"{phase_label}_routing_bulk_lookups"] = phase.kernel.routing_bulk_lookups
                     row[f"{phase_label}_routing_cache_hits"] = phase.kernel.routing_cache_hits
             print("  " + format_kernel_stats(kernel, label="bdd-kernel"))
-        results.append(row)
+        return row
+    finally:
+        executor.close()
+
+
+def run(nodes_per_stub, dense, strategies, batch_size=64, deletion_ratio=0.2,
+        bdd_gc_threshold=None, process_workers=()):
+    config = TransitStubConfig(nodes_per_stub=nodes_per_stub, dense=dense, seed=7)
+    topo = generate_topology(config)
+    links = topo.link_tuples()
+    policy = (
+        BatchPolicy(max_batch=batch_size) if batch_size > 1 else BatchPolicy.tuple_at_a_time()
+    )
+    print(f"--- topology: {len(topo.nodes)} nodes, {topo.directed_link_count} directed links, dense={dense}")
+    results = []
+    for strategy in strategies:
+        strategy = strategy.with_kernel_options(gc_threshold=bdd_gc_threshold)
+        results.append(
+            _measure(strategy, strategy.label, policy, links, deletion_ratio)
+        )
+        # Process-backend rows ride next to the simulator rows so the perf
+        # trajectory tracks single- vs multi-worker wall clock side by side.
+        for workers in process_workers:
+            results.append(
+                _measure(
+                    strategy,
+                    f"{strategy.label} [process x{workers}]",
+                    policy,
+                    links,
+                    deletion_ratio,
+                    backend="process",
+                    workers=workers,
+                )
+            )
     return {
         "topology": {
             "router_nodes": len(topo.nodes),
@@ -176,6 +201,13 @@ def main():
         "(absorption strategies; default: the manager's 0.25)",
     )
     parser.add_argument(
+        "--process-workers",
+        default=None,
+        metavar="N[,N...]",
+        help="also measure the process backend at these worker counts "
+        "(e.g. '1,4'; rows appear as '<strategy> [process xN]')",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_perf_check.json",
         help="machine-readable result file (JSON)",
@@ -194,6 +226,11 @@ def main():
     args = parser.parse_args()
 
     strategies = [ExecutionStrategy.by_name(label) for label in args.strategies.split(",")]
+    process_workers = ()
+    if args.process_workers:
+        process_workers = tuple(
+            int(count) for count in args.process_workers.split(",") if count.strip()
+        )
     report = run(
         args.nodes_per_stub,
         args.density == "dense",
@@ -201,6 +238,7 @@ def main():
         batch_size=args.batch_size,
         deletion_ratio=args.deletion_ratio,
         bdd_gc_threshold=args.bdd_gc_threshold,
+        process_workers=process_workers,
     )
     report.update(
         {

@@ -28,7 +28,7 @@ from repro.data.tuples import Tuple
 from repro.data.update import Update, UpdateType
 from repro.engine.runtime import PORT_BASE, PORT_SEED, ProcessorNode
 from repro.net.partition import HashPartitioner
-from repro.net.simulator import SimulatedNetwork
+from repro.net.transport import Transport
 
 
 class DRedCoordinator:
@@ -36,7 +36,7 @@ class DRedCoordinator:
 
     def __init__(
         self,
-        network: SimulatedNetwork,
+        network: Transport,
         nodes: Sequence[ProcessorNode],
         partitioner: HashPartitioner,
         batch_policy: Optional[BatchPolicy] = None,

@@ -55,20 +55,18 @@ class DistributedViewExecutor:
     ) -> None:
         self.plan = plan
         self.strategy = strategy
-        self.store = strategy.create_store()
         self.batch_policy = batch_policy or BatchPolicy()
         # The partitioner is the single source of truth for cluster size: when
         # one is supplied, ``node_count`` is derived from it instead of being a
         # redundant second argument that could contradict it.
         self.partitioner = partitioner or HashPartitioner(node_count)
         node_count = self.partitioner.node_count
-        self.network = SimulatedNetwork(
-            node_count=node_count,
-            latency_model=latency_model,
-            processing_cost=processing_cost,
-            max_events=max_events,
-            max_wall_seconds=max_wall_seconds,
-            batch_policy=self.batch_policy,
+        # Backend hooks: the process backend (repro.parallel.backend) swaps
+        # the store for a cluster facade, the network for the cross-process
+        # coordinator, and the nodes for thin per-node proxies.
+        self.store = self._create_store()
+        self.network = self._create_network(
+            latency_model, processing_cost, max_events, max_wall_seconds
         )
         #: The span tracer for this run: the process-wide active tracer
         #: (installed by ``--trace``), resolved once at construction.  The
@@ -78,12 +76,8 @@ class DistributedViewExecutor:
         self.network.set_tracer(self.tracer)
         #: One routing-telemetry accumulator shared by every node's router,
         #: so per-phase deltas describe the whole cluster.
-        self.routing_stats = RoutingStats()
-        self.nodes: List[ProcessorNode] = [
-            self._make_node(node_id) for node_id in range(node_count)
-        ]
-        for node in self.nodes:
-            self.network.register(node.node_id, node.handle)
+        self.routing_stats = self._create_routing_stats()
+        self.nodes = self._create_nodes()
         self._dred = DRedCoordinator(
             self.network, self.nodes, self.partitioner, batch_policy=self.batch_policy
         )
@@ -94,6 +88,41 @@ class DistributedViewExecutor:
         #: Unified registry over the run's live stat objects (lazy probes:
         #: nothing is read until a snapshot is taken).
         self.metrics_registry = self._build_metrics_registry()
+
+    # -- backend hooks ---------------------------------------------------------------
+    def _create_store(self):
+        """The provenance store every node of this executor shares."""
+        return self.strategy.create_store()
+
+    def _create_network(
+        self,
+        latency_model: Optional[LatencyModel],
+        processing_cost: float,
+        max_events: int,
+        max_wall_seconds: Optional[float],
+    ) -> SimulatedNetwork:
+        """The virtual-time substrate handlers run over."""
+        return SimulatedNetwork(
+            node_count=self.partitioner.node_count,
+            latency_model=latency_model,
+            processing_cost=processing_cost,
+            max_events=max_events,
+            max_wall_seconds=max_wall_seconds,
+            batch_policy=self.batch_policy,
+        )
+
+    def _create_routing_stats(self) -> RoutingStats:
+        return RoutingStats()
+
+    def _create_nodes(self) -> List[ProcessorNode]:
+        """Build the cluster's nodes and wire their handlers into the network."""
+        nodes = [self._make_node(node_id) for node_id in range(self.partitioner.node_count)]
+        for node in nodes:
+            self.network.register(node.node_id, node.handle)
+        return nodes
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); no-op for the in-process backend."""
 
     def _build_metrics_registry(self) -> MetricsRegistry:
         """Register every subsystem's stat object into one metrics registry.
@@ -135,6 +164,16 @@ class DistributedViewExecutor:
             return stats if stats is not None else {}
 
         registry.register_probe("kernel", kernel_probe)
+        self._register_engine_probes(registry)
+        return registry
+
+    def _register_engine_probes(self, registry: MetricsRegistry) -> None:
+        """Probes that read node internals directly (backend-specific).
+
+        The in-process backend reads its nodes' fixpoint histograms; the
+        process backend replaces this with the snapshot-then-merge path over
+        its workers' materialized registries.
+        """
 
         def fixpoint_probe():
             rollup = None
@@ -146,7 +185,6 @@ class DistributedViewExecutor:
             return rollup.as_flat() if rollup is not None else {}
 
         registry.register_probe("fixpoint", fixpoint_probe)
-        return registry
 
     def _make_node(self, node_id: int) -> ProcessorNode:
         """Build one processor node (also used to rebuild a node after a crash)."""
@@ -475,6 +513,23 @@ class DistributedViewExecutor:
     def view_at(self, node_id: int) -> Set[Tuple]:
         """One node's partition of the view."""
         return set(self.nodes[node_id].view_tuples())
+
+    def view_annotations(self) -> Dict[Tuple, object]:
+        """Canonical provenance annotation per view tuple, cluster-wide.
+
+        Canonical means backend-independent (see
+        :func:`repro.provenance.tracker.canonical_annotation`): BDD
+        annotations become their minimal product sets, so an in-process run
+        and a process-pool run — whose workers each own a private manager —
+        compare equal exactly when the provenance is semantically identical.
+        """
+        from repro.provenance.tracker import canonical_annotation
+
+        result: Dict[Tuple, object] = {}
+        for node in self.nodes:
+            for tuple_, annotation in node.fixpoint.provenance.items():
+                result[tuple_] = canonical_annotation(self.store, annotation)
+        return result
 
     def state_bytes(self) -> int:
         """Total operator state across the cluster."""

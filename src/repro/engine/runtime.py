@@ -55,7 +55,7 @@ from repro.engine.routing import (  # noqa: F401  (PORT_* re-exported for compat
 )
 from repro.engine.strategy import ExecutionStrategy
 from repro.net.partition import HashPartitioner
-from repro.net.simulator import SimulatedNetwork
+from repro.net.transport import Transport
 from repro.operators.aggsel import AggregateSelection
 from repro.operators.fixpoint import FixpointOperator
 from repro.operators.join import PipelinedHashJoin
@@ -76,7 +76,7 @@ class ProcessorNode:
         strategy: ExecutionStrategy,
         store: ProvenanceStore,
         partitioner: HashPartitioner,
-        network: SimulatedNetwork,
+        network: Transport,
         batch_policy: Optional[BatchPolicy] = None,
         routing_stats: Optional[RoutingStats] = None,
     ) -> None:

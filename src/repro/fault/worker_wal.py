@@ -1,0 +1,78 @@
+"""Per-worker-process command log for the process execution backend.
+
+The in-process fault layer (:mod:`repro.fault.wal`) logs *updates* per node;
+a process worker instead logs the **commands** it executed — deliveries,
+flush ticks, join clears — because replaying those through the deterministic
+handlers reconstructs every bit of operator and kernel state without
+snapshotting any of it.
+
+Discipline is log-*after*-execute-*before*-ack: a command appears in the log
+only once its effects exist in the worker, and its result is shipped only
+after the append is flushed.  A crash therefore leaves each command in
+exactly one of two classes the coordinator can distinguish:
+
+* **unlogged** — the effects are lost; the coordinator re-dispatches the
+  command to the respawned worker;
+* **logged but unacked** — the effects are recovered by replay; the replayed
+  handler regenerates the identical outbox, which the worker re-emits as a
+  fresh result.
+
+Entries are consecutive pickles on one append-only stream; ``flush()`` per
+append (no fsync — the threat model is a worker *process* dying, not the
+host).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Iterator, Tuple
+
+
+class CommandLog:
+    """Append-only pickle stream of executed worker commands."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self.appended = 0
+
+    def append(self, command: Tuple[Any, ...]) -> None:
+        """Durably record one executed command (called before its ack ships)."""
+        pickle.dump(command, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    @staticmethod
+    def replay(path) -> Iterator[Tuple[Any, ...]]:
+        """Yield every logged command in append order (missing file: nothing)."""
+        path = Path(path)
+        if not path.exists():
+            return
+        with open(path, "rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+                except pickle.UnpicklingError:
+                    # A torn tail write from the moment of the crash; everything
+                    # before it replayed fine, and the torn command was never
+                    # acked so the coordinator re-dispatches it.
+                    return
+
+    def __repr__(self) -> str:
+        return f"CommandLog({self.path}, appended={self.appended})"
+
+
+def wal_tail_bytes(path) -> int:
+    """Size of a worker log (tests/diagnostics)."""
+    path = Path(path)
+    return path.stat().st_size if path.exists() else 0
+
+
+__all__ = ["CommandLog", "wal_tail_bytes"]

@@ -102,6 +102,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the historical tuple-at-a-time pipeline (same as --batch-size 1)",
     )
+    backend = parser.add_argument_group("execution backend")
+    backend.add_argument(
+        "--backend",
+        choices=("sim", "process"),
+        default=None,
+        help=(
+            "where node handlers run: 'sim' on this interpreter thread "
+            "(default), 'process' across real OS worker processes with "
+            "bit-identical results"
+        ),
+    )
+    backend.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process count for --backend process (default: one per CPU core)",
+    )
     kernel = parser.add_argument_group("BDD kernel")
     kernel.add_argument(
         "--bdd-gc-threshold",
@@ -192,6 +210,14 @@ def _select_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["batch_ports"] = ports
     if args.per_node:
         overrides["per_node"] = True
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        if args.backend != "process":
+            raise SystemExit("--workers requires --backend process")
+        overrides["workers"] = args.workers
     if args.bdd_gc_threshold is not None:
         if not 0.0 <= args.bdd_gc_threshold <= 1.0:
             raise SystemExit("--bdd-gc-threshold must be within [0, 1]")

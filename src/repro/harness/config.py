@@ -85,15 +85,25 @@ class ExperimentConfig:
     #: garbage collection in the absorption strategies' annotation kernel
     #: (0 disables automatic GC; see ``BDDManager``).
     bdd_gc_threshold: float = 0.25
+    #: Execution backend: ``"sim"`` runs every node handler on this
+    #: interpreter thread; ``"process"`` shards the nodes across real OS
+    #: worker processes with bit-identical results (see ``repro.parallel``).
+    backend: str = "sim"
+    #: Worker-process count for the process backend (0 = one per CPU core).
+    workers: int = 0
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""
         batching = (
             f"batch<= {self.batch_size}" if self.batch_size > 1 else "tuple-at-a-time"
         )
+        backend = "in-process"
+        if self.backend == "process":
+            workers = self.workers or "per-core"
+            backend = f"process x{workers}"
         return (
             f"{self.node_count} processors, {self.nodes_per_stub} nodes/stub, "
-            f"{batching}, seed={self.seed}"
+            f"{batching}, {backend}, seed={self.seed}"
         )
 
 

@@ -17,6 +17,7 @@ minutes" data points.
 from __future__ import annotations
 
 import random
+import sys
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -29,7 +30,7 @@ from repro.fault import RecoveryPolicy, fault_tolerant_executor
 from repro.harness.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.net.latency import ClusterLatencyModel
 from repro.obs.trace import HARNESS_PID, current_tracer
-from repro.net.simulator import SimulationBudgetExceeded
+from repro.net.simulator import SimulationBudgetExceeded, SimulationError
 from repro.queries.builder import build_executor
 from repro.queries.reachability import reachability_plan
 from repro.queries.regions import region_plan
@@ -103,8 +104,10 @@ def _executor(
     config: ExperimentConfig,
     node_count: Optional[int] = None,
     batch_policy: Optional[BatchPolicy] = None,
+    **extra,
 ) -> DistributedViewExecutor:
-    return build_executor(
+    return _build_with_backend(
+        config,
         plan,
         _strategy(scheme, config),
         node_count=node_count or config.node_count,
@@ -112,7 +115,29 @@ def _executor(
         max_wall_seconds=config.max_wall_seconds,
         experiment=plan.name,
         batch_policy=batch_policy or _batch_policy(config),
+        **extra,
     )
+
+
+def _build_with_backend(config: ExperimentConfig, plan, strategy, **kwargs):
+    """``build_executor`` honouring the config's backend selection.
+
+    Plans the process backend cannot ship (closure-captured plan variants) and
+    strategies it cannot host fall back to the in-process simulator with a
+    warning rather than failing the whole figure sweep.
+    """
+    if config.backend == "process":
+        try:
+            return build_executor(
+                plan, strategy, backend="process", workers=config.workers or None, **kwargs
+            )
+        except SimulationError as exc:
+            print(
+                f"# note: {plan.name}/{getattr(strategy, 'label', strategy)} "
+                f"falls back to the in-process backend ({exc})",
+                file=sys.stderr,
+            )
+    return build_executor(plan, strategy, **kwargs)
 
 
 def _base_row(figure: str, scheme: str, **parameters: object) -> Row:
@@ -477,7 +502,8 @@ def run_figure13(
     for processors in config.processor_counts:
         latency = ClusterLatencyModel(primary_cluster_size=min(processors, 16))
         for scheme in schemes:
-            executor = build_executor(
+            executor = _build_with_backend(
+                config,
                 reachability_plan(),
                 scheme,
                 node_count=processors,

@@ -26,6 +26,7 @@ from repro.net.message import Message
 from repro.net.partition import HashPartitioner
 from repro.net.simulator import SimulatedNetwork
 from repro.net.stats import NetworkStats
+from repro.net.transport import Transport
 
 __all__ = [
     "Message",
@@ -35,4 +36,5 @@ __all__ = [
     "HashPartitioner",
     "SimulatedNetwork",
     "NetworkStats",
+    "Transport",
 ]

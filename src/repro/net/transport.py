@@ -1,0 +1,56 @@
+"""The transport surface processor nodes program against.
+
+:class:`repro.engine.runtime.ProcessorNode` historically took the concrete
+:class:`repro.net.simulator.SimulatedNetwork`; the process backend introduces
+a second implementation (the per-worker :class:`repro.parallel.worker.WorkerNetwork`
+stub that turns ``send`` into outbox entries shipped back to the coordinator).
+``Transport`` names exactly the surface a node actually uses, so both engines
+satisfy it and neither imports the other.
+
+Kept a :class:`typing.Protocol` (structural) rather than an ABC: the simulator
+predates this module and should not need to inherit from anything to qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+try:  # Protocol is stdlib from 3.8; fall back to a plain base for safety.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient pythons only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a processor node needs from the layer that moves its batches.
+
+    * ``send`` — ship a batch of updates to a peer's input port;
+    * ``active_nodes`` — the current cluster membership (purge multicast);
+    * ``stats`` — a :class:`repro.net.stats.NetworkStats`-shaped accumulator
+      (``record_message`` / ``record_provenance``);
+    * ``tracer`` — the span tracer deliveries should record against, or
+      ``None`` when tracing is off;
+    * ``current_epoch`` — the placement epoch stamped onto messages.
+    """
+
+    stats: Any
+    tracer: Any
+    current_epoch: int
+
+    def send(
+        self,
+        source: int,
+        destination: int,
+        port: str,
+        updates: Sequence[Any],
+        size_bytes: int,
+        at_time: float,
+    ) -> None:
+        ...
+
+    def active_nodes(self) -> List[int]:
+        ...

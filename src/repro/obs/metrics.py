@@ -112,6 +112,9 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._probes: List[tuple] = []
+        #: Evaluated gauge/probe values carried by a materialized registry
+        #: (probes are process-local callables and cannot cross a queue).
+        self._frozen: Dict[str, float] = {}
         self._created = perf_counter()
 
     # -- instruments --------------------------------------------------------------
@@ -149,7 +152,62 @@ class MetricsRegistry:
         for prefix, fn in self._probes:
             for key, value in fn().items():
                 snap[f"{prefix}.{key}"] = value
+        snap.update(self._frozen)
         return snap
+
+    # -- multi-process aggregation -------------------------------------------------
+    def materialize(self) -> "MetricsRegistry":
+        """A picklable snapshot of this registry, safe to ship across a queue.
+
+        Gauges and probes are process-local callables (they close over live
+        stat objects), so a worker cannot send its registry as-is.
+        ``materialize`` evaluates every gauge and probe *now* and stores the
+        results as frozen values on a fresh registry alongside copies of the
+        counters and histograms.  The result snapshots identically to the
+        source (modulo ``elapsed_s``, captured at materialization time) and
+        round-trips through ``pickle``.
+        """
+        frozen = MetricsRegistry()
+        for name, counter in self._counters.items():
+            copy = frozen.counter(name)
+            copy.value = counter.value
+        for name, histogram in self._histograms.items():
+            frozen.histogram(name).merge(histogram)
+        frozen._frozen = dict(self._frozen)
+        for name, gauge in self._gauges.items():
+            frozen._frozen[name] = gauge.fn()
+        for prefix, fn in self._probes:
+            for key, value in fn().items():
+                frozen._frozen[f"{prefix}.{key}"] = value
+        frozen._frozen["elapsed_s"] = round(perf_counter() - self._created, 6)
+        return frozen
+
+    def merge(self, other: "MetricsRegistry", prefix: Optional[str] = None) -> None:
+        """Fold a *materialized* registry into this one.
+
+        Counters and frozen values are summed, histograms bucket-merged;
+        ``elapsed_s`` takes the max (wall clocks overlap, they don't add).
+        With ``prefix``, every key from ``other`` lands under ``prefix.<key>``
+        instead (per-worker views next to the cluster aggregate).
+        """
+        tag = f"{prefix}." if prefix else ""
+        for name, counter in other._counters.items():
+            self.counter(tag + name).inc(counter.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(tag + name).merge(histogram)
+        frozen = dict(other._frozen)
+        for name, gauge in other._gauges.items():
+            frozen[name] = gauge.fn()
+        for probe_prefix, fn in other._probes:
+            for key, value in fn().items():
+                frozen[f"{probe_prefix}.{key}"] = value
+        for key, value in frozen.items():
+            if key == "elapsed_s" and not tag:
+                self._frozen[key] = max(self._frozen.get(key, 0.0), value)
+            elif isinstance(value, (int, float)):
+                self._frozen[tag + key] = self._frozen.get(tag + key, 0) + value
+            else:
+                self._frozen[tag + key] = value
 
     @staticmethod
     def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:

@@ -154,6 +154,8 @@ class Tracer:
         #: Node whose handler is currently running (for attributing GC passes
         #: fired from inside kernel operations to the right node track).
         self._context_pid: Optional[int] = None
+        #: Per-pid display-name overrides (process backend: "node 3 [pid 71002]").
+        self._process_labels: Dict[int, str] = {}
 
     # -- clock -------------------------------------------------------------------
     def _now_us(self) -> float:
@@ -315,6 +317,46 @@ class Tracer:
         """The current node context, or ``default`` outside any handler."""
         return self._context_pid if self._context_pid is not None else default
 
+    # -- multi-process merge --------------------------------------------------------
+    def label_process(self, pid: int, label: str) -> None:
+        """Override the exported display name of track ``pid``."""
+        self._process_labels[pid] = label
+
+    def absorb(
+        self,
+        events: List[Dict[str, Any]],
+        tracks,
+        t0: float,
+        pid_offset: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Fold a worker tracer's drained events into this (coordinator) tracer.
+
+        ``t0`` is the worker tracer's ``perf_counter`` origin; both sides of a
+        process pool read ``CLOCK_MONOTONIC``, so shifting every timestamp by
+        ``(t0 - self._t0)`` lands the worker's spans on the coordinator's wall
+        clock.  Synthetic pids (>= :data:`CONTROL_PID` — the shared
+        ``bdd-kernel``/``cluster-control`` lanes) are remapped by
+        ``pid_offset`` so two workers' GC spans never interleave on one track
+        and break its nesting tree; node pids are globally unique already and
+        pass through untouched.  ``label`` names the remapped synthetic tracks
+        (e.g. ``"bdd-kernel [worker 1, pid 71002]"``).
+        """
+        offset_us = (t0 - self._t0) * 1e6
+        remapped = {}
+        for pid, tid in tracks:
+            new_pid = pid + pid_offset if pid >= CONTROL_PID else pid
+            remapped[pid] = new_pid
+            self._tracks.add((new_pid, tid))
+            if label is not None:
+                base = _SYNTHETIC_NAMES.get(pid) if pid >= CONTROL_PID else f"node {pid}"
+                self._process_labels.setdefault(new_pid, f"{base} [{label}]")
+        for event in events:
+            pid = event["pid"]
+            event["pid"] = remapped.get(pid, pid + pid_offset if pid >= CONTROL_PID else pid)
+            event["ts"] += offset_us
+            self.events.append(event)
+
     # -- export ------------------------------------------------------------------------
     def open_span_count(self) -> int:
         """Spans currently open (should be 0 at any quiescent point)."""
@@ -331,7 +373,7 @@ class Tracer:
         metadata: List[Dict[str, Any]] = []
         pids = sorted({pid for pid, _ in self._tracks})
         for pid in pids:
-            name = _SYNTHETIC_NAMES.get(pid, f"node {pid}")
+            name = self._process_labels.get(pid) or _SYNTHETIC_NAMES.get(pid, f"node {pid}")
             metadata.append(
                 {"ph": "M", "pid": pid, "tid": 0, "name": "process_name", "args": {"name": name}}
             )

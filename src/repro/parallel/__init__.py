@@ -1,0 +1,25 @@
+"""Shared-nothing multi-core execution backend.
+
+The simulated cluster of :mod:`repro.net.simulator` runs every node handler on
+one interpreter thread; this package runs the *same* engine across real OS
+processes while keeping the run **bit-identical** to the single-process
+backend:
+
+* :mod:`repro.parallel.envelope` — the pickled command/result wire protocol
+  (annotations cross the queues through the manager-independent BDD codec);
+* :mod:`repro.parallel.worker` — the per-process worker runtime: a slice of
+  the cluster's nodes, its own ``BDDManager``, operators, tracer, metrics and
+  optional command WAL;
+* :mod:`repro.parallel.scheduler` — :class:`ProcessCoordinator`, the
+  deterministic virtual-clock scheduler that dispatches deliveries to workers
+  only when no still-running handler could affect their position in the
+  ``(time, seq)`` total order;
+* :mod:`repro.parallel.backend` — :class:`ProcessExecutor`, the drop-in
+  :class:`~repro.engine.executor.DistributedViewExecutor` running over a
+  worker pool (``build_executor(..., backend="process", workers=N)``).
+"""
+
+from repro.parallel.backend import ProcessExecutor
+from repro.parallel.scheduler import ProcessCoordinator
+
+__all__ = ["ProcessExecutor", "ProcessCoordinator"]

@@ -1,0 +1,108 @@
+"""Wire protocol between the coordinator and its worker processes.
+
+Everything that crosses a queue is a plain tuple whose first element names the
+operation, so the protocol stays picklable and versionless:
+
+Commands (coordinator → worker)::
+
+    ("deliver", delivery_id, node, port, updates, now)   # run one handler
+    ("flush",   rpc_id, now)                             # eager MinShip tick
+    ("clear_join_left", rpc_id, node)                    # DRed re-derivation
+    ("views" | "view_annotations" | "state_bytes" | "kernel_stats"
+            | "metrics" | "routing" | "trace", rpc_id)   # quiescent reads
+    ("collect", rpc_id, force)                           # kernel GC pass
+    ("replay",  rpc_id, unacked_delivery_ids)            # WAL recovery
+    ("shutdown",)
+
+Results (worker → coordinator, one shared queue)::
+
+    ("result", delivery_id, wid, outbox, handler_seconds, prov_bytes, prov_count)
+    ("rpc",    rpc_id, wid, payload)
+    ("error",  ref_id, wid, traceback_text)
+
+``outbox`` entries are ``(src, dst, port, encoded_updates, size_bytes,
+sent_at)`` — every ``network.send`` the handler performed, in call order,
+with annotations already passed through the store codec
+(:meth:`~repro.provenance.tracker.ProvenanceStore.encode_annotation`) so they
+are manager-independent.  The coordinator replays them into its own event
+queue in exactly the order the single-process engine would have, which is
+what makes sequence-number assignment (and therefore the whole run)
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.data.update import Update
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Everything a worker needs to rebuild its slice of the cluster.
+
+    Shipped once at spawn (pickled by ``multiprocessing``); must therefore
+    contain only picklable engine configuration — which is exactly the
+    executor's own constructor surface.
+    """
+
+    wid: int
+    workers: int
+    node_count: int
+    plan: Any
+    strategy: Any
+    batch_policy: Any
+    partitioner: Any
+    traced: bool = False
+    wal_path: Optional[str] = None
+
+    def owned_nodes(self) -> List[int]:
+        """The node ids this worker hosts (round-robin by id)."""
+        return [node for node in range(self.node_count) if node % self.workers == self.wid]
+
+
+def encode_updates(store, updates: Sequence[Update]) -> Tuple[Update, ...]:
+    """Make a batch manager-independent: annotations through the store codec.
+
+    ``None`` provenance (injections, DRed set semantics) and value-typed
+    annotations (purge variable keys, counting vectors) pass through the codec
+    unchanged; only kernel-backed annotations (BDD handles) are serialized.
+    """
+    encoded = []
+    for update in updates:
+        provenance = update.provenance
+        if provenance is not None:
+            wire = store.encode_annotation(provenance)
+            if wire is not provenance:
+                update = update.with_provenance(wire)
+        encoded.append(update)
+    return tuple(encoded)
+
+
+def decode_updates(store, updates: Sequence[Update]) -> List[Update]:
+    """Rebuild a wire batch against the receiving process's own store/manager."""
+    decoded = []
+    for update in updates:
+        provenance = update.provenance
+        if provenance is not None:
+            local = store.decode_annotation(provenance)
+            if local is not provenance:
+                update = update.with_provenance(local)
+        decoded.append(update)
+    return decoded
+
+
+@dataclass
+class FlushSegments:
+    """One worker's reply to a ``flush`` tick: per-node outbox segments.
+
+    The coordinator concatenates all workers' segments **sorted by node id**
+    before applying the sends, because the single-process engine flushes nodes
+    in id order and sequence numbers are assigned at send time.
+    """
+
+    segments: List[Tuple[int, list]] = field(default_factory=list)
+    released: int = 0
+    prov_bytes: int = 0
+    prov_count: int = 0

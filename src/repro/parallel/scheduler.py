@@ -1,0 +1,454 @@
+"""The deterministic virtual-clock scheduler driving the worker pool.
+
+:class:`ProcessCoordinator` subclasses :class:`~repro.net.simulator.SimulatedNetwork`
+and keeps its entire scheduling state — the ``(arrival, seq)`` heap, per-node
+``busy_until``, per-channel FIFO watermarks, the statistics accumulator — but
+replaces the inline handler call with a **dispatch** to the worker process
+hosting the destination node.
+
+Bit-identity argument
+---------------------
+
+The single-process engine pops events in ``(arrival, seq)`` order and runs
+each handler to completion before the next pop, so a handler's sends enter
+the queue before any later event is examined.  The coordinator relaxes only
+the "runs to completion" part; everything observable is preserved by three
+rules:
+
+1. **Safe-dispatch rule.**  The front event ``E`` (destination ``d``) may be
+   dispatched only while ``start(E) = max(busy_until[d], arrival(E)) <
+   c_min``, *strictly*, where ``c_min`` is the minimum completion time over
+   all in-flight deliveries.  Any event ``G`` a still-running handler might
+   send arrives at ``sent_at + latency >= completion >= c_min > start(E) >=
+   arrival(E)`` — so ``G`` can neither precede ``E`` in the heap order nor be
+   eligible for ``E``'s coalescing drain (which only absorbs arrivals ``<=
+   start(E)``).  The pop sequence is therefore exactly the serial pop
+   sequence, and the events-processed counter, coalesced groupings, per-event
+   processing costs and the virtual clock all advance identically.
+
+2. **Pop-order application.**  Results are applied strictly in dispatch
+   (= pop) order, buffering out-of-order arrivals.  A handler's recorded
+   sends are replayed through :meth:`_push_encoded` — the exact body of
+   ``SimulatedNetwork.send`` — so message construction, byte accounting,
+   FIFO watermarks and **sequence numbers** are assigned in the same order,
+   with the same values, as the serial engine assigned them.
+
+3. **Per-worker FIFO.**  Deliveries to one node go to one worker and its
+   command queue preserves order, so two safely-overlapping deliveries to the
+   same node still execute in pop order against its state.
+
+Faults, control events and ``run(until=...)`` are not supported on this
+backend (they need mid-run coordinator/worker state surgery); scheduling them
+raises immediately rather than desynchronizing silently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.net.message import Message
+from repro.net.simulator import (
+    SimulatedNetwork,
+    SimulationBudgetExceeded,
+    SimulationError,
+)
+from repro.parallel.envelope import WorkerInit
+from repro.parallel.worker import worker_main
+
+#: How long one blocking wait on the result queue lasts before the coordinator
+#: re-checks worker liveness and the wall-clock budget.
+_POLL_SECONDS = 0.25
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker process exited while the coordinator awaited its RPC."""
+
+    def __init__(self, wid: int, exitcode) -> None:
+        super().__init__(f"worker {wid} died (exitcode {exitcode})")
+        self.wid = wid
+        self.exitcode = exitcode
+
+
+class ProcessCoordinator(SimulatedNetwork):
+    """A :class:`SimulatedNetwork` whose handlers run in worker processes."""
+
+    def __init__(
+        self,
+        worker_init: WorkerInit,
+        wal_dir=None,
+        join_seconds: float = 5.0,
+        **network_kwargs,
+    ) -> None:
+        super().__init__(node_count=worker_init.node_count, **network_kwargs)
+        self.workers = worker_init.workers
+        self._worker_init = worker_init
+        self._wal_dir = wal_dir
+        self._join_seconds = join_seconds
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._command_queues: List = []
+        self._processes: List = []
+        self._delivery_ids = itertools.count(1)
+        self._rpc_ids = itertools.count(1)
+        #: delivery_id -> (wid, command, completion); insertion order is
+        #: dispatch order is pop order is application order.
+        self._inflight: "OrderedDict[int, tuple]" = OrderedDict()
+        self._min_inflight = float("inf")
+        self._results: Dict[int, tuple] = {}
+        #: RPC replies that arrived while waiting for a different rpc id
+        #: (only possible around worker recovery, when a replayed flush/clear
+        #: re-emits its reply under the original id).
+        self._rpc_replies: Dict[int, object] = {}
+        self._closed = False
+        for wid in range(self.workers):
+            self._spawn(wid)
+
+    # -- worker lifecycle ---------------------------------------------------------
+    def _worker_init_for(self, wid: int) -> WorkerInit:
+        base = self._worker_init
+        wal_path = None
+        if self._wal_dir is not None:
+            wal_path = os.path.join(str(self._wal_dir), f"worker{wid}.cmdlog")
+        return WorkerInit(
+            wid=wid,
+            workers=base.workers,
+            node_count=base.node_count,
+            plan=base.plan,
+            strategy=base.strategy,
+            batch_policy=base.batch_policy,
+            partitioner=base.partitioner,
+            traced=base.traced,
+            wal_path=wal_path,
+        )
+
+    def _spawn(self, wid: int) -> None:
+        command_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self._worker_init_for(wid), command_queue, self._result_queue),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        process.start()
+        if wid < len(self._command_queues):
+            self._command_queues[wid] = command_queue
+            self._processes[wid] = process
+        else:
+            self._command_queues.append(command_queue)
+            self._processes.append(process)
+
+    def worker_for(self, node: int) -> int:
+        return node % self.workers
+
+    def worker_pids(self) -> List[int]:
+        """OS pids of the live worker processes."""
+        return [process.pid for process in self._processes]
+
+    # -- unsupported control surface -----------------------------------------------
+    def _schedule_fault(self, kind: str, node: int, at_time) -> None:
+        raise SimulationError(
+            "crash/recover events are not supported by the process backend "
+            "(worker death recovery goes through the per-worker command WAL)"
+        )
+
+    def schedule_control(self, callback: Callable[[float], None], at_time=None) -> None:
+        raise SimulationError("control events are not supported by the process backend")
+
+    # -- the run loop ---------------------------------------------------------------
+    def run(self, until: Optional[float] = None):
+        if until is not None:
+            raise SimulationError("the process backend runs to quiescence only")
+        queue = self._queue
+        inflight = self._inflight
+        while queue or inflight:
+            self._dispatch_ready()
+            if not inflight:
+                if not queue:
+                    break
+                continue
+            self._apply_oldest()
+        return self.stats
+
+    def _dispatch_ready(self) -> None:
+        """Pop-and-dispatch front events while the safe-dispatch rule holds."""
+        queue = self._queue
+        busy_until = self._node_busy_until
+        inflight = self._inflight
+        processing_cost = self.processing_cost
+        max_events = self.max_events
+        monotonic = time.monotonic
+        while queue:
+            arrival, _, message = queue[0]
+            if not isinstance(message, Message):
+                raise SimulationError(
+                    f"unsupported event {type(message).__name__} on the process backend"
+                )
+            dst = message.dst
+            start = busy_until[dst]
+            if arrival > start:
+                start = arrival
+            if inflight and start >= self._min_inflight:
+                break
+            heapq.heappop(queue)
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationBudgetExceeded(
+                    f"exceeded {max_events} events; the computation is not converging"
+                )
+            if (
+                self._wall_deadline is not None
+                and self._events_processed % 32 == 0
+                and monotonic() > self._wall_deadline
+            ):
+                raise SimulationBudgetExceeded(
+                    f"exceeded the wall-clock budget of {self.max_wall_seconds} seconds"
+                )
+            if message.epoch < self.current_epoch:
+                self.stats.stale_epoch_messages += 1
+            updates = self._coalesce_ready(message, start, None)
+            completion = start + processing_cost * max(len(updates), 1)
+            busy_until[dst] = completion
+            self._now = completion
+            self.stats.record_time(completion)
+            delivery_id = next(self._delivery_ids)
+            wid = dst % self.workers
+            command = ("deliver", delivery_id, dst, message.port, tuple(updates), completion)
+            inflight[delivery_id] = (wid, command, completion)
+            if completion < self._min_inflight:
+                self._min_inflight = completion
+            self._command_queues[wid].put(command)
+
+    def _apply_oldest(self) -> None:
+        """Block for the oldest in-flight delivery's result and apply it."""
+        delivery_id = next(iter(self._inflight))
+        result = self._results.pop(delivery_id, None)
+        while result is None:
+            item = self._next_result_item()
+            kind = item[0]
+            if kind == "result":
+                if item[1] == delivery_id:
+                    result = item
+                else:
+                    self._results[item[1]] = item
+            elif kind == "error":
+                raise SimulationError(f"worker {item[2]} failed:\n{item[3]}")
+            else:
+                raise SimulationError(f"unexpected {kind!r} reply during a run")
+        self._inflight.popitem(last=False)
+        self._min_inflight = min(
+            (completion for _, _, completion in self._inflight.values()),
+            default=float("inf"),
+        )
+        _, _, _, outbox, handler_seconds, prov_bytes, prov_count = result
+        self.handler_seconds += handler_seconds
+        if prov_count:
+            self.stats.record_provenance(prov_bytes, prov_count)
+        for src, dst, port, updates, size_bytes, sent_at in outbox:
+            self._push_encoded(src, dst, port, updates, size_bytes, sent_at)
+
+    def _next_result_item(self):
+        """One blocking read of the shared result queue, with liveness checks."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if (
+                    self._wall_deadline is not None
+                    and time.monotonic() > self._wall_deadline
+                ):
+                    raise SimulationBudgetExceeded(
+                        f"exceeded the wall-clock budget of {self.max_wall_seconds} "
+                        "seconds while waiting on workers"
+                    )
+                for wid, process in enumerate(self._processes):
+                    if not process.is_alive():
+                        self._recover_worker(wid)
+
+    def _push_encoded(self, src, dst, port, updates, size_bytes, sent_at) -> None:
+        """Replay one worker-recorded send — the body of ``SimulatedNetwork.send``.
+
+        Same message construction, byte accounting, FIFO watermark update and
+        sequence-number assignment; no flow arrows (the matching handler span
+        lives in a worker's trace, not here).
+        """
+        if not updates:
+            raise SimulationError("refusing to send an empty message")
+        message = Message(
+            src=src, dst=dst, port=port, updates=tuple(updates),
+            size_bytes=size_bytes, sent_at=sent_at, epoch=self.current_epoch,
+        )
+        self.stats.record_message(message)
+        arrival = sent_at + self.latency_model.latency(src, dst)
+        fifo_key = (src, dst)
+        watermark = self._last_delivery.get(fifo_key, 0.0)
+        if watermark > arrival:
+            arrival = watermark
+        self._last_delivery[fifo_key] = arrival
+        heapq.heappush(self._queue, (arrival, next(self._sequence), message))
+
+    # -- worker death recovery -------------------------------------------------------
+    def _recover_worker(self, wid: int, pending_rpc=None) -> None:
+        """Respawn a dead worker and rebuild its state from the command WAL.
+
+        ``pending_rpc`` is the ``(rpc_id, command)`` the coordinator was
+        awaiting when the death was noticed (``None`` on the delivery path).
+        If the dying worker logged that command, the replay re-emits its reply
+        under the original id; otherwise the command is re-issued — exactly
+        one reply per rpc id either way.
+        """
+        process = self._processes[wid]
+        exitcode = process.exitcode
+        if self._wal_dir is None:
+            raise SimulationError(
+                f"worker {wid} died (exitcode {exitcode}) and no wal_dir is "
+                "configured; state is unrecoverable"
+            )
+        # Results the dead worker already shipped are still in the shared
+        # queue; pull them in before deciding what is unacknowledged.
+        while True:
+            try:
+                item = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if item[0] == "result":
+                self._results[item[1]] = item
+            elif item[0] == "rpc":
+                self._rpc_replies[item[1]] = item[3]
+            elif item[0] == "error":
+                raise SimulationError(f"worker {item[2]} failed:\n{item[3]}")
+        process.join(timeout=self._join_seconds)
+        unacked = [
+            (delivery_id, command)
+            for delivery_id, (owner, command, _) in self._inflight.items()
+            if owner == wid and delivery_id not in self._results
+        ]
+        unacked_rpcs = frozenset()
+        if pending_rpc is not None and pending_rpc[0] not in self._rpc_replies:
+            unacked_rpcs = frozenset({pending_rpc[0]})
+        self._spawn(wid)
+        replay_id = next(self._rpc_ids)
+        self._command_queues[wid].put(
+            (
+                "replay",
+                replay_id,
+                frozenset(delivery_id for delivery_id, _ in unacked),
+                unacked_rpcs,
+            )
+        )
+        try:
+            recovered = self._wait_rpc(replay_id, wid)
+        except _WorkerDied as died:
+            raise SimulationError(
+                f"worker {wid} died again during WAL replay (exitcode "
+                f"{died.exitcode}); state is unrecoverable"
+            ) from None
+        for delivery_id, command in unacked:
+            if delivery_id not in recovered:
+                self._command_queues[wid].put(command)
+        if (
+            pending_rpc is not None
+            and pending_rpc[0] not in recovered
+            and pending_rpc[0] not in self._rpc_replies
+        ):
+            # The command never reached the WAL (a read, or a flush/clear
+            # that died pre-log); RPCs are quiescent-point idempotent, so
+            # re-issue it verbatim.
+            self._command_queues[wid].put(pending_rpc[1])
+
+    # -- RPCs (quiescent points only) --------------------------------------------------
+    def _wait_rpc(self, rpc_id: int, wid: int):
+        if rpc_id in self._rpc_replies:
+            return self._rpc_replies.pop(rpc_id)
+        while True:
+            try:
+                item = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if not self._processes[wid].is_alive():
+                    raise _WorkerDied(wid, self._processes[wid].exitcode)
+                continue
+            kind = item[0]
+            if kind == "rpc":
+                if item[1] == rpc_id:
+                    return item[3]
+                self._rpc_replies[item[1]] = item[3]
+            elif kind == "result":
+                # Replayed deliveries re-emitted during WAL recovery.
+                self._results[item[1]] = item
+            elif kind == "error":
+                raise SimulationError(f"worker {item[2]} failed:\n{item[3]}")
+            else:
+                raise SimulationError(f"unexpected {kind!r} reply to rpc {rpc_id}")
+
+    def rpc(self, wid: int, op: str, *payload):
+        """One quiescent-point request/response exchange with worker ``wid``."""
+        if self._inflight:
+            raise SimulationError(f"rpc {op!r} attempted with deliveries in flight")
+        rpc_id = next(self._rpc_ids)
+        command = (op, rpc_id) + payload
+        self._command_queues[wid].put(command)
+        while True:
+            try:
+                return self._wait_rpc(rpc_id, wid)
+            except _WorkerDied:
+                self._recover_worker(wid, pending_rpc=(rpc_id, command))
+
+    def broadcast(self, op: str, *payload) -> List:
+        """The same RPC to every worker; replies ordered by worker id."""
+        return [self.rpc(wid, op, *payload) for wid in range(self.workers)]
+
+    # -- eager-flush protocol ------------------------------------------------------------
+    def flush_eager_ships(self) -> int:
+        """One cluster-wide MinShip timer tick at a quiescent point.
+
+        Workers flush their nodes and return per-node outbox segments; the
+        segments are applied **sorted by node id across all workers**, because
+        that is the order the in-process engine's flush loop visits nodes in —
+        and sequence numbers are assigned at send time.
+        """
+        segments = []
+        released = 0
+        for reply in self.broadcast("flush", self._now):
+            worker_segments, worker_released, prov_bytes, prov_count = reply
+            segments.extend(worker_segments)
+            released += worker_released
+            if prov_count:
+                self.stats.record_provenance(prov_bytes, prov_count)
+        segments.sort(key=lambda segment: segment[0])
+        for _, outbox in segments:
+            for src, dst, port, updates, size_bytes, sent_at in outbox:
+                self._push_encoded(src, dst, port, updates, size_bytes, sent_at)
+        return released
+
+    # -- shutdown -----------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker pool (idempotent; also wired to executor close)."""
+        if self._closed:
+            return
+        self._closed = True
+        for command_queue in self._command_queues:
+            try:
+                command_queue.put(("shutdown",))
+            except (ValueError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=self._join_seconds)
+            if process.is_alive():
+                process.terminate()
+        for command_queue in self._command_queues:
+            command_queue.close()
+            command_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -33,7 +33,11 @@ from repro.provenance.semiring import (
     TropicalSemiring,
     WhySemiring,
 )
-from repro.provenance.tracker import ProvenanceStore, provenance_store_for
+from repro.provenance.tracker import (
+    ProvenanceStore,
+    canonical_annotation,
+    provenance_store_for,
+)
 
 __all__ = [
     "AbsorptionProvenanceStore",
@@ -41,6 +45,7 @@ __all__ = [
     "CountingProvenanceStore",
     "DerivationEdge",
     "ProvenanceStore",
+    "canonical_annotation",
     "provenance_store_for",
     "Semiring",
     "BooleanSemiring",

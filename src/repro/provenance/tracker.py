@@ -233,3 +233,28 @@ def provenance_store_for(kind: str, **options: Any) -> ProvenanceStore:
     if normalised in ("none", "set", "dred"):
         return NullProvenanceStore()
     raise ValueError(f"unknown provenance store kind: {kind!r}")
+
+
+def canonical_annotation(store: ProvenanceStore, annotation: Annotation) -> Any:
+    """A backend-independent canonical form of ``annotation``, for equivalence checks.
+
+    BDD annotations built by different managers (one per worker process in the
+    process backend) represent the same boolean function with different node
+    ids and variable orders, so neither byte-level comparison nor raw
+    ``iter_products`` output is comparable across backends (path products
+    depend on the variable order).  Absorption annotations are monotone, and a
+    monotone function is uniquely determined by its *antichain* of minimal
+    products, so two semantically identical absorption annotations
+    canonicalise to the same frozenset of frozensets.  Value-typed annotations
+    (counting vectors, relative sets, DRed ``None``) pass through the store
+    codec, which is already process-independent.
+    """
+    if annotation is None:
+        return None
+    if hasattr(annotation, "iter_products"):
+        minimal: list = []
+        for product in sorted(annotation.iter_products(), key=len):
+            if not any(kept <= product for kept in minimal):
+                minimal.append(product)
+        return frozenset(minimal)
+    return store.encode_annotation(annotation)

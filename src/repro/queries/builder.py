@@ -32,6 +32,9 @@ def build_executor(
     max_wall_seconds: Optional[float] = None,
     experiment: str = "experiment",
     batch_policy: Optional[BatchPolicy] = None,
+    backend: str = "sim",
+    workers: Optional[int] = None,
+    wal_dir=None,
 ) -> DistributedViewExecutor:
     """Build a ready-to-run executor for ``plan`` under ``strategy``.
 
@@ -39,6 +42,12 @@ def build_executor(
     labels (``"DRed"``, ``"Absorption Lazy"``, ...).  The latency model
     defaults to the paper's two-cluster topology (Gigabit inside the first 16
     nodes, a slower shared link to any nodes beyond).
+
+    ``backend`` selects where node handlers run: ``"sim"`` (default) on this
+    interpreter thread, ``"process"`` across ``workers`` real OS processes
+    with bit-identical results (see :mod:`repro.parallel`).  ``wal_dir``
+    enables per-worker command WALs so a killed worker process is respawned
+    and replayed instead of aborting the run.
     """
     if isinstance(strategy, str):
         strategy = ExecutionStrategy.by_name(strategy)
@@ -49,7 +58,7 @@ def build_executor(
         node_count = partitioner.node_count
     if latency_model is None:
         latency_model = ClusterLatencyModel(primary_cluster_size=min(node_count, 16))
-    return DistributedViewExecutor(
+    common = dict(
         plan=plan,
         strategy=strategy,
         node_count=node_count,
@@ -61,3 +70,10 @@ def build_executor(
         experiment=experiment,
         batch_policy=batch_policy,
     )
+    if backend == "process":
+        from repro.parallel.backend import ProcessExecutor
+
+        return ProcessExecutor(workers=workers, wal_dir=wal_dir, **common)
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r} (expected 'sim' or 'process')")
+    return DistributedViewExecutor(**common)

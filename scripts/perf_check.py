@@ -213,6 +213,13 @@ def main():
         help="machine-readable result file (JSON)",
     )
     parser.add_argument(
+        "--trajectory",
+        default="BENCH_9.json",
+        help="condensed wall + kernel/routing-split record committed to the "
+        "repo root so the perf trajectory is tracked across PRs "
+        "('' disables)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="committed reference JSON; exit non-zero on wall-clock regression",
@@ -253,6 +260,36 @@ def main():
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"(wrote {args.output})")
+
+    if args.trajectory:
+        # The cross-PR trajectory record: wall clock plus the kernel/routing
+        # split per strategy, small enough to commit next to the code.
+        split_keys = tuple(
+            f"{phase}_{part}_time_s"
+            for phase in ("insert", "delete")
+            for part in ("kernel", "routing")
+        )
+        trajectory = {
+            "benchmark": "perf_check_trajectory",
+            "pr": 9,
+            "timestamp": report["timestamp"],
+            "python": report["python"],
+            "platform": report["platform"],
+            "topology": report["topology"],
+            "strategies": [
+                {
+                    "strategy": row["strategy"],
+                    "insert_wall_seconds": row["insert_wall_seconds"],
+                    "delete_wall_seconds": row["delete_wall_seconds"],
+                    **{key: row[key] for key in split_keys if key in row},
+                }
+                for row in report["results"]
+            ],
+        }
+        with open(args.trajectory, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"(wrote {args.trajectory})")
 
     if args.baseline:
         failures = compare_to_baseline(report, args.baseline, args.max_regression)

@@ -18,7 +18,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs.export import validate_chrome_trace  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    load_trace_events,
+    validate_chrome_trace,
+    validate_flow_balance,
+    validate_track_monotonicity,
+)
 
 
 def main(argv=None) -> int:
@@ -38,6 +43,18 @@ def main(argv=None) -> int:
         metavar="N",
         help="minimum number of per-node tracks (default 1)",
     )
+    parser.add_argument(
+        "--check-flows",
+        action="store_true",
+        help="also require every flow finish to pair with exactly one start "
+        "(catches unremapped ids on merged process-backend traces)",
+    )
+    parser.add_argument(
+        "--check-monotonic",
+        action="store_true",
+        help="also require per-track file-order timestamp monotonicity "
+        "(catches pid collisions when worker traces are absorbed)",
+    )
     args = parser.parse_args(argv)
     try:
         summary = validate_chrome_trace(
@@ -48,9 +65,25 @@ def main(argv=None) -> int:
     except (ValueError, OSError) as exc:
         print(f"INVALID: {args.trace}: {exc}", file=sys.stderr)
         return 1
+    problems = []
+    if args.check_flows or args.check_monotonic:
+        events = load_trace_events(args.trace)
+        if args.check_flows:
+            problems.extend(validate_flow_balance(events))
+        if args.check_monotonic:
+            problems.extend(validate_track_monotonicity(events))
+    if problems:
+        print(f"INVALID: {args.trace}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"OK: {args.trace}")
     for key, value in summary.items():
         print(f"  {key}: {value}")
+    if args.check_flows:
+        print("  flow balance: ok")
+    if args.check_monotonic:
+        print("  track monotonicity: ok")
     return 0
 
 

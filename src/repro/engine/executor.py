@@ -246,6 +246,42 @@ class DistributedViewExecutor:
         seed_inserts: Sequence[Tuple] = (),
         seed_deletes: Sequence[Tuple] = (),
     ) -> PhaseMetrics:
+        try:
+            return self._run_phase_body(
+                label, edge_inserts, edge_deletes, seed_inserts, seed_deletes
+            )
+        except Exception as exc:
+            # Post-mortem hook: budget overruns, worker deaths and handler
+            # crashes all surface here.  When the always-on flight recorder is
+            # installed, its rings (plus every live worker's, on the process
+            # backend) become a loadable trace before the exception continues.
+            self._on_phase_failure(label, exc)
+            raise
+
+    def _on_phase_failure(self, label: str, exc: Exception) -> None:
+        """Dump the flight recorder on a failed phase (best-effort, never raises)."""
+        from repro.obs.flight import maybe_dump_flight
+
+        try:
+            self._collect_flight_rings()
+        except Exception:
+            pass
+        try:
+            maybe_dump_flight(f"phase:{label} failed: {type(exc).__name__}: {exc}")
+        except Exception:
+            pass
+
+    def _collect_flight_rings(self) -> None:
+        """Fold remote recorder rings in before a dump (no-op in-process)."""
+
+    def _run_phase_body(
+        self,
+        label: str,
+        edge_inserts: Sequence[Tuple] = (),
+        edge_deletes: Sequence[Tuple] = (),
+        seed_inserts: Sequence[Tuple] = (),
+        seed_deletes: Sequence[Tuple] = (),
+    ) -> PhaseMetrics:
         self.network.reset_stats()
         self.network.arm_wall_budget()
         phase_start = self.network.now
@@ -530,6 +566,46 @@ class DistributedViewExecutor:
             for tuple_, annotation in node.fixpoint.provenance.items():
                 result[tuple_] = canonical_annotation(self.store, annotation)
         return result
+
+    def explain(self, target, trace_events=None):
+        """Explain why ``target`` is (or is not) in the view, from its provenance.
+
+        ``target`` is a result-schema :class:`Tuple` or its textual form
+        (``"reachable(a, b)"``).  The answer decodes the tuple's stored
+        annotation into its minimal derivation products (canonical, so
+        identical across the sim and process backends), resolves every base
+        variable to its origin tuple and owning node, and — when this run is
+        traced — reconstructs the cross-node message path from the tracer's
+        flow events.  Returns an :class:`~repro.obs.explain.Explanation`.
+
+        Call at a quiescent point (between phases), like every other read.
+        """
+        from repro.obs.explain import ExplainEngine, parse_view_tuple
+
+        target = parse_view_tuple(self.plan, target)
+        engine = ExplainEngine(self.plan, self.partitioner, scheme=self.strategy.label)
+        canonical = self._explain_products(target)
+        if trace_events is None and self.tracer.enabled:
+            trace_events = getattr(self.tracer, "events", None)
+            if trace_events is None:
+                snapshot = getattr(self.tracer, "snapshot_events", None)
+                trace_events = snapshot() if snapshot is not None else None
+        return engine.build(target, canonical, trace_events=trace_events)
+
+    def _explain_products(self, target: Tuple):
+        """Canonical annotation of one view tuple, or ``None`` when absent.
+
+        Backend hook: the process backend answers by broadcasting an
+        ``explain`` RPC so only one tuple's annotation crosses the process
+        boundary (already canonicalised), instead of the whole view's.
+        """
+        from repro.provenance.tracker import canonical_annotation
+
+        for node in self.nodes:
+            annotation = node.view_annotation(target)
+            if annotation is not None:
+                return canonical_annotation(self.store, annotation)
+        return None
 
     def state_bytes(self) -> int:
         """Total operator state across the cluster."""

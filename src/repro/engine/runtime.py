@@ -846,6 +846,15 @@ class ProcessorNode:
         """This node's partition of the recursive view."""
         return self.fixpoint.view_tuples()
 
+    def view_annotation(self, tuple_: Tuple):
+        """The stored annotation of one view tuple, or ``None`` if not held here.
+
+        The provenance-native half of the explain engine
+        (:mod:`repro.obs.explain`): the raw annotation is canonicalised by the
+        caller, never shipped as a manager-bound handle.
+        """
+        return self.fixpoint.provenance.get(tuple_)
+
     def state_bytes(self) -> int:
         """State held by all operators on this node (Section 7 metric)."""
         return self.join.state_bytes() + self.fixpoint.state_bytes() + self.ship.state_bytes()

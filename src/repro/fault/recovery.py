@@ -99,6 +99,9 @@ class RecoveryManager(FaultListener):
             self._purge_dead_base(node_id, now)
             if tracer is not None:
                 tracer.end(span)
+            from repro.obs.flight import maybe_dump_flight
+
+            maybe_dump_flight(f"crash-purge node {node_id}")
 
     def on_recover(self, node_id: int, now: float) -> None:
         self.recovery_count += 1

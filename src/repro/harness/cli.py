@@ -11,6 +11,7 @@ prints the same tables the benchmarks print, optionally writing CSV::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -20,6 +21,8 @@ import re
 
 from repro.harness import experiments
 from repro.harness.config import DEFAULT_CONFIG, PAPER_SCALE_CONFIG, QUICK_CONFIG, ExperimentConfig
+from repro.obs.explain import inject_explain_flows
+from repro.obs.flight import FlightRecorder, maybe_dump_flight
 from repro.harness.report import format_rows, rows_to_csv
 from repro.obs.export import write_metrics_json, write_trace
 from repro.obs.metrics import MetricsLog, install_metrics_log
@@ -182,6 +185,41 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write one metrics-registry snapshot per experiment phase as JSON",
     )
+    obs.add_argument(
+        "--explain",
+        type=str,
+        default=None,
+        metavar='"view(args...)"',
+        help=(
+            "explain one view tuple of the first requested experiment "
+            "(default figure7): its minimal derivation products, owning "
+            "nodes, and — with --trace — the message path as flow arrows; "
+            "'auto' picks the first view tuple"
+        ),
+    )
+    obs.add_argument(
+        "--explain-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the explanation as JSON (requires --explain)",
+    )
+    obs.add_argument(
+        "--flight-dump",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "where the always-on flight recorder dumps its ring buffers on a "
+            "crash-purge, budget overrun or harness error (default: "
+            "flight_dump.json in the working directory)"
+        ),
+    )
+    obs.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the always-on flight recorder (it is free when idle)",
+    )
     return parser
 
 
@@ -242,12 +280,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiments:
+    if args.list or (not args.experiments and args.explain is None):
         print("Available experiments:")
         for name, (_, description) in EXPERIMENTS.items():
             print(f"  {name:22s} {description}")
         print("  all                    run every experiment above")
         return 0
+    if args.explain_json is not None and args.explain is None:
+        parser.error("--explain-json requires --explain")
 
     requested: List[str] = []
     for name in args.experiments:
@@ -261,6 +301,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             requested.append(alias)
         else:
             parser.error(f"unknown experiment {name!r}; use --list to see the choices")
+    if not requested and args.explain is not None:
+        requested = ["figure7"]
 
     config = _select_config(args)
     print(f"# configuration: {config.describe()}")
@@ -268,36 +310,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
 
     tracer = None
+    flight = None
     if args.trace is not None:
         tracer = Tracer()
         install_tracer(tracer)
+    elif not args.no_flight:
+        # The always-on flight recorder: bounded rings, dumped only when
+        # something goes wrong (crash-purge, budget overrun, harness error).
+        flight = FlightRecorder(dump_path=args.flight_dump or Path("flight_dump.json"))
+        install_tracer(flight)
     metrics_log = None
     if args.metrics_json is not None:
         metrics_log = MetricsLog()
         install_metrics_log(metrics_log)
 
+    explanation = None
     try:
-        for name in requested:
-            driver, description = EXPERIMENTS[name]
-            span = None
-            if tracer is not None:
-                span = tracer.begin(HARNESS_PID, f"experiment:{name}", "harness")
-            try:
-                rows = driver(config)
-            finally:
-                if span is not None:
-                    tracer.end(span)
-            print()
-            print(format_rows(rows, title=f"{name}: {description}"))
-            if args.csv_dir is not None:
-                target = args.csv_dir / f"{name}.csv"
-                target.write_text(rows_to_csv(rows))
-                print(f"(wrote {target})")
+        try:
+            if args.explain is not None:
+                explanation = experiments.run_explain(
+                    config, args.explain, experiment=requested[0]
+                )
+                print()
+                print(explanation.render_text())
+                if args.explain_json is not None:
+                    args.explain_json.write_text(
+                        json.dumps(explanation.as_json(), indent=2, sort_keys=True) + "\n"
+                    )
+                    print(f"(wrote explanation: {args.explain_json})")
+            else:
+                for name in requested:
+                    driver, description = EXPERIMENTS[name]
+                    span = None
+                    if tracer is not None:
+                        span = tracer.begin(HARNESS_PID, f"experiment:{name}", "harness")
+                    try:
+                        rows = driver(config)
+                    finally:
+                        if span is not None:
+                            tracer.end(span)
+                    print()
+                    print(format_rows(rows, title=f"{name}: {description}"))
+                    if args.csv_dir is not None:
+                        target = args.csv_dir / f"{name}.csv"
+                        target.write_text(rows_to_csv(rows))
+                        print(f"(wrote {target})")
+        except BaseException as exc:
+            dumped = maybe_dump_flight(f"harness: {type(exc).__name__}: {exc}")
+            if dumped is not None:
+                print(f"(flight recorder dumped to {dumped})", file=sys.stderr)
+            raise
     finally:
         if tracer is not None:
             install_tracer(None)
             write_trace(tracer, args.trace)
             print(f"(wrote trace: {args.trace}, {len(tracer.events)} events)")
+        if flight is not None:
+            install_tracer(None)
         if metrics_log is not None:
             install_metrics_log(None)
             write_metrics_json(metrics_log, args.metrics_json)
@@ -305,6 +374,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(wrote metrics: {args.metrics_json}, "
                 f"{len(metrics_log.records)} snapshots)"
             )
+    if explanation is not None and args.trace is not None:
+        injected = inject_explain_flows(explanation, args.trace)
+        if injected:
+            print(f"(injected {injected} explain flow events into {args.trace})")
     return 0
 
 

@@ -1041,3 +1041,52 @@ def run_batch_throughput(
                 )
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Explain: derivation provenance of one view tuple (the --explain path)
+# ---------------------------------------------------------------------------
+
+#: Experiments whose workload the explain driver can rebuild deterministically
+#: (all reachability-plan figures sharing the transit-stub topology).
+_EXPLAINABLE_PLANS = {
+    "figure7": reachability_plan,
+    "figure8": reachability_plan,
+    "figure11": reachability_plan,
+    "figure12": reachability_plan,
+    "figure13": reachability_plan,
+}
+
+
+def run_explain(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    target: str = "auto",
+    experiment: str = "figure7",
+    scheme: str = "Absorption Lazy",
+):
+    """Load an experiment's insertion workload and explain one view tuple.
+
+    Rebuilds the experiment's (seeded, deterministic) dense topology, runs the
+    full insertion phase under ``scheme``, and returns the
+    :class:`~repro.obs.explain.Explanation` of ``target`` — a
+    ``"relation(arg, ...)"`` string, or ``"auto"`` for the lexicographically
+    first view tuple (handy for smoke tests).  Works on whichever backend the
+    config selects; the process backend aggregates per-worker answers.
+    """
+    plan_factory = _EXPLAINABLE_PLANS.get(experiment)
+    if plan_factory is None:
+        raise SystemExit(
+            f"--explain supports {sorted(_EXPLAINABLE_PLANS)}; got {experiment!r}"
+        )
+    topology = _topology(config, dense=True)
+    executor = _executor(plan_factory(), scheme, config)
+    try:
+        executor.insert_edges(topology.link_tuples(), label="explain-load")
+        if target == "auto":
+            view = executor.view()
+            if not view:
+                raise SystemExit("the view is empty; nothing to explain")
+            target = min(view, key=lambda t: t.key)
+        return executor.explain(target)
+    finally:
+        executor.close()

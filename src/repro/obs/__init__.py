@@ -2,10 +2,18 @@
 
 See :mod:`repro.obs.trace` for the tracer and track model,
 :mod:`repro.obs.metrics` for the counter/gauge/histogram registry and probe
-API, and :mod:`repro.obs.export` for the Chrome trace-event / JSONL writers
-and validators.
+API, :mod:`repro.obs.export` for the Chrome trace-event / JSONL writers and
+validators, :mod:`repro.obs.explain` for the provenance-native explain engine
+and :mod:`repro.obs.flight` for the always-on bounded flight recorder.
 """
 
+from repro.obs.explain import (
+    ExplainEngine,
+    Explanation,
+    inject_explain_flows,
+    parse_view_tuple,
+)
+from repro.obs.flight import FlightRecorder, maybe_dump_flight
 from repro.obs.metrics import (
     MetricsLog,
     MetricsRegistry,
@@ -28,12 +36,18 @@ __all__ = [
     "HARNESS_PID",
     "KERNEL_PID",
     "NULL_TRACER",
+    "ExplainEngine",
+    "Explanation",
+    "FlightRecorder",
     "MetricsLog",
     "MetricsRegistry",
     "NullTracer",
     "Tracer",
     "current_metrics_log",
     "current_tracer",
+    "inject_explain_flows",
     "install_metrics_log",
     "install_tracer",
+    "maybe_dump_flight",
+    "parse_view_tuple",
 ]

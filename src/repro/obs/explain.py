@@ -1,0 +1,427 @@
+"""The explain engine: decode *why* a view tuple holds, from its provenance.
+
+The paper's absorption provenance already records, inside every derived
+tuple's BDD annotation, the exact base tuples each derivation rests on.  This
+module surfaces that to an operator: given a view tuple (``"reachable(a, b)"``
+on the CLI, a :class:`~repro.data.tuples.Tuple` on the API), it
+
+1. pulls the tuple's annotation from whichever node owns it and reduces it to
+   the **minimal derivation products** via the antichain machinery of
+   :func:`repro.provenance.tracker.canonical_annotation` — so the answer is
+   identical whether the run was in-process or sharded across worker
+   processes with private BDD managers;
+2. resolves every base variable in every product back to its origin tuple and
+   the node that owns it (the engine names variables
+   ``((relation, *values), version)``, and ownership is a partitioner
+   lookup);
+3. when the run was traced, correlates the involved nodes with the tracer's
+   flow events to reconstruct the cross-node message path that delivered the
+   derivation.
+
+Three renderings: a text tree (:meth:`Explanation.render_text`), stable JSON
+(:meth:`Explanation.as_json` — deterministic ordering, used by the
+sim-vs-process equality tests), and Perfetto flow arrows injected into an
+existing ``--trace`` file (:func:`inject_explain_flows`) so the derivation is
+*visible* in the timeline: one arrow per supporting base tuple, from its
+owner's track to the view owner's track.
+
+Stores that cannot enumerate products (set semantics under DRed, counting
+vectors) still answer the membership half of the question; ``products`` is
+``None`` and the renderings say so instead of pretending.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.data.tuples import Tuple
+from repro.obs.export import load_trace_events
+from repro.provenance.tracker import format_base_key
+
+_TARGET_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*\(\s*(.*?)\s*\)\s*$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+
+#: Flow ids injected by :func:`inject_explain_flows` start here — far above
+#: both a tracer's own counter and the worker-merge remap stride
+#: (``pid_offset << 32``), so injected arrows can never collide with recorded
+#: ones.
+_INJECTED_FLOW_BASE = 1 << 40
+
+#: Keep at most this many reconstructed message-path hops (the tail of the
+#: run is what explains the *current* derivation).
+_MAX_PATH_HOPS = 32
+
+
+def parse_view_tuple(plan, target) -> Tuple:
+    """Parse ``"reachable(a, b)"`` into a view tuple of ``plan``'s result schema.
+
+    Accepts a ready :class:`Tuple` unchanged.  Values are matched textually:
+    surrounding quotes are stripped and purely numeric arguments are coerced
+    to ``int`` (the schemas used by the figures carry either string node names
+    or integer ids).  Raises :class:`ValueError` on anything that does not
+    name a ``plan.result_schema`` tuple.
+    """
+    if isinstance(target, Tuple):
+        return target
+    schema = plan.result_schema
+    match = _TARGET_RE.match(str(target))
+    if not match:
+        raise ValueError(
+            f"cannot parse view tuple {target!r}; expected "
+            f"{schema.relation}({', '.join(schema.attributes)})"
+        )
+    relation, arg_text = match.groups()
+    if relation != schema.relation:
+        raise ValueError(
+            f"plan {plan.name!r} materialises {schema.relation!r}, not {relation!r}"
+        )
+    values: List[Any] = []
+    if arg_text:
+        for raw in arg_text.split(","):
+            raw = raw.strip()
+            if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+                raw = raw[1:-1]
+            values.append(int(raw) if _INT_RE.match(raw) else raw)
+    if len(values) != schema.arity:
+        raise ValueError(
+            f"{schema.relation!r} expects {schema.arity} values, got {len(values)}"
+        )
+    return schema.tuple(*values)
+
+
+class Explanation:
+    """One answered "why is this tuple in the view" question."""
+
+    def __init__(
+        self,
+        target: Tuple,
+        found: bool,
+        scheme: str,
+        owner: Optional[int],
+        products: Optional[List[List[Dict[str, Any]]]],
+        message_path: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self.target = target
+        self.found = found
+        self.scheme = scheme
+        self.owner = owner
+        #: Minimal derivation products, each a list of resolved base refs
+        #: (``{"label", "relation", "values", "version", "owner"}``), or
+        #: ``None`` when the store cannot enumerate products.
+        self.products = products
+        #: Cross-node hops reconstructed from trace flow events (empty when
+        #: the run was untraced).
+        self.message_path = message_path or []
+
+    @property
+    def target_label(self) -> str:
+        return f"{self.target.relation}({', '.join(str(v) for v in self.target.values)})"
+
+    def base_owners(self) -> List[int]:
+        """Every distinct owning node referenced by the products, sorted."""
+        owners = set()
+        for product in self.products or ():
+            for ref in product:
+                if ref["owner"] is not None:
+                    owners.add(ref["owner"])
+        return sorted(owners)
+
+    def as_json(self) -> Dict[str, Any]:
+        """A deterministic, JSON-serialisable form (stable across backends)."""
+        return {
+            "view": self.target_label,
+            "relation": self.target.relation,
+            "values": list(self.target.values),
+            "found": self.found,
+            "scheme": self.scheme,
+            "owner": self.owner,
+            "products": self.products,
+            "message_path": self.message_path,
+        }
+
+    def render_text(self) -> str:
+        """The operator-facing tree rendering."""
+        lines = []
+        if not self.found:
+            lines.append(f"{self.target_label} — NOT in the view [{self.scheme}]")
+            lines.append("  no derivation supports it (or it was absorbed away)")
+            return "\n".join(lines)
+        lines.append(f"{self.target_label} — derivable [{self.scheme}]")
+        if self.owner is not None:
+            lines.append(f"  owner: node {self.owner}")
+        if self.products is None:
+            lines.append(
+                f"  the {self.scheme!r} scheme does not enumerate derivation "
+                "products (set/counting semantics); membership only"
+            )
+        else:
+            count = len(self.products)
+            lines.append(f"  {count} minimal derivation product{'s' if count != 1 else ''}:")
+            for index, product in enumerate(self.products):
+                last_product = index == len(self.products) - 1
+                branch = "└─" if last_product else "├─"
+                stem = "   " if last_product else "│  "
+                if not product:
+                    lines.append(f"  {branch} product {index + 1}: (unconditionally true)")
+                    continue
+                lines.append(f"  {branch} product {index + 1}:")
+                for ref in product:
+                    where = f"  @ node {ref['owner']}" if ref["owner"] is not None else ""
+                    lines.append(f"  {stem}   {ref['label']}{where}")
+        if self.message_path:
+            lines.append("  message path (trace flows, oldest first):")
+            for hop in self.message_path:
+                sim = f"  (sim {hop['sim']:.6f}s)" if hop.get("sim") is not None else ""
+                lines.append(f"    node {hop['src']} → node {hop['dst']}{sim}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "derivable" if self.found else "absent"
+        products = "?" if self.products is None else len(self.products)
+        return f"Explanation({self.target_label}, {state}, products={products})"
+
+
+class ExplainEngine:
+    """Turns canonical annotations into resolved, renderable explanations."""
+
+    def __init__(self, plan, partitioner, scheme: str) -> None:
+        self.plan = plan
+        self.partitioner = partitioner
+        self.scheme = scheme
+        self._schemas = {
+            plan.edge_schema.relation: plan.edge_schema,
+            plan.result_schema.relation: plan.result_schema,
+        }
+
+    # -- base-variable resolution --------------------------------------------------
+    def resolve_base(self, key) -> Dict[str, Any]:
+        """One base variable as ``{label, relation, values, version, owner}``."""
+        relation: Optional[str] = None
+        values: List[Any] = []
+        version = 0
+        if (
+            isinstance(key, tuple)
+            and len(key) == 2
+            and isinstance(key[0], tuple)
+            and key[0]
+            and isinstance(key[1], int)
+        ):
+            relation, values = key[0][0], list(key[0][1:])
+            version = key[1]
+        owner: Optional[int] = None
+        schema = self._schemas.get(relation)
+        if schema is not None and len(values) == schema.arity:
+            origin = schema.tuple(*values)
+            if relation == self.plan.result_schema.relation:
+                owner = self.partitioner.node_for(self.plan.result_partition_value(origin))
+            else:
+                owner = self.partitioner.node_for(origin.partition_value)
+        return {
+            "label": format_base_key(key),
+            "relation": relation,
+            "values": values,
+            "version": version,
+            "owner": owner,
+        }
+
+    def owner_of(self, target: Tuple) -> int:
+        return self.partitioner.node_for(self.plan.result_partition_value(target))
+
+    # -- canonical-form normalisation ----------------------------------------------
+    @staticmethod
+    def _product_sets(canonical) -> Optional[List[frozenset]]:
+        """Canonical annotation → minimal base-key product sets, or ``None``.
+
+        Absorption canonicalises to a frozenset of frozensets already;
+        relative annotations are frozensets of ``Derivation`` objects whose
+        ``leaves`` are the base keys (not absorbed, so the antichain reduction
+        is applied here).  Anything else — counting integers, DRed booleans —
+        has no product structure.
+        """
+        if not isinstance(canonical, frozenset):
+            return None
+        products: List[frozenset] = []
+        for element in canonical:
+            if isinstance(element, frozenset):
+                products.append(element)
+            elif hasattr(element, "leaves"):
+                products.append(frozenset(element.leaves))
+            else:
+                return None
+        minimal: List[frozenset] = []
+        for product in sorted(products, key=len):
+            if not any(kept <= product for kept in minimal):
+                minimal.append(product)
+        return minimal
+
+    # -- the main entry point --------------------------------------------------------
+    def build(
+        self,
+        target: Tuple,
+        canonical,
+        trace_events: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> Explanation:
+        """Assemble an :class:`Explanation` from a canonical annotation.
+
+        ``canonical`` is what :func:`~repro.provenance.tracker.canonical_annotation`
+        produced for the target's stored annotation — or ``None`` when no node
+        holds the tuple at all.
+        """
+        owner = self.owner_of(target)
+        if canonical is None:
+            return Explanation(target, False, self.scheme, owner, None)
+        product_sets = self._product_sets(canonical)
+        if product_sets is None:
+            # Membership-only store (DRed set semantics, counting vectors).
+            return Explanation(target, bool(canonical), self.scheme, owner, None)
+        products = [
+            sorted(
+                (self.resolve_base(key) for key in product),
+                key=lambda ref: ref["label"],
+            )
+            for product in product_sets
+        ]
+        products.sort(key=lambda product: (len(product), [ref["label"] for ref in product]))
+        explanation = Explanation(
+            target, bool(products), self.scheme, owner, products
+        )
+        if trace_events:
+            involved = set(explanation.base_owners())
+            involved.add(owner)
+            explanation.message_path = correlate_flows(trace_events, involved)
+        return explanation
+
+
+def correlate_flows(
+    events: Iterable[Dict[str, Any]],
+    pids,
+    limit: int = _MAX_PATH_HOPS,
+) -> List[Dict[str, Any]]:
+    """Reconstruct cross-node hops among ``pids`` from recorded flow events.
+
+    Flow starts (``ph: "s"``) and finishes (``ph: "f"``) pair by ``id``; a
+    pair whose endpoints both belong to the involved node set is one hop of
+    the message path that moved the derivation.  Returns the **last**
+    ``limit`` hops in recording order — the tail of the run is what fed the
+    current annotation state.
+    """
+    starts: Dict[Any, Dict[str, Any]] = {}
+    hops: List[Dict[str, Any]] = []
+    for event in events:
+        phase = event.get("ph")
+        if phase == "s":
+            starts[event.get("id")] = event
+        elif phase == "f":
+            start = starts.get(event.get("id"))
+            if start is None:
+                continue
+            src, dst = start.get("pid"), event.get("pid")
+            if src in pids and dst in pids and src != dst:
+                hops.append(
+                    {
+                        "src": src,
+                        "dst": dst,
+                        "sim": (start.get("args") or {}).get("sim"),
+                    }
+                )
+    return hops[-limit:]
+
+
+def inject_explain_flows(explanation: Explanation, path) -> int:
+    """Append the explanation as Perfetto flow arrows to an existing trace file.
+
+    For every minimal derivation product, one flow arrow per supporting base
+    tuple is drawn from the base owner's pipeline track to the view owner's —
+    plus an ``explain:<tuple>`` instant on the owner track — so opening the
+    trace shows *which* nodes' data the selected view tuple rests on.  The
+    arrows land after the last recorded timestamp (per-track monotonicity is
+    preserved) with ids above :data:`_INJECTED_FLOW_BASE` (no collision with
+    recorded flows).  Returns the number of events appended.
+    """
+    if explanation.owner is None or not explanation.products:
+        return 0
+    events = load_trace_events(path)
+    anchor = max((event.get("ts", 0.0) for event in events), default=0.0) + 10.0
+    injected: List[Dict[str, Any]] = [
+        {
+            "ph": "i",
+            "s": "t",
+            "pid": explanation.owner,
+            "tid": 1,
+            "ts": anchor,
+            "name": f"explain:{explanation.target_label}",
+            "cat": "explain",
+            "args": {
+                "products": len(explanation.products),
+                "scheme": explanation.scheme,
+            },
+        }
+    ]
+    flow_id = _INJECTED_FLOW_BASE
+    offset = 0.0
+    for index, product in enumerate(explanation.products):
+        for ref in product:
+            if ref["owner"] is None:
+                continue
+            flow_id += 1
+            offset += 1.0
+            name = f"explain:{ref['label']}"
+            injected.append(
+                {
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": ref["owner"],
+                    "tid": 1,
+                    "ts": anchor + offset,
+                    "name": name,
+                    "cat": "explain",
+                    "args": {"product": index + 1},
+                }
+            )
+            injected.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": explanation.owner,
+                    "tid": 1,
+                    "ts": anchor + offset + 0.5,
+                    "name": name,
+                    "cat": "explain",
+                }
+            )
+    _append_events(path, events, injected)
+    return len(injected)
+
+
+def _append_events(path, existing, injected) -> None:
+    """Rewrite/append the trace file with ``injected`` after ``existing``."""
+    if str(path).endswith(".jsonl"):
+        with open(path, "a", encoding="utf-8") as handle:
+            for event in injected:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict):
+        trace_events = document.get("traceEvents")
+        if isinstance(trace_events, list):
+            trace_events.extend(injected)
+        else:
+            raise ValueError("trace object has no traceEvents list")
+    else:
+        document.extend(injected)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+__all__ = [
+    "ExplainEngine",
+    "Explanation",
+    "correlate_flows",
+    "inject_explain_flows",
+    "parse_view_tuple",
+]

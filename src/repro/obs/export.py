@@ -112,6 +112,88 @@ def validate_span_nesting(events: Iterable[Dict[str, Any]]) -> List[str]:
     return errors
 
 
+def validate_flow_balance(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check that flow events pair up: unique starts, finishes after starts.
+
+    On a merged multi-process trace this is the corruption detector for the
+    worker-merge id remap: two workers both counting flows from 1 collide on
+    merge, which shows up here as a duplicate start id.  Also reported:
+    finishes without a start, finishes that precede their start, and starts
+    that never finish (a dangling arrow — legal mid-run, a leak in a complete
+    phase-quiescent trace).  Returns human-readable violations (empty = valid).
+    """
+    errors: List[str] = []
+    starts: Dict[Any, Dict[str, Any]] = {}
+    finished = set()
+    for event in events:
+        phase = event.get("ph")
+        if phase == "s":
+            flow_id = event.get("id")
+            if flow_id in starts:
+                errors.append(
+                    f"flow id {flow_id!r} started twice "
+                    "(unremapped worker-merge collision?)"
+                )
+            else:
+                starts[flow_id] = event
+        elif phase == "f":
+            flow_id = event.get("id")
+            start = starts.get(flow_id)
+            if start is None:
+                errors.append(f"flow id {flow_id!r} finished without a start")
+                continue
+            finished.add(flow_id)
+            if event.get("ts", 0.0) < start.get("ts", 0.0) - _NEST_EPSILON_US:
+                errors.append(
+                    f"flow id {flow_id!r} finishes at {event.get('ts'):.1f}us, "
+                    f"before its start at {start.get('ts'):.1f}us"
+                )
+    dangling = len(starts) - len(finished)
+    if dangling:
+        errors.append(f"{dangling} flow start(s) never finished")
+    return errors
+
+
+#: Tolerance (microseconds) for per-track timestamp regressions.  Larger than
+#: the nesting epsilon: merged traces shift worker clocks by a float origin
+#: difference, so adjacent events legitimately jitter by float rounding.
+_MONOTONIC_EPSILON_US = 1.0
+
+
+def validate_track_monotonicity(
+    events: Iterable[Dict[str, Any]], tolerance_us: float = _MONOTONIC_EPSILON_US
+) -> List[str]:
+    """Check that each (pid, tid) track's timestamps never run backwards.
+
+    Every track has a single writer appending in real time (workers included —
+    a merged trace shifts a whole worker's clock uniformly and remaps shared
+    synthetic tracks to per-worker pids), so within one track, file order must
+    be timestamp order.  A regression beyond ``tolerance_us`` means two
+    processes' events were interleaved onto one track — exactly the corruption
+    an unremapped pid collision produces.  One error per offending track.
+    """
+    errors: List[str] = []
+    last_ts: Dict[tuple, float] = {}
+    flagged = set()
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if ts is None:
+            continue
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous - tolerance_us and track not in flagged:
+            flagged.add(track)
+            errors.append(
+                f"track {track}: timestamp runs backwards "
+                f"({previous:.1f}us -> {ts:.1f}us; interleaved writers?)"
+            )
+        if previous is None or ts > previous:
+            last_ts[track] = ts
+    return errors
+
+
 def trace_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     """Shape overview of an event list: counts, categories, tracks, flows."""
     categories: Dict[str, int] = {}

@@ -1,0 +1,393 @@
+"""The flight recorder: a bounded ring-buffer tracer cheap enough to leave on.
+
+Where :class:`~repro.obs.trace.Tracer` keeps *every* event for a full
+Perfetto export, the :class:`FlightRecorder` keeps only the **last N** spans /
+instants / flows per track owner (one fixed-capacity ring of preallocated
+tuple slots per pid) — so a run that processes millions of deliveries holds a
+constant-size post-mortem buffer instead of an unbounded event list.  It is a
+drop-in for the tracer's duck-typed surface (``begin``/``end``/``instant``/
+``flow_start``/``flow_finish``/``kernel_slice``/node context), which means the
+hot paths need no new branches: installing it through
+:func:`~repro.obs.trace.install_tracer` routes the existing instrumentation
+into the rings.  When neither a tracer nor a recorder is installed the hot
+paths still hold ``None`` — the structural zero-overhead-off discipline is
+untouched.
+
+On failure — a crash-purge, a worker process dying, a wall/event budget
+overrun, or any harness exception — :func:`maybe_dump_flight` writes the
+rings out as a normal Chrome trace file (loadable in Perfetto, checkable by
+``scripts/validate_trace.py``), stamped with a ``flight-dump`` instant
+carrying the failure reason and the eviction count.  The process backend
+additionally folds the rings of every still-live worker into the
+coordinator's recorder before dumping (see
+:meth:`repro.parallel.scheduler.ProcessCoordinator.collect_flight_rings`), so
+the post-mortem timeline covers the whole cluster, not just the coordinator.
+
+Records are plain tuples, one of four shapes::
+
+    ("X", pid, tid, ts_us, dur_us, name, cat, sim)   # complete span
+    ("i", pid, tid, ts_us, name, cat, sim)           # instant
+    ("s", pid, ts_us, flow_id, sim)                  # flow start
+    ("f", pid, ts_us, flow_id)                       # flow finish
+
+Spans enter their ring at :meth:`FlightRecorder.end` time, so a ring never
+holds a half-written span and eviction can never create partial overlap — a
+dump always passes the span-nesting validator.  Spans still open at dump time
+(the phase the failure interrupted) are synthesised into closed spans ending
+"now", which is exactly the last thing the system was doing.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import (
+    CONTROL_PID,
+    HARNESS_PID,
+    KERNEL_TID,
+    PIPELINE_TID,
+    _LANE_NAMES,
+    _SYNTHETIC_NAMES,
+    current_tracer,
+)
+
+#: Events retained per track owner (pid). 256 spans cover several phases of
+#: context on a node while keeping a 12-node cluster's recorder under ~4k
+#: retained tuples.
+DEFAULT_RING_CAPACITY = 256
+
+
+class _Ring:
+    """A fixed-capacity ring of record tuples.
+
+    The slot list is preallocated once and only ever rewritten in place, so
+    steady-state recording is an index store plus an increment — no list
+    growth, no allocation beyond the record tuple itself.
+    """
+
+    __slots__ = ("slots", "capacity", "index", "written")
+
+    def __init__(self, capacity: int) -> None:
+        self.slots: List[Optional[tuple]] = [None] * capacity
+        self.capacity = capacity
+        self.index = 0
+        self.written = 0
+
+    def put(self, record: tuple) -> None:
+        self.slots[self.index] = record
+        self.index += 1
+        if self.index == self.capacity:
+            self.index = 0
+        self.written += 1
+
+    def snapshot(self) -> List[tuple]:
+        """Retained records, oldest first."""
+        if self.written <= self.capacity:
+            return list(self.slots[: self.written])
+        return self.slots[self.index :] + self.slots[: self.index]
+
+    @property
+    def evicted(self) -> int:
+        return self.written - self.capacity if self.written > self.capacity else 0
+
+
+class FlightRecorder:
+    """Bounded always-on tracer variant; same recording surface as ``Tracer``."""
+
+    enabled = True
+    #: Duck-type marker the process backend uses to ship the flag to workers
+    #: without importing this module on the hot path.
+    is_flight_recorder = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        dump_path: Optional[Any] = None,
+    ) -> None:
+        self._t0 = perf_counter()
+        self.capacity = capacity
+        #: Where :func:`maybe_dump_flight` writes on failure (None = never dump).
+        self.dump_path = dump_path
+        self._rings: Dict[int, _Ring] = {}
+        self._open: Dict[Tuple[int, int], List[list]] = {}
+        self._flow_seq = 0
+        self._context_pid: Optional[int] = None
+        self._process_labels: Dict[int, str] = {}
+
+    # -- clock -------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (perf_counter() - self._t0) * 1e6
+
+    def _ring(self, pid: int) -> _Ring:
+        ring = self._rings.get(pid)
+        if ring is None:
+            ring = self._rings[pid] = _Ring(self.capacity)
+        return ring
+
+    # -- recording surface (tracer duck type) --------------------------------------
+    def begin(self, pid, name, cat, tid=PIPELINE_TID, sim_ts=None, args=None):
+        token = [pid, tid, name, cat, self._now_us(), sim_ts]
+        self._open.setdefault((pid, tid), []).append(token)
+        return token
+
+    def end(self, span, args=None, sim_ts=None) -> None:
+        if span is None:
+            return
+        pid, tid, name, cat, ts, sim = span
+        self._ring(pid).put(("X", pid, tid, ts, self._now_us() - ts, name, cat, sim))
+        stack = self._open.get((pid, tid))
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # defensive: out-of-order close
+            stack.remove(span)
+
+    def instant(self, pid, name, cat, tid=PIPELINE_TID, sim_ts=None, args=None) -> None:
+        self._ring(pid).put(("i", pid, tid, self._now_us(), name, cat, sim_ts))
+
+    def flow_start(self, pid, sim_ts=None) -> int:
+        self._flow_seq += 1
+        flow_id = self._flow_seq
+        self._ring(pid).put(("s", pid, self._now_us(), flow_id, sim_ts))
+        return flow_id
+
+    def flow_finish(self, flow_id, pid) -> None:
+        if flow_id is None:
+            return
+        self._ring(pid).put(("f", pid, self._now_us(), flow_id))
+
+    def kernel_slice(self, pid, seconds, sim_ts=None, name="kernel") -> None:
+        if seconds <= 0.0:
+            return
+        now = self._now_us()
+        duration = seconds * 1e6
+        self._ring(pid).put(
+            ("X", pid, KERNEL_TID, now - duration, duration, name, "kernel", sim_ts)
+        )
+
+    def set_node_context(self, pid) -> None:
+        self._context_pid = pid
+
+    def clear_node_context(self) -> None:
+        self._context_pid = None
+
+    def context_pid(self, default):
+        return self._context_pid if self._context_pid is not None else default
+
+    def label_process(self, pid: int, label: str) -> None:
+        self._process_labels[pid] = label
+
+    def finish(self) -> None:
+        """Close any dangling spans into their rings."""
+        for stack in self._open.values():
+            while stack:
+                self.end(stack[-1])
+
+    # -- introspection ----------------------------------------------------------------
+    def retained_records(self) -> int:
+        return sum(
+            ring.written if ring.written < ring.capacity else ring.capacity
+            for ring in self._rings.values()
+        )
+
+    def evicted_records(self) -> int:
+        return sum(ring.evicted for ring in self._rings.values())
+
+    def open_span_count(self) -> int:
+        return sum(len(stack) for stack in self._open.values())
+
+    # -- cross-process merge -----------------------------------------------------------
+    def snapshot_records(self) -> List[tuple]:
+        """All retained records (closed spans only), picklable as-is.
+
+        Non-destructive — a worker answering a post-mortem ``flight`` RPC
+        keeps its rings, because the coordinator may ask again (recovery).
+        """
+        records: List[tuple] = []
+        for pid in sorted(self._rings):
+            records.extend(self._rings[pid].snapshot())
+        return records
+
+    def absorb_records(
+        self,
+        records: List[tuple],
+        t0: float,
+        pid_offset: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Fold a worker recorder's records into this (coordinator) recorder.
+
+        Same clock/pid discipline as :meth:`repro.obs.trace.Tracer.absorb`:
+        both sides read ``CLOCK_MONOTONIC``, so shifting by the origin
+        difference aligns the timelines; synthetic pids shift by
+        ``pid_offset``; flow ids shift by ``pid_offset << 32`` so two
+        workers' private flow counters never collide in the merged dump.
+        """
+        offset_us = (t0 - self._t0) * 1e6
+        flow_offset = pid_offset << 32
+        labelled = set()
+        for record in records:
+            kind = record[0]
+            pid = record[1]
+            new_pid = pid + pid_offset if pid >= CONTROL_PID else pid
+            if kind in ("X", "i"):
+                record = (kind, new_pid, record[2], record[3] + offset_us) + record[4:]
+            else:  # "s" / "f"
+                record = (
+                    (kind, new_pid, record[2] + offset_us, record[3] + flow_offset)
+                    + record[4:]
+                )
+            if label is not None and new_pid not in labelled:
+                labelled.add(new_pid)
+                base = (
+                    _SYNTHETIC_NAMES.get(pid) if pid >= CONTROL_PID else f"node {pid}"
+                )
+                self._process_labels.setdefault(new_pid, f"{base} [{label}]")
+            self._ring(new_pid).put(record)
+
+    # -- export -------------------------------------------------------------------------
+    def snapshot_events(self) -> List[Dict[str, Any]]:
+        """The retained timeline as Chrome events (ts-sorted, open spans closed).
+
+        Open spans are synthesised into complete events ending now *without*
+        popping them — snapshotting mid-run must not disturb recording.
+        """
+        records = self.snapshot_records()
+        now = self._now_us()
+        for stack in self._open.values():
+            for pid, tid, name, cat, ts, sim in stack:
+                records.append(("X", pid, tid, ts, now - ts, name, cat, sim))
+        events = [_record_to_event(record) for record in records]
+        events.sort(key=lambda event: event["ts"])
+        return events
+
+    def _metadata_events(self, events) -> List[Dict[str, Any]]:
+        tracks = sorted({(event["pid"], event.get("tid", 0)) for event in events})
+        metadata: List[Dict[str, Any]] = []
+        for pid in sorted({pid for pid, _ in tracks}):
+            name = self._process_labels.get(pid) or _SYNTHETIC_NAMES.get(pid, f"node {pid}")
+            metadata.append(
+                {"ph": "M", "pid": pid, "tid": 0, "name": "process_name", "args": {"name": name}}
+            )
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": pid},
+                }
+            )
+        for pid, tid in tracks:
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": _LANE_NAMES.get(tid, f"lane {tid}")},
+                }
+            )
+        return metadata
+
+    def dump(self, path: Any, reason: str) -> str:
+        """Write the retained timeline as a loadable Chrome trace; returns the path.
+
+        The dump carries a ``flight-dump`` instant on the harness track with
+        the failure ``reason``, the eviction count (how much history the rings
+        dropped) and the ring capacity — so a post-mortem reader knows both
+        *why* the dump exists and *how far back* it can see.
+        """
+        events = self.snapshot_events()
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": HARNESS_PID,
+                "tid": PIPELINE_TID,
+                "ts": self._now_us(),
+                "name": "flight-dump",
+                "cat": "flight",
+                "args": {
+                    "reason": reason,
+                    "evicted": self.evicted_records(),
+                    "ring_capacity": self.capacity,
+                },
+            }
+        )
+        payload = self._metadata_events(events) + events
+        path = str(path)
+        if path.endswith(".jsonl"):
+            with open(path, "w", encoding="utf-8") as handle:
+                for event in payload:
+                    handle.write(json.dumps(event, sort_keys=True))
+                    handle.write("\n")
+        else:
+            document = {
+                "traceEvents": payload,
+                "displayTimeUnit": "ms",
+                "otherData": {"producer": "repro.obs.flight", "reason": reason},
+            }
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({self.retained_records()} retained, "
+            f"{self.evicted_records()} evicted, capacity {self.capacity}/track)"
+        )
+
+
+def _record_to_event(record: tuple) -> Dict[str, Any]:
+    """One ring record as a Chrome trace event dict."""
+    kind = record[0]
+    if kind == "X":
+        _, pid, tid, ts, dur, name, cat, sim = record
+        event: Dict[str, Any] = {
+            "ph": "X", "pid": pid, "tid": tid, "ts": ts, "dur": dur,
+            "name": name, "cat": cat,
+        }
+    elif kind == "i":
+        _, pid, tid, ts, name, cat, sim = record
+        event = {
+            "ph": "i", "s": "t", "pid": pid, "tid": tid, "ts": ts,
+            "name": name, "cat": cat,
+        }
+    elif kind == "s":
+        _, pid, ts, flow_id, sim = record
+        event = {
+            "ph": "s", "id": flow_id, "pid": pid, "tid": PIPELINE_TID,
+            "ts": ts, "name": "msg", "cat": "flow",
+        }
+    else:
+        _, pid, ts, flow_id = record
+        sim = None
+        event = {
+            "ph": "f", "bp": "e", "id": flow_id, "pid": pid, "tid": PIPELINE_TID,
+            "ts": ts, "name": "msg", "cat": "flow",
+        }
+    if sim is not None:
+        event["args"] = {"sim": sim}
+    return event
+
+
+def maybe_dump_flight(reason: str, path: Optional[Any] = None) -> Optional[str]:
+    """Dump the installed flight recorder, if there is one with somewhere to dump.
+
+    The single post-mortem entry point every failure path calls (phase
+    failures, crash-purges, harness exceptions): a no-op unless the active
+    tracer is a :class:`FlightRecorder` with a ``dump_path`` (or an explicit
+    ``path`` is given).  Returns the written path, or ``None``.
+    """
+    recorder = current_tracer()
+    if not isinstance(recorder, FlightRecorder):
+        return None
+    target = path if path is not None else recorder.dump_path
+    if target is None:
+        return None
+    return recorder.dump(target, reason)
+
+
+__all__ = ["DEFAULT_RING_CAPACITY", "FlightRecorder", "maybe_dump_flight"]

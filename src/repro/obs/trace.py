@@ -341,8 +341,16 @@ class Tracer:
         and break its nesting tree; node pids are globally unique already and
         pass through untouched.  ``label`` names the remapped synthetic tracks
         (e.g. ``"bdd-kernel [worker 1, pid 71002]"``).
+
+        Flow ids get the same treatment: every worker tracer counts its own
+        flows from 1, so two workers' arrows would collide in the merged
+        timeline (Perfetto pairs ``s``/``f`` events by id — a collision draws
+        arrows between unrelated deliveries).  Shifting each worker's ids by
+        ``pid_offset << 32`` keeps them disjoint from every other worker's
+        and from the coordinator's own counter.
         """
         offset_us = (t0 - self._t0) * 1e6
+        flow_offset = pid_offset << 32
         remapped = {}
         for pid, tid in tracks:
             new_pid = pid + pid_offset if pid >= CONTROL_PID else pid
@@ -355,6 +363,8 @@ class Tracer:
             pid = event["pid"]
             event["pid"] = remapped.get(pid, pid + pid_offset if pid >= CONTROL_PID else pid)
             event["ts"] += offset_us
+            if flow_offset and event["ph"] in ("s", "f"):
+                event["id"] += flow_offset
             self.events.append(event)
 
     # -- export ------------------------------------------------------------------------

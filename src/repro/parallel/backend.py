@@ -34,15 +34,13 @@ from repro.net.latency import LatencyModel
 from repro.net.partition import HashPartitioner
 from repro.net.simulator import SimulationError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import current_tracer
+from repro.obs.trace import Tracer, current_tracer
 from repro.operators.ship import ShipMode
-from repro.parallel.envelope import WorkerInit
+from repro.parallel.envelope import TRACE_PID_STRIDE, WorkerInit
 from repro.parallel.scheduler import ProcessCoordinator
 
-#: Synthetic-pid stride per worker when merging traces: every worker's
-#: synthetic tracks (bdd-kernel, cluster-control) shift by ``(wid + 1) * 8``
-#: so no two processes interleave spans on one track.
-_TRACE_PID_STRIDE = 8
+#: Backwards-compatible alias; the constant lives in the protocol layer now.
+_TRACE_PID_STRIDE = TRACE_PID_STRIDE
 
 #: Kernel-stat keys that take the max when merging workers; everything else
 #: numeric sums (table sizes and counters add across disjoint managers).
@@ -188,6 +186,7 @@ class ProcessExecutor(DistributedViewExecutor):
         return _ClusterStore(self)
 
     def _create_network(self, latency_model, processing_cost, max_events, max_wall_seconds):
+        active_recorder = current_tracer()
         init = WorkerInit(
             wid=-1,  # per-worker ids are stamped at spawn
             workers=self.workers,
@@ -196,7 +195,8 @@ class ProcessExecutor(DistributedViewExecutor):
             strategy=self.strategy,
             batch_policy=self.batch_policy,
             partitioner=self.partitioner,
-            traced=current_tracer().enabled,
+            traced=isinstance(active_recorder, Tracer),
+            flight=bool(getattr(active_recorder, "is_flight_recorder", False)),
         )
         self._coordinator = ProcessCoordinator(
             init,
@@ -273,13 +273,35 @@ class ProcessExecutor(DistributedViewExecutor):
     def state_bytes(self) -> int:
         return sum(self._gather_node_map("state_bytes").values())
 
+    # -- explain ------------------------------------------------------------------------
+    def _explain_products(self, target):
+        """Ask every worker for the tuple's canonical products; first hit wins.
+
+        Only the worker hosting the tuple's owner node answers non-``None``,
+        and the answer is already manager-independent (the worker runs
+        ``canonical_annotation`` against its own store before pickling).
+        """
+        for reply in self._coordinator.broadcast("explain", target):
+            if reply is not None:
+                return reply
+        return None
+
+    def _collect_flight_rings(self) -> None:
+        """Pull worker flight rings into the coordinator recorder pre-dump."""
+        from repro.obs.flight import FlightRecorder
+
+        if isinstance(self.tracer, FlightRecorder) and self._coordinator is not None:
+            self._coordinator.collect_flight_rings(self.tracer)
+
     def per_node_state_bytes(self) -> Dict[int, int]:
         return dict(sorted(self._gather_node_map("state_bytes").items()))
 
     # -- tracing -----------------------------------------------------------------------
     def _run_phase(self, label: str, **workload):
         phase = super()._run_phase(label, **workload)
-        if self.tracer.enabled:
+        # A FlightRecorder is also "enabled" but has no full event buffer to
+        # drain — its rings are only collected post-mortem.
+        if isinstance(self.tracer, Tracer) and self.tracer.enabled:
             self._drain_worker_traces()
         return phase
 

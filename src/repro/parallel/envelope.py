@@ -10,6 +10,8 @@ Commands (coordinator → worker)::
     ("clear_join_left", rpc_id, node)                    # DRed re-derivation
     ("views" | "view_annotations" | "state_bytes" | "kernel_stats"
             | "metrics" | "routing" | "trace", rpc_id)   # quiescent reads
+    ("explain", rpc_id, view_tuple)                      # one tuple's canonical products
+    ("flight",  rpc_id)                                  # flight-recorder ring snapshot
     ("collect", rpc_id, force)                           # kernel GC pass
     ("replay",  rpc_id, unacked_delivery_ids)            # WAL recovery
     ("shutdown",)
@@ -37,6 +39,14 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.data.update import Update
 
+#: Synthetic-pid stride per worker when merging traces or flight rings: every
+#: worker's synthetic tracks (bdd-kernel, cluster-control) shift by
+#: ``(wid + 1) * TRACE_PID_STRIDE`` so no two processes interleave spans on
+#: one track (flow ids shift by the same offset ``<< 32``).  Lives here —
+#: the protocol layer — because both the coordinator-side scheduler and the
+#: executor-side backend need it without importing each other.
+TRACE_PID_STRIDE = 8
+
 
 @dataclass(frozen=True)
 class WorkerInit:
@@ -55,6 +65,9 @@ class WorkerInit:
     batch_policy: Any
     partitioner: Any
     traced: bool = False
+    #: Run a bounded flight recorder in the worker instead of a full tracer
+    #: (mutually exclusive with ``traced``; rings are collected post-mortem).
+    flight: bool = False
     wal_path: Optional[str] = None
 
     def owned_nodes(self) -> List[int]:

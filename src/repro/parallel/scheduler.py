@@ -59,7 +59,7 @@ from repro.net.simulator import (
     SimulationBudgetExceeded,
     SimulationError,
 )
-from repro.parallel.envelope import WorkerInit
+from repro.parallel.envelope import TRACE_PID_STRIDE, WorkerInit
 from repro.parallel.worker import worker_main
 
 #: How long one blocking wait on the result queue lasts before the coordinator
@@ -125,6 +125,7 @@ class ProcessCoordinator(SimulatedNetwork):
             batch_policy=base.batch_policy,
             partitioner=base.partitioner,
             traced=base.traced,
+            flight=base.flight,
             wal_path=wal_path,
         )
 
@@ -425,6 +426,58 @@ class ProcessCoordinator(SimulatedNetwork):
             for src, dst, port, updates, size_bytes, sent_at in outbox:
                 self._push_encoded(src, dst, port, updates, size_bytes, sent_at)
         return released
+
+    # -- post-mortem flight-ring collection ----------------------------------------------
+    def collect_flight_rings(self, recorder, timeout: float = 2.0) -> int:
+        """Best-effort collection of the workers' flight-recorder rings.
+
+        Called when a run is already aborting (phase failure, budget overrun),
+        so the quiescent-RPC discipline is deliberately relaxed: requests go to
+        every *live* worker, replies are drained until ``timeout`` with
+        unrelated queue items dropped, dead or silent workers are skipped, and
+        nothing here ever raises.  Collected records are absorbed into
+        ``recorder`` with the same per-worker pid stride the traced path uses,
+        so the dump renders like a merged trace.  Returns the number of
+        workers whose rings were absorbed.
+        """
+        pending: Dict[int, int] = {}
+        try:
+            for wid, process in enumerate(self._processes):
+                if not process.is_alive():
+                    continue
+                rpc_id = next(self._rpc_ids)
+                try:
+                    self._command_queues[wid].put(("flight", rpc_id))
+                except (ValueError, OSError):
+                    continue
+                pending[rpc_id] = wid
+        except Exception:
+            return 0
+        collected = 0
+        deadline = time.monotonic() + timeout
+        while pending and time.monotonic() < deadline:
+            try:
+                item = self._result_queue.get(timeout=0.1)
+            except (queue_module.Empty, ValueError, OSError):
+                continue
+            try:
+                if item[0] != "rpc" or item[1] not in pending:
+                    continue
+                wid = pending.pop(item[1])
+                payload = item[3]
+                if payload is None:
+                    continue
+                records, t0, os_pid = payload
+                recorder.absorb_records(
+                    records,
+                    t0,
+                    pid_offset=(wid + 1) * TRACE_PID_STRIDE,
+                    label=f"worker {wid}, pid {os_pid}",
+                )
+                collected += 1
+            except Exception:
+                continue
+        return collected
 
     # -- shutdown -----------------------------------------------------------------------
     def close(self) -> None:

@@ -107,13 +107,24 @@ class Worker:
         self.init = init
         self.wid = init.wid
         self.result_queue = result_queue
+        #: The worker's recorder: a full Tracer when the run is traced, a
+        #: bounded FlightRecorder when the coordinator runs one, else None.
+        #: Both share the recording surface the hot paths use.
         self.tracer = None
+        self.flight = None
+        recorder = None
         if init.traced:
-            self.tracer = Tracer()
-            install_tracer(self.tracer)
+            self.tracer = recorder = Tracer()
+        elif init.flight:
+            from repro.obs.flight import FlightRecorder
+
+            self.flight = recorder = FlightRecorder()
+        if recorder is not None:
+            install_tracer(recorder)
+        self._recorder = recorder
         self.store = init.strategy.create_store()
         self.routing_stats = RoutingStats()
-        self.network = WorkerNetwork(init.node_count, self.store, tracer=self.tracer)
+        self.network = WorkerNetwork(init.node_count, self.store, tracer=recorder)
         self.nodes: Dict[int, ProcessorNode] = {
             node_id: ProcessorNode(
                 node_id,
@@ -172,7 +183,7 @@ class Worker:
         _, delivery_id, node_id, port, updates, now = command
         node = self.nodes[node_id]
         decoded = decode_updates(self.store, updates)
-        tracer = self.tracer
+        tracer = self._recorder
         span = None
         if tracer is not None:
             span = tracer.begin(
@@ -269,6 +280,28 @@ class Worker:
         snapshot = self.routing_stats.snapshot(self.init.partitioner)
         self.result_queue.put(("rpc", rpc_id, self.wid, snapshot))
 
+    def explain(self, rpc_id, target) -> None:
+        """Canonical minimal products of one view tuple, if a local node holds it."""
+        from repro.provenance.tracker import canonical_annotation
+
+        payload = None
+        for node in self.nodes.values():
+            annotation = node.view_annotation(target)
+            if annotation is not None:
+                payload = canonical_annotation(self.store, annotation)
+                break
+        self.result_queue.put(("rpc", rpc_id, self.wid, payload))
+
+    def flight_snapshot(self, rpc_id) -> None:
+        """Non-destructive snapshot of the flight-recorder rings (post-mortem read)."""
+        if self.flight is None:
+            self.result_queue.put(("rpc", rpc_id, self.wid, None))
+            return
+        self.result_queue.put(
+            ("rpc", rpc_id, self.wid,
+             (self.flight.snapshot_records(), self.flight._t0, os.getpid()))
+        )
+
     def trace(self, rpc_id) -> None:
         """Drain this worker's trace events (with clock origin and real pid)."""
         if self.tracer is None:
@@ -338,6 +371,10 @@ class Worker:
             self.routing(command[1])
         elif op == "trace":
             self.trace(command[1])
+        elif op == "explain":
+            self.explain(command[1], command[2])
+        elif op == "flight":
+            self.flight_snapshot(command[1])
         elif op == "replay":
             self.replay(command[1], command[2], command[3])
         elif op == "shutdown":

@@ -152,14 +152,30 @@ class AbsorptionProvenanceStore(ProvenanceStore):
         return self.manager.diff(new, old)
 
     def describe(self, annotation: BDD) -> str:
+        """Stable human-readable product rendering of an annotation.
+
+        Products are the canonical *minimal* ones (variable-order independent,
+        see :func:`~repro.provenance.tracker.canonical_annotation`), each base
+        key rendered as ``relation(values)`` via
+        :func:`~repro.provenance.tracker.format_base_key`, keys sorted inside a
+        product and products sorted shortest-first then lexicographically — so
+        two semantically equal annotations describe identically regardless of
+        the manager that built them.
+        """
         if annotation.is_false():
             return "false"
         if annotation.is_true():
             return "true"
-        products = sorted(
-            (" & ".join(sorted(map(str, product))) for product in annotation.iter_products()),
+        from repro.provenance.tracker import canonical_annotation, format_base_key
+
+        products = [
+            sorted(format_base_key(key) for key in product)
+            for product in canonical_annotation(self, annotation)
+        ]
+        products.sort(key=lambda keys: (len(keys), keys))
+        return " | ".join(
+            f"({' & '.join(keys)})" if keys else "true" for keys in products
         )
-        return " | ".join(f"({product})" if product else "true" for product in products)
 
     # -- durability ----------------------------------------------------------
     def encode_annotation(self, annotation):

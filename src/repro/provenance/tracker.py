@@ -235,6 +235,29 @@ def provenance_store_for(kind: str, **options: Any) -> ProvenanceStore:
     raise ValueError(f"unknown provenance store kind: {kind!r}")
 
 
+def format_base_key(key: Hashable) -> str:
+    """Render a base-variable key as ``relation(v1, v2)`` when it has that shape.
+
+    The engine names base variables ``((relation, *values), version)`` (see
+    :meth:`repro.engine.runtime.ProcessorNode._base_variable_key`); re-inserted
+    incarnations carry a ``#version`` suffix so two generations of the same
+    tuple stay distinguishable.  Keys of any other shape (tests use plain
+    strings like ``"p1"``) render through ``str``.
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) == 2
+        and isinstance(key[0], tuple)
+        and key[0]
+        and isinstance(key[0][0], str)
+        and isinstance(key[1], int)
+    ):
+        (relation, *values), version = key
+        rendered = f"{relation}({', '.join(str(value) for value in values)})"
+        return rendered if version == 0 else f"{rendered}#{version}"
+    return str(key)
+
+
 def canonical_annotation(store: ProvenanceStore, annotation: Annotation) -> Any:
     """A backend-independent canonical form of ``annotation``, for equivalence checks.
 

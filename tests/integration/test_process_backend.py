@@ -161,6 +161,90 @@ def test_worker_metrics_merge_into_phase_snapshot(workload):
     assert snap["kernel.table_size"] > 0
 
 
+def test_explain_is_identical_across_backends(workload):
+    """The ISSUE-9 acceptance property: sim and process explain identically."""
+    links, _ = workload
+    install_tracer(None)  # no tracer => empty message_path on both backends
+    sim = build_executor(
+        reachability_plan(), "Absorption Lazy", node_count=NODE_COUNT
+    )
+    proc = build_executor(
+        reachability_plan(),
+        "Absorption Lazy",
+        node_count=NODE_COUNT,
+        backend="process",
+        workers=2,
+    )
+    try:
+        sim.insert_edges(links)
+        proc.insert_edges(links)
+        targets = sorted(sim.view(), key=lambda t: t.key)[:5]
+        assert targets
+        assert sorted(proc.view(), key=lambda t: t.key)[:5] == targets
+        for target in targets:
+            assert proc.explain(target).as_json() == sim.explain(target).as_json()
+        absent = sim.plan.result_schema.tuple("no-such", "tuple")
+        assert proc.explain(absent).as_json() == sim.explain(absent).as_json()
+    finally:
+        sim.close()
+        proc.close()
+
+
+def test_sigkilled_worker_yields_post_mortem_flight_dump(workload, tmp_path):
+    """A SIGKILLed worker without a WAL is fatal — but the flight recorder
+    still captures a validated post-mortem dump, including the surviving
+    workers' rings collected over the command queue."""
+    from repro.net.simulator import SimulationError
+    from repro.obs.export import load_trace_events, validate_chrome_trace
+    from repro.obs.flight import FlightRecorder
+
+    links, deletions = workload
+    dump = tmp_path / "postmortem.json"
+    recorder = FlightRecorder(dump_path=dump)
+    previous = install_tracer(recorder)
+    try:
+        executor = build_executor(
+            reachability_plan(),
+            "Absorption Eager",
+            node_count=NODE_COUNT,
+            backend="process",
+            workers=2,
+        )
+        try:
+            executor.insert_edges(links)
+            victim = executor._coordinator.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(victim, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.05)
+            with pytest.raises(SimulationError, match="died"):
+                executor.delete_edges(deletions)
+        finally:
+            executor.close()
+    finally:
+        install_tracer(previous)
+    assert dump.exists()
+    validate_chrome_trace(dump)
+    events = load_trace_events(dump)
+    marks = [e for e in events if e.get("name") == "flight-dump"]
+    assert len(marks) == 1
+    assert "died" in marks[0]["args"]["reason"]
+    # The surviving worker's rings were absorbed into the coordinator dump.
+    with open(dump) as handle:
+        import json
+
+        labels = [
+            e["args"]["name"]
+            for e in json.load(handle)["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        ]
+    assert any("worker 1" in label for label in labels)
+
+
 def test_worker_traces_merge_into_coordinator_trace(workload):
     links, _ = workload
     tracer = Tracer()

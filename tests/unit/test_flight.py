@@ -1,0 +1,166 @@
+"""Unit tests for the flight recorder: rings, dumps, and the failure hooks."""
+
+import pytest
+
+from repro.engine.strategy import ExecutionStrategy
+from repro.net.simulator import SimulationBudgetExceeded
+from repro.obs.export import (
+    load_trace_events,
+    validate_chrome_trace,
+    validate_span_nesting,
+    validate_track_monotonicity,
+)
+from repro.obs.flight import DEFAULT_RING_CAPACITY, FlightRecorder, maybe_dump_flight
+from repro.obs.trace import Tracer, install_tracer
+from repro.queries import build_executor, reachability_plan
+from repro.workloads import TransitStubConfig, generate_topology
+
+
+@pytest.fixture
+def recorder():
+    rec = FlightRecorder()
+    install_tracer(rec)
+    yield rec
+    install_tracer(None)
+
+
+class TestRing:
+    def test_ring_bounds_retention(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(50):
+            rec.instant(0, f"i{i}", "test")
+        assert rec.retained_records() == 8
+        assert rec.evicted_records() == 42
+        names = [e["name"] for e in rec.snapshot_events()]
+        assert names == [f"i{i}" for i in range(42, 50)]  # oldest-first tail
+
+    def test_rings_are_per_pid(self):
+        rec = FlightRecorder(capacity=4)
+        for pid in (0, 1, 2):
+            for i in range(10):
+                rec.instant(pid, f"p{pid}-{i}", "test")
+        assert rec.retained_records() == 12
+        assert rec.evicted_records() == 18
+
+    def test_spans_enter_ring_closed(self):
+        rec = FlightRecorder(capacity=4)
+        span = rec.begin(0, "work", "operator", sim_ts=1.0)
+        assert rec.retained_records() == 0 and rec.open_span_count() == 1
+        rec.end(span)
+        assert rec.retained_records() == 1 and rec.open_span_count() == 0
+        events = rec.snapshot_events()
+        assert events[0]["ph"] == "X" and events[0]["dur"] >= 0
+        assert events[0]["args"] == {"sim": 1.0}
+
+    def test_snapshot_synthesises_open_spans_without_popping(self):
+        rec = FlightRecorder()
+        rec.begin(3, "interrupted", "phase")
+        events = rec.snapshot_events()
+        assert [e["name"] for e in events] == ["interrupted"]
+        assert rec.open_span_count() == 1  # snapshot did not disturb recording
+
+    def test_flow_and_kernel_surface(self):
+        rec = FlightRecorder()
+        flow = rec.flow_start(0, sim_ts=0.5)
+        rec.flow_finish(flow, 1)
+        rec.flow_finish(None, 1)  # ignored, like the tracer
+        rec.kernel_slice(2, 0.001)
+        rec.kernel_slice(2, 0.0)  # skipped
+        phases = sorted(e["ph"] for e in rec.snapshot_events())
+        assert phases == ["X", "f", "s"]
+
+    def test_node_context_matches_tracer_contract(self):
+        rec = FlightRecorder()
+        assert rec.context_pid(9) == 9
+        rec.set_node_context(4)
+        assert rec.context_pid(9) == 4
+        rec.clear_node_context()
+        assert rec.context_pid(9) == 9
+
+
+class TestDump:
+    def test_dump_is_a_valid_chrome_trace(self, tmp_path, recorder):
+        executor = build_executor(
+            reachability_plan(), ExecutionStrategy.absorption_lazy(), node_count=4
+        )
+        topology = generate_topology(
+            TransitStubConfig(nodes_per_stub=2, stubs_per_transit=2, dense=True, seed=5)
+        )
+        executor.insert_edges(topology.link_tuples())
+        path = recorder.dump(tmp_path / "dump.json", reason="test")
+        summary = validate_chrome_trace(path)
+        assert summary["spans"] > 0 and summary["node_pids"]
+        events = load_trace_events(path)
+        assert validate_span_nesting(events) == []
+        assert validate_track_monotonicity(events) == []
+        dump_marks = [e for e in events if e.get("name") == "flight-dump"]
+        assert len(dump_marks) == 1
+        assert dump_marks[0]["args"]["reason"] == "test"
+        assert dump_marks[0]["args"]["ring_capacity"] == DEFAULT_RING_CAPACITY
+
+    def test_dump_jsonl(self, tmp_path):
+        rec = FlightRecorder()
+        rec.end(rec.begin(0, "x", "net"))
+        path = rec.dump(tmp_path / "dump.jsonl", reason="jsonl")
+        events = load_trace_events(path)
+        assert any(e.get("ph") == "X" for e in events)
+
+    def test_maybe_dump_requires_recorder_and_path(self, tmp_path):
+        install_tracer(None)
+        assert maybe_dump_flight("no recorder") is None
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            assert maybe_dump_flight("full tracer, not a recorder") is None
+        finally:
+            install_tracer(None)
+        rec = FlightRecorder()  # no dump_path
+        install_tracer(rec)
+        try:
+            assert maybe_dump_flight("nowhere to dump") is None
+            explicit = tmp_path / "explicit.json"
+            assert maybe_dump_flight("explicit path", path=explicit) == str(explicit)
+        finally:
+            install_tracer(None)
+
+
+class TestFailureHooks:
+    def test_budget_overrun_dumps_via_executor(self, tmp_path):
+        dump = tmp_path / "overrun.json"
+        rec = FlightRecorder(dump_path=dump)
+        install_tracer(rec)
+        try:
+            executor = build_executor(
+                reachability_plan(),
+                ExecutionStrategy.absorption_lazy(),
+                node_count=4,
+                max_events=50,
+            )
+            topology = generate_topology(
+                TransitStubConfig(nodes_per_stub=2, stubs_per_transit=2, dense=True, seed=5)
+            )
+            with pytest.raises(SimulationBudgetExceeded):
+                executor.insert_edges(topology.link_tuples())
+        finally:
+            install_tracer(None)
+        assert dump.exists()
+        events = load_trace_events(dump)
+        marks = [e for e in events if e.get("name") == "flight-dump"]
+        assert len(marks) == 1 and "SimulationBudgetExceeded" in marks[0]["args"]["reason"]
+
+    def test_successful_run_never_dumps(self, tmp_path):
+        dump = tmp_path / "never.json"
+        rec = FlightRecorder(dump_path=dump)
+        install_tracer(rec)
+        try:
+            executor = build_executor(
+                reachability_plan(), ExecutionStrategy.absorption_lazy(), node_count=4
+            )
+            plan = executor.plan
+            executor.insert_edges(
+                [plan.edge_schema.tuple("a", "b"), plan.edge_schema.tuple("b", "c")]
+            )
+        finally:
+            install_tracer(None)
+        assert not dump.exists()
+        assert rec.retained_records() > 0  # it did record, it just had no reason to dump

@@ -10,7 +10,9 @@ from repro.obs.export import (
     load_trace_events,
     trace_summary,
     validate_chrome_trace,
+    validate_flow_balance,
     validate_span_nesting,
+    validate_track_monotonicity,
     write_metrics_json,
     write_trace,
 )
@@ -168,6 +170,110 @@ class TestValidation:
             {"ph": "X", "pid": 0, "tid": 1, "name": "bad", "cat": "x", "ts": 0.0, "dur": -1.0}
         ]
         assert any("dur" in e for e in validate_span_nesting(events))
+
+
+class TestAbsorb:
+    """Merging worker traces must keep pids, flow ids and clocks collision-free."""
+
+    @staticmethod
+    def _worker_tracer(t0_offset):
+        """A 'worker' tracer whose pids and flow ids overlap every other worker's."""
+        worker = Tracer()
+        worker._t0 -= t0_offset  # pretend it started earlier
+        span = worker.begin(0, "deliver:edge", "net", sim_ts=0.1)
+        worker.end(span)
+        flow = worker.flow_start(0, sim_ts=0.2)
+        worker.flow_finish(flow, 1)
+        worker.kernel_slice(CONTROL_PID + 1, 0.0005)
+        return worker
+
+    def test_overlapping_workers_remap_cleanly(self):
+        coordinator = Tracer()
+        for wid in range(2):
+            worker = self._worker_tracer(t0_offset=0.5 * (wid + 1))
+            coordinator.absorb(
+                worker.events,
+                sorted(worker._tracks),
+                worker._t0,
+                pid_offset=(wid + 1) * 8,
+                label=f"worker {wid}, pid {1000 + wid}",
+            )
+        events = coordinator.chrome_events()
+        # Both workers started identical flow ids; the merge must keep them apart.
+        assert validate_flow_balance(events) == []
+        assert validate_track_monotonicity(events) == []
+        starts = [e["id"] for e in events if e.get("ph") == "s"]
+        assert len(starts) == len(set(starts)) == 2
+        # Synthetic pids were remapped per worker; node pids were not.
+        kernel_pids = {e["pid"] for e in events if e.get("cat") == "kernel"}
+        assert len(kernel_pids) == 2
+        assert all(pid >= CONTROL_PID for pid in kernel_pids)
+        assert {e["pid"] for e in events if e.get("ph") == "s"} == {0}
+
+    def test_unremapped_merge_is_detected(self):
+        """Without the flow-id remap two workers' flows collide — the validator sees it."""
+        coordinator = Tracer()
+        for wid in range(2):
+            worker = self._worker_tracer(t0_offset=0.1)
+            coordinator.absorb(
+                worker.events, sorted(worker._tracks), worker._t0, pid_offset=0
+            )
+        errors = validate_flow_balance(coordinator.events)
+        assert errors and any("started twice" in error for error in errors)
+
+
+class TestFlowAndMonotonicValidators:
+    def test_flow_finish_without_start(self):
+        events = [{"ph": "f", "id": 7, "pid": 0, "tid": 1, "ts": 1.0}]
+        errors = validate_flow_balance(events)
+        assert errors and "finished without a start" in errors[0]
+
+    def test_dangling_starts_counted(self):
+        events = [
+            {"ph": "s", "id": 1, "pid": 0, "tid": 1, "ts": 1.0},
+            {"ph": "s", "id": 2, "pid": 0, "tid": 1, "ts": 2.0},
+        ]
+        errors = validate_flow_balance(events)
+        assert errors and "2" in errors[0]
+
+    def test_finish_before_start_timestamp(self):
+        events = [
+            {"ph": "s", "id": 1, "pid": 0, "tid": 1, "ts": 10.0},
+            {"ph": "f", "id": 1, "pid": 1, "tid": 1, "ts": 2.0},
+        ]
+        errors = validate_flow_balance(events)
+        assert errors and "before" in errors[0]
+
+    def test_balanced_flows_pass(self):
+        events = [
+            {"ph": "s", "id": 1, "pid": 0, "tid": 1, "ts": 1.0},
+            {"ph": "f", "id": 1, "pid": 1, "tid": 1, "ts": 2.0},
+        ]
+        assert validate_flow_balance(events) == []
+
+    def test_backwards_track_is_detected(self):
+        events = [
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 100.0, "dur": 1.0, "name": "a"},
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 10.0, "dur": 1.0, "name": "b"},
+        ]
+        errors = validate_track_monotonicity(events)
+        assert len(errors) == 1 and "runs backwards" in errors[0]
+
+    def test_one_error_per_track(self):
+        events = [
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 100.0, "dur": 1.0, "name": "a"},
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 10.0, "dur": 1.0, "name": "b"},
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 5.0, "dur": 1.0, "name": "c"},
+        ]
+        assert len(validate_track_monotonicity(events)) == 1
+
+    def test_metadata_and_other_tracks_ignored(self):
+        events = [
+            {"ph": "M", "pid": 0, "tid": 1, "name": "process_name"},
+            {"ph": "X", "pid": 0, "tid": 1, "ts": 5.0, "dur": 1.0, "name": "a"},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 1.0, "dur": 1.0, "name": "b"},
+        ]
+        assert validate_track_monotonicity(events) == []
 
 
 class TestExport:

@@ -1,0 +1,62 @@
+"""The chaos plane: deterministic, seeded fault injection across the stack.
+
+Everything here is a pure function of ``(seed, stream tag, identifiers)`` —
+no wall clocks, no shared RNG state — so any chaos run can be replayed
+bit-for-bit, on either backend, and compared against a fault-free reference
+(:mod:`repro.chaos.parity`).
+
+The package splits into:
+
+* :mod:`repro.chaos.plan` — the declarative :class:`ChaosPlan` (link faults,
+  crash storms, worker kills, recovery/respawn dooming, scaling storms) and
+  the counter-based ``mix64`` randomness it draws from;
+* :mod:`repro.chaos.interposer` — the network interposer that turns link
+  specs into per-message drop/duplicate/reorder/extra-delay, masked by the
+  reliable FIFO transport so converged results stay bit-identical;
+* :mod:`repro.chaos.supervisor` — bounded retry with exponential backoff and
+  deterministic jitter, wrapped around recovery and worker respawn;
+* :mod:`repro.chaos.executor` — the elastic × fault-tolerant composition
+  with supervised recovery and graceful degradation (imported as a submodule
+  to keep this package import-light);
+* :mod:`repro.chaos.parity` — the chaos-vs-fault-free verification harness
+  (also a submodule import).
+"""
+
+from repro.chaos.interposer import ChaosInterposer, ChaosStats
+from repro.chaos.plan import (
+    PROFILES,
+    ChaosPlan,
+    CrashStormSpec,
+    LinkChaosSpec,
+    RecoveryFaultSpec,
+    ScalingStormSpec,
+    WorkerKillSpec,
+    mix64,
+    unit,
+)
+from repro.chaos.supervisor import (
+    ChaosInjectedFailure,
+    RetryPolicy,
+    SupervisionExhausted,
+    SupervisionReport,
+    Supervisor,
+)
+
+__all__ = [
+    "PROFILES",
+    "ChaosInjectedFailure",
+    "ChaosInterposer",
+    "ChaosPlan",
+    "ChaosStats",
+    "CrashStormSpec",
+    "LinkChaosSpec",
+    "RecoveryFaultSpec",
+    "RetryPolicy",
+    "ScalingStormSpec",
+    "SupervisionExhausted",
+    "SupervisionReport",
+    "Supervisor",
+    "WorkerKillSpec",
+    "mix64",
+    "unit",
+]

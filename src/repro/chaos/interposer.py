@@ -1,0 +1,161 @@
+"""The network interposer: link faults in the simulator send path.
+
+The interposer sits *below* the :class:`~repro.net.transport.Transport`
+surface, at the link layer the paper's reliable FIFO channels are built on.
+Nodes never see it.  Each remote send consults the plan's decision streams,
+keyed by ``(src, dst, per-channel message index)`` — the index advances
+identically on both backends because sends happen in the same virtual-time
+total order — and the faults surface only in ways the reliable transport
+masks:
+
+* **Drops** — a lost wire copy costs one retransmit timeout per lost copy
+  (geometric, bounded by ``max_retransmits``); the message still arrives.
+* **Delay jitter** — extra latency applied *before* the per-channel FIFO
+  watermark clamp, so each channel stays in order while traffic across
+  channels genuinely reorders.
+* **Duplicates** — a ghost wire copy is enqueued as a real event and
+  suppressed at delivery by the receiver's sequence-number dedup: pure
+  accounting that never advances the clock or invokes a handler.
+
+Because none of this loses or reorders channel state, a chaos run must
+converge **bit-identical** to its fault-free reference — the invariant the
+parity harness (:mod:`repro.chaos.parity`) gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple as PyTuple
+
+from repro.chaos.plan import (
+    TAG_DELAY,
+    TAG_DROP,
+    TAG_DUP,
+    TAG_DUP_DELAY,
+    TAG_JITTER,
+    ChaosPlan,
+)
+from repro.net.message import Message
+
+
+@dataclass
+class ChaosStats:
+    """Accounting for every link fault the interposer injected."""
+
+    messages_seen: int = 0
+    dropped_copies: int = 0
+    duplicates_injected: int = 0
+    duplicates_suppressed: int = 0
+    delayed_messages: int = 0
+    extra_delay_total: float = 0.0
+    max_extra_delay: float = 0.0
+    duplicate_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "chaos_messages_seen": self.messages_seen,
+            "chaos_dropped_copies": self.dropped_copies,
+            "chaos_duplicates_injected": self.duplicates_injected,
+            "chaos_duplicates_suppressed": self.duplicates_suppressed,
+            "chaos_delayed_messages": self.delayed_messages,
+            "chaos_extra_delay_total_s": self.extra_delay_total,
+            "chaos_max_extra_delay_s": self.max_extra_delay,
+            "chaos_duplicate_bytes": self.duplicate_bytes,
+        }
+
+
+@dataclass
+class ChaosInterposer:
+    """Applies a plan's link faults to every remote send.
+
+    Installed via :meth:`attach`; the simulator calls :meth:`apply` once per
+    remote message (after latency, before the FIFO clamp) and :meth:`on_ghost`
+    once per suppressed duplicate delivery.
+    """
+
+    plan: ChaosPlan
+    stats: ChaosStats = field(default_factory=ChaosStats)
+
+    def __post_init__(self) -> None:
+        self._network = None
+        #: Per-channel message index: the decision-stream key that makes every
+        #: fault a pure function of the message's position on its channel.
+        self._channel_index: Dict[PyTuple[int, int], int] = {}
+
+    def attach(self, network) -> "ChaosInterposer":
+        """Install on a :class:`~repro.net.simulator.SimulatedNetwork`."""
+        network.install_chaos(self)
+        self._network = network
+        return self
+
+    def apply(self, message: Message, sent_at: float, arrival: float) -> float:
+        """Return the chaos-adjusted arrival time for one remote message.
+
+        May additionally enqueue a ghost duplicate on the network.  Called
+        before the real message is pushed, in both backends, so ghost events
+        consume sequence numbers in the same order everywhere.
+        """
+        spec = self.plan.link
+        if spec is None:
+            return arrival
+        src = message.src
+        dst = message.dst
+        key = (src, dst)
+        index = self._channel_index.get(key, 0)
+        self._channel_index[key] = index + 1
+        stats = self.stats
+        stats.messages_seen += 1
+        plan_unit = self.plan.unit
+        extra = 0.0
+        dropped = 0
+        if spec.drop_prob > 0.0:
+            # Each lost wire copy costs one retransmit timeout; the channel
+            # gives up losing copies after max_retransmits and the final copy
+            # always gets through (the transport is reliable by construction).
+            for attempt in range(spec.max_retransmits):
+                if plan_unit(TAG_DROP, src, dst, index, attempt) < spec.drop_prob:
+                    dropped += 1
+                    extra += spec.retransmit_timeout
+                else:
+                    break
+            stats.dropped_copies += dropped
+        if spec.delay_prob > 0.0 and plan_unit(TAG_DELAY, src, dst, index) < spec.delay_prob:
+            extra += spec.max_extra_delay * plan_unit(TAG_JITTER, src, dst, index)
+            stats.delayed_messages += 1
+        if spec.dup_prob > 0.0 and plan_unit(TAG_DUP, src, dst, index) < spec.dup_prob:
+            ghost_delay = spec.max_extra_delay * plan_unit(TAG_DUP_DELAY, src, dst, index)
+            self._network._enqueue_ghost(message, arrival + extra + ghost_delay)
+            stats.duplicates_injected += 1
+            stats.duplicate_bytes += message.size_bytes
+        if extra > 0.0:
+            stats.extra_delay_total += extra
+            if extra > stats.max_extra_delay:
+                stats.max_extra_delay = extra
+            tracer = self._network.tracer
+            if tracer is not None:
+                tracer.instant(
+                    src,
+                    "link-chaos",
+                    "chaos",
+                    sim_ts=sent_at,
+                    args={
+                        "dst": dst,
+                        "msg": message.message_id,
+                        "dropped_copies": dropped,
+                        "extra_delay": extra,
+                    },
+                )
+        return arrival + extra
+
+    def on_ghost(self, message: Message, now: float) -> None:
+        """A duplicate wire copy reached the receiver and was deduplicated."""
+        self.stats.duplicates_suppressed += 1
+        tracer = self._network.tracer if self._network is not None else None
+        if tracer is not None:
+            tracer.instant(
+                message.dst,
+                "duplicate-suppressed",
+                "chaos",
+                sim_ts=now,
+                args={"src": message.src, "msg": message.message_id},
+            )

@@ -1,0 +1,123 @@
+"""Bounded-retry supervision with exponential backoff and seeded jitter.
+
+The :class:`Supervisor` wraps any restartable action — node recovery on the
+simulator backend, worker respawn on the process backend — in a retry loop
+with a hard attempt budget.  Backoff delays grow exponentially, are capped,
+and carry a deterministic jitter derived from the supervisor seed and the
+action label, so two supervised actions never thundering-herd each other and
+the whole schedule replays bit-identically.
+
+The budget is the point: a permanently failing recovery must *end* — either
+by raising :class:`SupervisionExhausted` or, one layer up, by degrading the
+node to stale-view service — never by respawning forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple as PyTuple, Type
+
+from repro.chaos.plan import unit
+
+
+class ChaosInjectedFailure(RuntimeError):
+    """An artificial failure injected by a chaos plan into a supervised action."""
+
+
+class SupervisionExhausted(RuntimeError):
+    """A supervised action failed every attempt in its retry budget."""
+
+    def __init__(self, label: str, attempts: int) -> None:
+        super().__init__(f"supervised action {label!r} failed {attempts} attempts; budget exhausted")
+        self.label = label
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for supervised actions."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0.0 or self.max_delay < 0.0 or self.jitter < 0.0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class SupervisionReport:
+    """Outcome of one supervised action: label, attempts used, success."""
+
+    label: str
+    attempts: int
+    succeeded: bool
+    backoffs: PyTuple[float, ...]
+
+
+@dataclass
+class Supervisor:
+    """Runs actions under a :class:`RetryPolicy` with deterministic backoff."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    seed: int = 0
+    reports: List[SupervisionReport] = field(default_factory=list)
+
+    def backoff(self, label: str, attempt: int) -> float:
+        """Delay before retrying after failed ``attempt`` (1-based):
+        exponential in the attempt number, capped, plus seeded jitter."""
+        delay = self.policy.base_delay * self.policy.multiplier ** (attempt - 1)
+        delay = min(delay, self.policy.max_delay)
+        return delay * (1.0 + self.policy.jitter * unit(self.seed, "backoff", label, attempt))
+
+    def run(
+        self,
+        label: str,
+        action: Callable[[int], object],
+        retry_on: PyTuple[Type[BaseException], ...] = (ChaosInjectedFailure,),
+        on_backoff: Optional[Callable[[int, float], None]] = None,
+    ):
+        """Run ``action(attempt)`` until it succeeds or the budget is spent.
+
+        ``on_backoff(attempt, delay)`` fires between attempts — this is where
+        callers consume the delay (virtual time on the simulator, a bounded
+        wall-clock sleep on the process backend).  Raises
+        :class:`SupervisionExhausted` (chained to the last failure) once
+        ``max_attempts`` attempts have failed.
+        """
+        backoffs: List[float] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = action(attempt)
+            except retry_on as exc:
+                if attempt >= self.policy.max_attempts:
+                    self.reports.append(
+                        SupervisionReport(label, attempt, False, tuple(backoffs))
+                    )
+                    raise SupervisionExhausted(label, attempt) from exc
+                delay = self.backoff(label, attempt)
+                backoffs.append(delay)
+                if on_backoff is not None:
+                    on_backoff(attempt, delay)
+                continue
+            self.reports.append(SupervisionReport(label, attempt, True, tuple(backoffs)))
+            return result
+
+    def stats(self) -> dict:
+        """Aggregate counters for rows and probes."""
+        retries = sum(report.attempts - 1 for report in self.reports)
+        exhausted = sum(1 for report in self.reports if not report.succeeded)
+        return {
+            "supervised_actions": len(self.reports),
+            "supervised_retries": retries,
+            "supervised_exhausted": exhausted,
+        }

@@ -141,6 +141,7 @@ class DistributedViewExecutor:
                 "updates_shipped": stats.total_updates_shipped,
                 "communication_mb": stats.communication_mb,
                 "stale_epoch_messages": stats.stale_epoch_messages,
+                "dropped_messages": network.dropped_messages,
                 "convergence_time_s": stats.convergence_time,
                 "handler_seconds": network.handler_seconds,
                 "pending_events": network.pending_events(),

@@ -99,6 +99,7 @@ class FaultTolerantExecutor(DistributedViewExecutor):
             )
         super().__init__(plan, strategy, **kwargs)
         self.recovery_policy = recovery_policy
+        self.checkpoint_interval = checkpoint_interval
         # Only checkpoint+replay ever replays log entries; the purge policy
         # needs just the live-base trackers, so it skips entry retention by
         # default.  ``retain_wal_entries`` overrides (e.g. a no-crash baseline

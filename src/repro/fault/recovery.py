@@ -191,8 +191,17 @@ class RecoveryManager(FaultListener):
         )
 
     # -- checkpoint+replay policy ----------------------------------------------------
-    def _restore_and_replay(self, node_id: int, now: float) -> None:
-        """Restore the latest checkpoint and replay the WAL suffix through the node."""
+    def _restore_and_replay(
+        self, node_id: int, now: float, replay_limit: Optional[int] = None
+    ) -> None:
+        """Restore the latest checkpoint and replay the WAL suffix through the node.
+
+        ``replay_limit`` truncates the replay after that many entries — the
+        chaos plane's model of the node dying *mid-replay*.  A later attempt
+        is safe because recovery always starts from ``rebuild_node``: the
+        partial state is discarded and the full restore+replay reruns from
+        the durable checkpoint, exactly once.
+        """
         executor = self.executor
         node = executor.rebuild_node(node_id)
         snapshot = executor.checkpoints.latest(node_id)
@@ -202,6 +211,8 @@ class RecoveryManager(FaultListener):
             restored_sequence = snapshot.wal_sequence
         replayed = 0
         for entry in executor.wal.replay(node_id, after_sequence=restored_sequence):
+            if replay_limit is not None and replayed >= replay_limit:
+                break
             # Replay bypasses the durability shim: the entries are already
             # logged, and their re-emitted outputs are absorbed downstream.
             node.handle(entry.port, entry.updates, now)

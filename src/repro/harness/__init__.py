@@ -13,6 +13,7 @@ from repro.harness.experiments import (
     run_ablation_minship_batch,
     run_ablation_provenance_encoding,
     run_batch_throughput,
+    run_chaos,
     run_churn_recovery,
     run_elastic_scaling,
     run_figure7,
@@ -42,6 +43,7 @@ __all__ = [
     "run_ablation_provenance_encoding",
     "run_ablation_centralized_maintenance",
     "run_batch_throughput",
+    "run_chaos",
     "run_churn_recovery",
     "run_elastic_scaling",
     "format_rows",

@@ -42,6 +42,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         experiments.run_churn_recovery,
         "node crashes mid-stream: recovery-policy comparison",
     ),
+    "chaos": (
+        experiments.run_chaos,
+        "seeded fault injection (links, storms, kills) gated by parity",
+    ),
     "batch-throughput": (
         experiments.run_batch_throughput,
         "batch-first pipeline vs tuple-at-a-time (BDD ops, purge messages)",
@@ -167,6 +171,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deliveries between checkpoints under checkpoint+replay recovery",
     )
+    chaos = parser.add_argument_group("chaos plane")
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="seed for the chaos plan and the power-law chaos workload",
+    )
+    chaos.add_argument(
+        "--chaos-profile",
+        choices=("none", "link", "storm", "full", "degraded", "kill"),
+        default=None,
+        help="named fault profile swept by the chaos experiment (default: full)",
+    )
+    chaos.add_argument(
+        "--chaos-links",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total links in the power-law chaos workload",
+    )
     obs = parser.add_argument_group("observability")
     obs.add_argument(
         "--trace",
@@ -270,6 +295,14 @@ def _select_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["churn_downtime"] = args.churn_downtime
     if args.checkpoint_interval is not None:
         overrides["churn_checkpoint_interval"] = args.checkpoint_interval
+    if args.chaos_seed is not None:
+        overrides["chaos_seed"] = args.chaos_seed
+    if args.chaos_profile is not None:
+        overrides["chaos_profile"] = args.chaos_profile
+    if args.chaos_links is not None:
+        if args.chaos_links < 12:
+            raise SystemExit("--chaos-links must be >= 12")
+        overrides["chaos_links"] = args.chaos_links
     if overrides:
         config = replace(config, **overrides)
     return config

@@ -91,6 +91,17 @@ class ExperimentConfig:
     backend: str = "sim"
     #: Worker-process count for the process backend (0 = one per CPU core).
     workers: int = 0
+    #: Seed for the chaos experiment's fault plan AND its power-law workload.
+    chaos_seed: int = 11
+    #: Named chaos profile swept by the ``chaos`` experiment's sim parity
+    #: rows (``none``, ``link``, ``storm``, ``full``, ``degraded``, ``kill``).
+    chaos_profile: str = "full"
+    #: Power-law workload size (total directed links) for the chaos runs.
+    #: Reachability views grow ~quadratically in the hub-heavy chaos graph,
+    #: and every parity row pays for a reference run *plus* a chaos run, so
+    #: the default stays modest; ``PAPER_SCALE_CONFIG`` carries the 10-100x
+    #: topology-scale sweep.
+    chaos_links: int = 48
 
     def describe(self) -> str:
         """One-line description used in benchmark output headers."""
@@ -124,6 +135,7 @@ QUICK_CONFIG = ExperimentConfig(
     max_wall_seconds=30.0,
     hotspot_spokes=8,
     hotspot_extra_links=12,
+    chaos_links=48,
 )
 
 #: The paper's own scale (slow in pure Python; provided for completeness).
@@ -132,4 +144,5 @@ PAPER_SCALE_CONFIG = ExperimentConfig(
     link_budgets=(100, 200, 400, 800),
     sensor_field_side=100.0,
     max_wall_seconds=600.0,
+    chaos_links=400,
 )

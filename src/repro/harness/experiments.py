@@ -847,6 +847,125 @@ def run_elastic_scaling(
 
 
 # ---------------------------------------------------------------------------
+# Chaos: the full fault plane, gated by parity against a fault-free reference
+# ---------------------------------------------------------------------------
+
+CHAOS_SCHEMES = ("Absorption Eager", "Absorption Lazy")
+
+
+def run_chaos(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    schemes: Sequence[str] = CHAOS_SCHEMES,
+) -> List[Row]:
+    """The combined chaos workload, verified against a fault-free reference.
+
+    One power-law (preferential-attachment) reachability workload — bulk
+    insert, hub-skewed mixed churn, deletion storm — is run three ways:
+
+    * **sim parity rows** (one per scheme): the configured chaos profile
+      (link faults + crash storms + doomed recoveries + scaling storms) on
+      the :class:`~repro.chaos.executor.ChaosExecutor`, asserted bit-identical
+      (final view *and* canonical provenance) to a fault-free run;
+    * **process parity row**: the ``kill`` profile — real worker SIGKILLs at
+      virtual-time points plus link chaos — on the process backend, compared
+      against the same fault-free sim reference;
+    * **degraded row**: the ``degraded`` profile, whose recovery failures
+      exceed the supervisor budget on purpose; the row shows the run
+      *finishing* with stale-tagged views instead of crashing.
+    """
+    import tempfile
+
+    from repro.chaos.parity import verify_process_parity, verify_sim_parity
+    from repro.chaos.plan import ChaosPlan
+    from repro.workloads.chaos import generate_chaos_workload
+
+    workload = generate_chaos_workload(config.chaos_links, seed=config.chaos_seed)
+    chaos_plan = ChaosPlan.profile(config.chaos_profile, seed=config.chaos_seed)
+    rows: List[Row] = []
+    for scheme in schemes:
+        row = _base_row(
+            "chaos", scheme, backend="sim", links=workload.total_links
+        )
+        try:
+            report = verify_sim_parity(
+                reachability_plan(),
+                scheme,
+                chaos_plan,
+                workload,
+                node_count=config.node_count,
+                max_events=config.max_events,
+            )
+        except SimulationBudgetExceeded:
+            row.update({"parity_passed": False, "converged": False})
+            rows.append(row)
+            continue
+        row.update(report.as_row())
+        rows.append(row)
+
+    # Real SIGKILLs on the process backend, same fault-free reference.
+    kill_plan = ChaosPlan.profile("kill", seed=config.chaos_seed)
+    row = _base_row(
+        "chaos", schemes[0], backend="process", links=workload.total_links
+    )
+    with tempfile.TemporaryDirectory(prefix="chaos-wal-") as wal_dir:
+        try:
+            report = verify_process_parity(
+                reachability_plan(),
+                schemes[0],
+                kill_plan,
+                workload,
+                wal_dir=wal_dir,
+                node_count=config.node_count,
+                workers=config.workers or 3,
+                max_events=config.max_events,
+            )
+            row.update(report.as_row())
+        except (SimulationBudgetExceeded, SimulationError) as exc:
+            row.update({"parity_passed": False, "converged": False, "error": str(exc)})
+    rows.append(row)
+
+    rows.append(_run_chaos_degraded(config, schemes[0], workload))
+    return rows
+
+
+def _run_chaos_degraded(config: ExperimentConfig, scheme: str, workload) -> Row:
+    """The graceful-degradation row: budget exhaustion serves stale views."""
+    from repro.chaos.executor import chaos_executor
+    from repro.chaos.parity import apply_workload, schedule_chaos
+    from repro.chaos.plan import ChaosPlan
+
+    plan = ChaosPlan.profile("degraded", seed=config.chaos_seed)
+    executor = chaos_executor(
+        reachability_plan(),
+        scheme,
+        chaos_plan=plan,
+        node_count=config.node_count,
+        max_events=config.max_events,
+        max_wall_seconds=config.max_wall_seconds,
+    )
+    row = _base_row("chaos", scheme, backend="sim", links=workload.total_links)
+    # Degradation needs no reference horizon; scale the storm onto a guess
+    # (the workload converges well past it either way).
+    schedule_chaos(executor, plan, horizon=1.0)
+    try:
+        apply_workload(executor, workload)
+    except SimulationBudgetExceeded:
+        return _censored_row(row, executor)
+    view, staleness = executor.view_with_staleness()
+    row.update(executor.chaos_stats())
+    row.update(
+        {
+            "parity_passed": "(n/a: degraded by design)",
+            "view_size": len(view),
+            "stale_partitions": len(staleness),
+            "stale_since": [round(info.since, 4) for info in staleness.values()],
+            "converged": True,
+        }
+    )
+    return row
+
+
+# ---------------------------------------------------------------------------
 # Ablations (beyond the paper's figures)
 # ---------------------------------------------------------------------------
 

@@ -71,6 +71,19 @@ class _ControlEvent:
     callback: Callable[[float], None]
 
 
+@dataclass(frozen=True)
+class _GhostDelivery:
+    """A duplicated wire copy of ``message`` injected by the chaos plane.
+
+    The reliable transport's receiver-side sequence-number dedup suppresses
+    it at delivery: popping a ghost never advances the clock, never counts as
+    a processed event, and never invokes a handler — it exists purely so
+    duplication shows up in chaos accounting and traces.
+    """
+
+    message: Message
+
+
 class FaultListener:
     """Hooks invoked by the network when failure events fire.
 
@@ -163,6 +176,9 @@ class SimulatedNetwork:
         #: Flow ids of messages merged into the current coalesced delivery,
         #: landed inside the delivery span (traced runs only).
         self._coalesced_flows: List[int] = []
+        #: The chaos interposer, or ``None`` when chaos is off — the send
+        #: path pays exactly one ``is None`` check, same contract as tracing.
+        self._chaos = None
 
     # -- wiring -----------------------------------------------------------------
     def register(self, node: int, handler: NodeHandler) -> None:
@@ -191,6 +207,19 @@ class SimulatedNetwork:
     def tracer(self):
         """The active tracer, or ``None`` when tracing is off."""
         return self._tracer
+
+    def install_chaos(self, interposer) -> None:
+        """Install the chaos interposer consulted on every remote send.
+
+        The interposer adjusts arrival times *before* the per-channel FIFO
+        clamp and may enqueue ghost duplicates — see
+        :mod:`repro.chaos.interposer` for why neither breaks determinism.
+        """
+        self._chaos = interposer
+
+    def _enqueue_ghost(self, message: Message, arrival: float) -> None:
+        """Queue a duplicated wire copy, suppressed at delivery time."""
+        heapq.heappush(self._queue, (arrival, next(self._sequence), _GhostDelivery(message)))
 
     @property
     def current_epoch(self) -> int:
@@ -255,6 +284,10 @@ class SimulatedNetwork:
         """True while ``node`` is crashed."""
         return node in self._down
 
+    def down_nodes(self) -> Tuple[int, ...]:
+        """Ids of currently crashed nodes, sorted (placement-change guard)."""
+        return tuple(sorted(self._down))
+
     def held_messages(self, node: int) -> int:
         """Messages currently held by channels towards a down node (tests/metrics)."""
         return len(self._held.get(node, []))
@@ -263,6 +296,27 @@ class SimulatedNetwork:
     def dropped_messages(self) -> int:
         """Held messages the fault listener declined to redeliver."""
         return self._dropped_messages
+
+    def abandon_recovery(self, node: int) -> None:
+        """Mark a recovering node as still down (called *during* a recover
+        event by a supervised recovery whose retry budget is exhausted).
+        The node's held messages stay held and it serves nothing until a
+        later recovery succeeds or the executor degrades it."""
+        self._validate_node(node)
+        self._down.add(node)
+
+    def postpone_node(self, node: int, delay: float) -> None:
+        """Consume ``delay`` seconds of virtual time on ``node``.
+
+        This is how supervised-recovery backoff spends time in the simulated
+        world: the node's next scheduled work starts after the pause.
+        """
+        self._validate_node(node)
+        if delay > 0.0:
+            base = self._node_busy_until.get(node, 0.0)
+            if self._now > base:
+                base = self._now
+            self._node_busy_until[node] = base + delay
 
     def _apply_fault_event(self, event: _FaultEvent, at_time: float) -> None:
         self._now = max(self._now, at_time)
@@ -283,11 +337,29 @@ class SimulatedNetwork:
         # (checkpoint restore, WAL replay, peer reseed) can address it.
         if self._fault_listener is not None:
             self._fault_listener.on_recover(event.node, self._now)
+        if event.node in self._down:
+            # A supervised recovery exhausted its retry budget and abandoned
+            # the node (see abandon_recovery): it stays down and its held
+            # messages stay held for a later recovery or degraded service.
+            return
         for message in self._held.pop(event.node, []):
             if self._fault_listener is None or self._fault_listener.should_redeliver(message):
                 heapq.heappush(self._queue, (self._now, next(self._sequence), message))
             else:
                 self._dropped_messages += 1
+                self.stats.dropped_messages += 1
+                if tracer is not None:
+                    tracer.instant(
+                        event.node,
+                        "held-message-dropped",
+                        "fault",
+                        sim_ts=self._now,
+                        args={
+                            "src": message.src,
+                            "port": message.port,
+                            "updates": len(message.updates),
+                        },
+                    )
 
     # -- clock -------------------------------------------------------------------
     @property
@@ -338,6 +410,12 @@ class SimulatedNetwork:
         # The channel key and watermark probe are the send hot path: one tuple
         # allocation and one dict probe, no intermediate attribute lookups.
         arrival = sent_at + self.latency_model.latency(src, dst)
+        if self._chaos is not None and src != dst:
+            # Link faults (drop-retransmit, jitter, ghost duplicates) adjust
+            # the arrival *before* the FIFO clamp below: the channel stays in
+            # order no matter what the link does, which is exactly the
+            # reliable-transport masking that keeps chaos runs bit-identical.
+            arrival = self._chaos.apply(message, sent_at, arrival)
         last_delivery = self._last_delivery
         fifo_key = (src, dst)
         watermark = last_delivery.get(fifo_key, 0.0)
@@ -402,6 +480,12 @@ class SimulatedNetwork:
                 break
             arrival, _, message = pop(queue)
             if not isinstance(message, Message):
+                if isinstance(message, _GhostDelivery):
+                    # A duplicated wire copy: receiver-side dedup suppresses
+                    # it.  No clock advance, no handler, no event counted.
+                    if self._chaos is not None:
+                        self._chaos.on_ghost(message.message, arrival)
+                    continue
                 if isinstance(message, _FaultEvent):
                     self._apply_fault_event(message, arrival)
                 else:

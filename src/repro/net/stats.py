@@ -47,6 +47,10 @@ class NetworkStats:
     #: Messages delivered after the placement epoch they were routed under
     #: had already been superseded (elastic clusters only).
     stale_epoch_messages: int = 0
+    #: Messages held during a node's downtime that the fault listener declined
+    #: to redeliver on recovery (the provenance-purge policy models the dead
+    #: node's connections being torn down this way).
+    dropped_messages: int = 0
     #: Updates shipped per destination port (one batched message counts once
     #: per update it carries).
     messages_by_port: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -135,6 +139,7 @@ class NetworkStats:
                 for node, value in source.items():
                     combined[node] += value
         merged.stale_epoch_messages = self.stale_epoch_messages + other.stale_epoch_messages
+        merged.dropped_messages = self.dropped_messages + other.dropped_messages
         for port, value in list(self.messages_by_port.items()) + list(
             other.messages_by_port.items()
         ):
@@ -183,4 +188,5 @@ class NetworkStats:
             "updates_shipped": float(self.total_updates_shipped),
             "per_tuple_provenance_bytes": self.per_tuple_provenance_bytes,
             "convergence_time_s": self.convergence_time,
+            "dropped_messages": float(self.dropped_messages),
         }

@@ -9,6 +9,13 @@ satisfy it and neither imports the other.
 
 Kept a :class:`typing.Protocol` (structural) rather than an ABC: the simulator
 predates this module and should not need to inherit from anything to qualify.
+
+The chaos plane (:mod:`repro.chaos`) sits *below* this surface, at the link
+layer: its interposer perturbs arrivals inside the implementations' send
+paths, masked by the reliable FIFO channels.  Nodes programming against
+``Transport`` never observe a dropped, duplicated or delayed wire copy —
+only time passing differently — which is what keeps chaos runs bit-identical
+to their fault-free references.
 """
 
 from __future__ import annotations

@@ -14,8 +14,10 @@ Constraints of this backend (all raise immediately, never desynchronize):
 * the plan/strategy/partitioner must pickle (lambda-captured plan variants
   like ``shortest_path_plan`` do not — the in-process backend still runs
   them);
-* static hash placement only (no elastic re-partitioning, faults or control
-  events mid-run);
+* static hash placement only (no elastic re-partitioning, simulated node
+  faults or control events mid-run — the fault surface of this backend is
+  *real*: scheduled worker SIGKILLs with WAL-replay respawn, see
+  ``ProcessCoordinator.schedule_worker_kill``);
 * runs go to quiescence (``run(until=...)`` is a coordinator-only notion).
 """
 
@@ -295,6 +297,15 @@ class ProcessExecutor(DistributedViewExecutor):
 
     def per_node_state_bytes(self) -> Dict[int, int]:
         return dict(sorted(self._gather_node_map("state_bytes").items()))
+
+    def worker_fault_stats(self) -> Dict[str, int]:
+        """Chaos-plane counters: injected kills, respawns, doomed retries."""
+        coordinator = self._coordinator
+        return {
+            "worker_kills": coordinator.worker_kills,
+            "worker_respawns": coordinator.worker_respawns,
+            "worker_respawn_retries": coordinator.worker_respawn_retries,
+        }
 
     # -- tracing -----------------------------------------------------------------------
     def _run_phase(self, label: str, **workload):

@@ -47,10 +47,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
+import pickle
 import queue as queue_module
+import signal
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Callable, Dict, List, Optional
 
 from repro.net.message import Message
@@ -58,6 +61,7 @@ from repro.net.simulator import (
     SimulatedNetwork,
     SimulationBudgetExceeded,
     SimulationError,
+    _GhostDelivery,
 )
 from repro.parallel.envelope import TRACE_PID_STRIDE, WorkerInit
 from repro.parallel.worker import worker_main
@@ -65,6 +69,13 @@ from repro.parallel.worker import worker_main
 #: How long one blocking wait on the result queue lasts before the coordinator
 #: re-checks worker liveness and the wall-clock budget.
 _POLL_SECONDS = 0.25
+
+
+def _chaos_debug(message: str) -> None:
+    if os.environ.get("REPRO_CHAOS_DEBUG"):
+        import sys
+
+        print(f"[chaos-debug pid={os.getpid()}] {message}", file=sys.stderr, flush=True)
 
 
 class _WorkerDied(Exception):
@@ -92,7 +103,16 @@ class ProcessCoordinator(SimulatedNetwork):
         self._wal_dir = wal_dir
         self._join_seconds = join_seconds
         self._ctx = multiprocessing.get_context("spawn")
-        self._result_queue = self._ctx.Queue()
+        #: Per-worker result pipes (read ends), parallel to the command
+        #: queues.  Results deliberately do NOT share one queue: a shared
+        #: ``mp.Queue`` serialises every writer through one cross-process
+        #: lock, and a chaos SIGKILL landing between a worker's last pipe
+        #: write and its lock release (a wide window on a loaded box) would
+        #: leave the lock held forever, wedging every surviving worker's
+        #: next ``put``.  A private pipe per worker means a kill can only
+        #: tear the victim's own channel, which recovery discards anyway.
+        self._result_readers: List = []
+        self._recv_backlog: deque = deque()
         self._command_queues: List = []
         self._processes: List = []
         self._delivery_ids = itertools.count(1)
@@ -107,6 +127,14 @@ class ProcessCoordinator(SimulatedNetwork):
         #: re-emits its reply under the original id).
         self._rpc_replies: Dict[int, object] = {}
         self._closed = False
+        #: Chaos plane: pending deterministic SIGKILLs as (virtual_time, wid),
+        #: sorted; fired by ``_dispatch_ready`` when the clock passes them.
+        self._pending_kills: List[tuple] = []
+        self.worker_kills = 0
+        self.worker_respawns = 0
+        self.worker_respawn_retries = 0
+        self._respawn_plan = None
+        self._respawn_supervisor = None
         for wid in range(self.workers):
             self._spawn(wid)
 
@@ -131,18 +159,30 @@ class ProcessCoordinator(SimulatedNetwork):
 
     def _spawn(self, wid: int) -> None:
         command_queue = self._ctx.Queue()
+        reader, writer = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_main,
-            args=(self._worker_init_for(wid), command_queue, self._result_queue),
+            args=(self._worker_init_for(wid), command_queue, writer),
             name=f"repro-worker-{wid}",
             daemon=True,
         )
         process.start()
+        # Drop our copy of the write end: the child now holds the only one,
+        # so a dead worker's pipe reads EOF instead of blocking forever.
+        writer.close()
         if wid < len(self._command_queues):
+            old_reader = self._result_readers[wid]
+            if old_reader is not None:
+                try:
+                    old_reader.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
             self._command_queues[wid] = command_queue
+            self._result_readers[wid] = reader
             self._processes[wid] = process
         else:
             self._command_queues.append(command_queue)
+            self._result_readers.append(reader)
             self._processes.append(process)
 
     def worker_for(self, node: int) -> int:
@@ -151,6 +191,76 @@ class ProcessCoordinator(SimulatedNetwork):
     def worker_pids(self) -> List[int]:
         """OS pids of the live worker processes."""
         return [process.pid for process in self._processes]
+
+    # -- chaos plane: deterministic worker kills + supervised respawn -----------------
+    def schedule_worker_kill(self, at_time: float, wid: int) -> None:
+        """SIGKILL worker ``wid`` when the virtual clock first passes ``at_time``.
+
+        The kill point is a *virtual-time* coordinate, so a seeded chaos plan
+        reproduces the same kill at the same logical point on every run; the
+        per-worker command WAL then makes the respawn invisible to results.
+        """
+        if self._wal_dir is None:
+            raise SimulationError(
+                "worker kill injection needs wal_dir (a killed worker without "
+                "a command WAL is unrecoverable)"
+            )
+        if not 0 <= wid < self.workers:
+            raise SimulationError(f"no worker {wid} (pool size {self.workers})")
+        heapq.heappush(self._pending_kills, (at_time, wid))
+
+    def set_respawn_chaos(self, plan, supervisor_policy=None) -> None:
+        """Install respawn fault injection + a bounded supervised retry budget.
+
+        ``plan`` is a :class:`~repro.chaos.plan.ChaosPlan`; its ``respawn``
+        spec dooms a worker's first N respawn attempts (the fresh process is
+        SIGKILLed while replaying its WAL).  Retries back off with
+        deterministic jitter and are bounded by the policy's ``max_attempts``.
+        """
+        from repro.chaos.supervisor import RetryPolicy, Supervisor
+
+        self._respawn_plan = plan
+        self._respawn_supervisor = Supervisor(
+            policy=supervisor_policy or RetryPolicy(),
+            seed=plan.seed if plan is not None else 0,
+        )
+
+    def _fire_due_kills(self) -> None:
+        """Deliver every scheduled SIGKILL whose virtual time has arrived.
+
+        A kill only fires while its victim is idle (none of the in-flight
+        commands belong to it).  An idle worker is blocked reading its own
+        command queue and holds no lock on the *shared* result queue, so the
+        SIGKILL cannot land mid-``put()`` and poison the queue's writer lock
+        for every other worker — which would deadlock the whole pool.  A busy
+        victim's kill stays pending and fires at the first check after the
+        coordinator has consumed its outstanding results, which is still a
+        deterministic virtual-time point.
+        """
+        while self._pending_kills and self._pending_kills[0][0] <= self._now:
+            at_time, wid = self._pending_kills[0]
+            if any(owner == wid for owner, _, _ in self._inflight.values()):
+                break
+            heapq.heappop(self._pending_kills)
+            process = self._processes[wid]
+            if process.pid is None or not process.is_alive():
+                continue
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - lost the race
+                continue
+            self.worker_kills += 1
+            _chaos_debug(f"kill fired wid={wid} victim_pid={process.pid} now={self._now}")
+            if self.tracer is not None:
+                from repro.obs.trace import CONTROL_PID
+
+                self.tracer.instant(
+                    CONTROL_PID,
+                    f"kill-worker:{wid}",
+                    "chaos",
+                    sim_ts=self._now,
+                    args={"scheduled_at": at_time, "os_pid": process.pid},
+                )
 
     # -- unsupported control surface -----------------------------------------------
     def _schedule_fault(self, kind: str, node: int, at_time) -> None:
@@ -188,6 +298,14 @@ class ProcessCoordinator(SimulatedNetwork):
         while queue:
             arrival, _, message = queue[0]
             if not isinstance(message, Message):
+                if isinstance(message, _GhostDelivery):
+                    # A chaos-injected duplicate wire copy: suppressed at
+                    # delivery, exactly like the in-process engine — no clock
+                    # advance, no event count, no handler dispatch.
+                    heapq.heappop(queue)
+                    if self._chaos is not None:
+                        self._chaos.on_ghost(message.message, arrival)
+                    continue
                 raise SimulationError(
                     f"unsupported event {type(message).__name__} on the process backend"
                 )
@@ -218,6 +336,8 @@ class ProcessCoordinator(SimulatedNetwork):
             busy_until[dst] = completion
             self._now = completion
             self.stats.record_time(completion)
+            if self._pending_kills:
+                self._fire_due_kills()
             delivery_id = next(self._delivery_ids)
             wid = dst % self.workers
             command = ("deliver", delivery_id, dst, message.port, tuple(updates), completion)
@@ -229,8 +349,15 @@ class ProcessCoordinator(SimulatedNetwork):
     def _apply_oldest(self) -> None:
         """Block for the oldest in-flight delivery's result and apply it."""
         delivery_id = next(iter(self._inflight))
-        result = self._results.pop(delivery_id, None)
+        result = None
         while result is None:
+            # Re-check the parked results every pass: a worker-death recovery
+            # triggered from ``_next_result_item`` drains the result pipes
+            # into ``self._results``, so the result being waited on here can
+            # appear in the dict without ever coming back as a fresh item.
+            result = self._results.pop(delivery_id, None)
+            if result is not None:
+                break
             item = self._next_result_item()
             kind = item[0]
             if kind == "result":
@@ -247,6 +374,10 @@ class ProcessCoordinator(SimulatedNetwork):
             (completion for _, _, completion in self._inflight.values()),
             default=float("inf"),
         )
+        if self._pending_kills:
+            # A kill deferred because its victim was busy may be safe now
+            # that the victim's result has been consumed.
+            self._fire_due_kills()
         _, _, _, outbox, handler_seconds, prov_bytes, prov_count = result
         self.handler_seconds += handler_seconds
         if prov_count:
@@ -254,12 +385,66 @@ class ProcessCoordinator(SimulatedNetwork):
         for src, dst, port, updates, size_bytes, sent_at in outbox:
             self._push_encoded(src, dst, port, updates, size_bytes, sent_at)
 
+    def _queue_get(self, timeout: float):
+        """One item from any worker's result pipe; ``Empty`` on timeout.
+
+        Drains one item per ready pipe into a backlog so no worker starves.
+        A pipe that reads EOF (dead worker, fully drained) or a torn pickle
+        (killed mid-``send``) is closed and dropped here; the caller's
+        liveness checks notice the death itself and trigger recovery, which
+        installs the respawned incarnation's fresh pipe.
+        """
+        if self._recv_backlog:
+            return self._recv_backlog.popleft()
+        readers = [
+            reader
+            for reader in self._result_readers
+            if reader is not None and not reader.closed
+        ]
+        ready = multiprocessing.connection.wait(readers, timeout) if readers else ()
+        for reader in ready:
+            try:
+                self._recv_backlog.append(reader.recv())
+            except (EOFError, OSError, pickle.UnpicklingError):
+                wid = self._result_readers.index(reader)
+                try:
+                    reader.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                self._result_readers[wid] = None
+        if not self._recv_backlog:
+            raise queue_module.Empty
+        return self._recv_backlog.popleft()
+
     def _next_result_item(self):
-        """One blocking read of the shared result queue, with liveness checks."""
+        """One blocking read of the result pipes, with liveness checks."""
+        polls = 0
         while True:
             try:
-                return self._result_queue.get(timeout=_POLL_SECONDS)
+                return self._queue_get(_POLL_SECONDS)
             except queue_module.Empty:
+                polls += 1
+                if polls % 20 == 0 and os.environ.get("REPRO_CHAOS_DEBUG"):
+                    _chaos_debug(
+                        "stalled: inflight="
+                        + repr(
+                            [
+                                (did, owner)
+                                for did, (owner, _, _) in self._inflight.items()
+                            ][:8]
+                        )
+                        + f" results={sorted(self._results)[:8]}"
+                        + f" rpc_replies={sorted(self._rpc_replies)[:8]}"
+                        + f" backlog={len(self._recv_backlog)}"
+                        + " readers="
+                        + repr(
+                            [
+                                None if r is None else ("closed" if r.closed else r.fileno())
+                                for r in self._result_readers
+                            ]
+                        )
+                        + f" alive={[p.is_alive() for p in self._processes]}"
+                    )
                 if (
                     self._wall_deadline is not None
                     and time.monotonic() > self._wall_deadline
@@ -287,6 +472,11 @@ class ProcessCoordinator(SimulatedNetwork):
         )
         self.stats.record_message(message)
         arrival = sent_at + self.latency_model.latency(src, dst)
+        if self._chaos is not None and src != dst:
+            # Same hook point as ``SimulatedNetwork.send``: after latency,
+            # before the FIFO clamp — sends replay here in the serial order,
+            # so the per-channel decision streams line up across backends.
+            arrival = self._chaos.apply(message, sent_at, arrival)
         fifo_key = (src, dst)
         watermark = self._last_delivery.get(fifo_key, 0.0)
         if watermark > arrival:
@@ -306,16 +496,20 @@ class ProcessCoordinator(SimulatedNetwork):
         """
         process = self._processes[wid]
         exitcode = process.exitcode
+        _chaos_debug(
+            f"recover wid={wid} dead_pid={process.pid} exitcode={exitcode} "
+            f"pending_rpc={pending_rpc[0] if pending_rpc else None}"
+        )
         if self._wal_dir is None:
             raise SimulationError(
                 f"worker {wid} died (exitcode {exitcode}) and no wal_dir is "
                 "configured; state is unrecoverable"
             )
-        # Results the dead worker already shipped are still in the shared
-        # queue; pull them in before deciding what is unacknowledged.
+        # Results the dead worker already shipped are still sitting in the
+        # result pipes; pull them in before deciding what is unacknowledged.
         while True:
             try:
-                item = self._result_queue.get_nowait()
+                item = self._queue_get(0)
             except queue_module.Empty:
                 break
             if item[0] == "result":
@@ -333,26 +527,12 @@ class ProcessCoordinator(SimulatedNetwork):
         unacked_rpcs = frozenset()
         if pending_rpc is not None and pending_rpc[0] not in self._rpc_replies:
             unacked_rpcs = frozenset({pending_rpc[0]})
-        self._spawn(wid)
-        replay_id = next(self._rpc_ids)
-        self._command_queues[wid].put(
-            (
-                "replay",
-                replay_id,
-                frozenset(delivery_id for delivery_id, _ in unacked),
-                unacked_rpcs,
-            )
-        )
-        try:
-            recovered = self._wait_rpc(replay_id, wid)
-        except _WorkerDied as died:
-            raise SimulationError(
-                f"worker {wid} died again during WAL replay (exitcode "
-                f"{died.exitcode}); state is unrecoverable"
-            ) from None
+        recovered = self._supervised_respawn(wid, unacked, unacked_rpcs)
+        self.worker_respawns += 1
         for delivery_id, command in unacked:
             if delivery_id not in recovered:
                 self._command_queues[wid].put(command)
+                _chaos_debug(f"re-put delivery {delivery_id} -> wid={wid}")
         if (
             pending_rpc is not None
             and pending_rpc[0] not in recovered
@@ -363,13 +543,71 @@ class ProcessCoordinator(SimulatedNetwork):
             # re-issue it verbatim.
             self._command_queues[wid].put(pending_rpc[1])
 
+    def _supervised_respawn(self, wid: int, unacked, unacked_rpcs):
+        """Respawn ``wid`` and run its WAL replay, retrying under a budget.
+
+        Each attempt spawns a fresh process and asks it to replay; the chaos
+        plan may doom the first N attempts by SIGKILLing the fresh process
+        while the replay runs (the satellite double fault).  Replay restarts
+        are safe — the WAL is only read, replies are re-emitted under their
+        original ids, and duplicate result items are keyed by delivery id —
+        so a retry reruns the whole replay idempotently.  Exhausting the
+        budget raises ``SimulationError`` (bounded: never an infinite respawn
+        loop).
+        """
+        plan = self._respawn_plan
+        supervisor = self._respawn_supervisor
+        forced = plan.forced_respawn_failures(wid) if plan is not None else 0
+        max_attempts = supervisor.policy.max_attempts if supervisor is not None else 1
+        attempt = 0
+        while True:
+            attempt += 1
+            self._spawn(wid)
+            replay_id = next(self._rpc_ids)
+            # A doomed attempt carries the fault in the replay command itself:
+            # the fresh worker self-SIGKILLs after replaying one WAL entry,
+            # at a deterministic point between sends.  A coordinator-side
+            # SIGKILL here would race the worker's replay progress and could
+            # tear the result pipe mid-``send``.
+            self._command_queues[wid].put(
+                (
+                    "replay",
+                    replay_id,
+                    frozenset(delivery_id for delivery_id, _ in unacked),
+                    unacked_rpcs,
+                    1 if attempt <= forced else None,
+                )
+            )
+            _chaos_debug(
+                f"respawn wid={wid} attempt={attempt} new_pid={self._processes[wid].pid} "
+                f"replay_id={replay_id} unacked={len(unacked)} doom={attempt <= forced}"
+            )
+            try:
+                recovered = self._wait_rpc(replay_id, wid)
+                _chaos_debug(f"replay acked wid={wid} replay_id={replay_id}")
+                return recovered
+            except _WorkerDied as died:
+                if attempt >= max_attempts:
+                    raise SimulationError(
+                        f"worker {wid} died again during WAL replay (exitcode "
+                        f"{died.exitcode}) and the respawn budget "
+                        f"({max_attempts} attempts) is exhausted; state is "
+                        "unrecoverable"
+                    ) from None
+                self.worker_respawn_retries += 1
+                self._processes[wid].join(timeout=self._join_seconds)
+                delay = supervisor.backoff(f"respawn:{wid}", attempt)
+                time.sleep(min(delay, 0.2))
+
     # -- RPCs (quiescent points only) --------------------------------------------------
     def _wait_rpc(self, rpc_id: int, wid: int):
-        if rpc_id in self._rpc_replies:
-            return self._rpc_replies.pop(rpc_id)
         while True:
+            # Checked every pass, not just on entry: recovery drains can park
+            # the awaited reply in ``self._rpc_replies`` mid-wait.
+            if rpc_id in self._rpc_replies:
+                return self._rpc_replies.pop(rpc_id)
             try:
-                item = self._result_queue.get(timeout=_POLL_SECONDS)
+                item = self._queue_get(_POLL_SECONDS)
             except queue_module.Empty:
                 if not self._processes[wid].is_alive():
                     raise _WorkerDied(wid, self._processes[wid].exitcode)
@@ -457,7 +695,7 @@ class ProcessCoordinator(SimulatedNetwork):
         deadline = time.monotonic() + timeout
         while pending and time.monotonic() < deadline:
             try:
-                item = self._result_queue.get(timeout=0.1)
+                item = self._queue_get(0.1)
             except (queue_module.Empty, ValueError, OSError):
                 continue
             try:
@@ -497,8 +735,13 @@ class ProcessCoordinator(SimulatedNetwork):
         for command_queue in self._command_queues:
             command_queue.close()
             command_queue.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+        for reader in self._result_readers:
+            if reader is None:
+                continue
+            try:
+                reader.close()
+            except OSError:
+                pass
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:

@@ -18,6 +18,7 @@ queue, which is the single source of ``(time, seq)`` ordering truth.
 from __future__ import annotations
 
 import os
+import signal
 import traceback
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
@@ -98,6 +99,25 @@ class WorkerNetwork:
         taken = self.outbox
         self.outbox = []
         return taken
+
+
+class _ResultChannel:
+    """``put`` adapter over the worker's private result pipe.
+
+    Results travel over a per-worker ``mp.Pipe`` rather than a shared
+    ``mp.Queue``: queue writers share one cross-process lock and a feeder
+    thread, so a chaos SIGKILL could freeze the lock mid-release and wedge
+    every other worker.  ``Connection.send`` runs synchronously on this
+    worker's own pipe — nothing shared, nothing to poison.
+    """
+
+    __slots__ = ("conn",)
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+
+    def put(self, item) -> None:
+        self.conn.send(item)
 
 
 class Worker:
@@ -314,7 +334,7 @@ class Worker:
             ("rpc", rpc_id, self.wid, (events, tracks, self.tracer._t0, os.getpid()))
         )
 
-    def replay(self, rpc_id, unacked_deliveries, unacked_rpcs) -> None:
+    def replay(self, rpc_id, unacked_deliveries, unacked_rpcs, doom_after=None) -> None:
         """Rebuild state from the command WAL after a respawn.
 
         Every logged command re-executes (handlers are deterministic, so the
@@ -323,8 +343,17 @@ class Worker:
         the coordinator is still waiting for, and the flush/clear RPC the
         worker died under (re-emitted with its original rpc id, exactly once).
         Replayed commands are not re-logged.
+
+        ``doom_after`` is the chaos plane's double-fault hook: after replaying
+        that many WAL entries (or at the end, for shorter WALs) the worker
+        kills itself with SIGKILL *before* acknowledging the replay, so the
+        coordinator observes a worker that died during recovery.  The suicide
+        is self-inflicted rather than coordinator-sent so the death lands at
+        a deterministic point between sends, never mid-``send`` — the result
+        pipe is left whole, not torn.
         """
         found = set()
+        replayed = 0
         for command in type(self.wal).replay(self.wal.path) if self.wal else ():
             op = command[0]
             if op == "deliver":
@@ -343,7 +372,27 @@ class Worker:
                 if emit:
                     found.add(command[1])
                 self.clear_join_left(command, emit=emit, log=False)
+            replayed += 1
+            if doom_after is not None and replayed >= doom_after:
+                self._chaos_self_kill()
+        if doom_after is not None:
+            # The WAL was shorter than the doom point; die anyway — a doomed
+            # attempt must never acknowledge the replay.
+            self._chaos_self_kill()
+        if os.environ.get("REPRO_CHAOS_DEBUG"):
+            import sys
+
+            print(
+                f"[chaos-debug pid={os.getpid()}] worker {self.wid} replay done "
+                f"rpc_id={rpc_id} replayed={replayed} found={len(found)}",
+                file=sys.stderr,
+                flush=True,
+            )
         self.result_queue.put(("rpc", rpc_id, self.wid, found))
+
+    def _chaos_self_kill(self) -> None:
+        """Die by SIGKILL between sends — the private result pipe stays whole."""
+        os.kill(os.getpid(), signal.SIGKILL)
 
     # -- dispatch ----------------------------------------------------------------
     def dispatch(self, command) -> bool:
@@ -376,7 +425,7 @@ class Worker:
         elif op == "flight":
             self.flight_snapshot(command[1])
         elif op == "replay":
-            self.replay(command[1], command[2], command[3])
+            self.replay(command[1], command[2], command[3], command[4])
         elif op == "shutdown":
             return False
         else:
@@ -384,13 +433,22 @@ class Worker:
         return True
 
 
-def worker_main(init: WorkerInit, command_queue, result_queue) -> None:
+def worker_main(init: WorkerInit, command_queue, result_conn) -> None:
     """Entry point of a spawned worker process (must stay module-level picklable)."""
+    result_queue = _ResultChannel(result_conn)
     try:
         worker = Worker(init, result_queue)
     except BaseException:
         result_queue.put(("error", None, init.wid, traceback.format_exc()))
         return
+    if os.environ.get("REPRO_CHAOS_DEBUG"):
+        import sys
+
+        print(
+            f"[chaos-debug pid={os.getpid()}] worker {init.wid} booted",
+            file=sys.stderr,
+            flush=True,
+        )
     while True:
         command = command_queue.get()
         try:

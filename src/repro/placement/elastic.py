@@ -90,10 +90,19 @@ class ElasticExecutor(DistributedViewExecutor):
             tombstones.update(peer.deletion_tombstones())
         node.add_deletion_tombstones(tombstones)
         self.nodes.append(node)
-        self.network.register(node_id, node.handle)
+        self._register_node(node_id, node)
         self.placement.add_node(node_id, weight)
         self._migrate(at_time)
         return node_id
+
+    def _register_node(self, node_id: int, node) -> None:
+        """Wire a freshly admitted node's handler into the network.
+
+        Subclass hook: the fault-tolerant chaos composition overrides this to
+        front the new node with a durability shim (WAL + checkpoints), so a
+        node admitted mid-run is just as killable as the founding members.
+        """
+        self.network.register(node_id, node.handle)
 
     def remove_node(self, node_id: int, now: Optional[float] = None) -> None:
         """Drain ``node_id``'s state onto the survivors and decommission it."""

@@ -1,0 +1,192 @@
+"""The combined chaos workload: power-law graphs with skew and deletion storms.
+
+The transit-stub topologies are benign: degree is bounded, ownership spreads
+evenly, deletions are a modest sample.  The chaos plane wants the opposite —
+a **power-law** (Barabási–Albert preferential attachment) link graph whose
+hubs concentrate base ownership, join probes and provenance fan-in on a few
+unlucky partitions, applied in three adversarial phases:
+
+1. ``insert`` — the bulk of the graph goes in and converges;
+2. ``skew`` — late attachments pile onto the hubs *while* a seeded sample of
+   early edges is deleted in the same mixed phase;
+3. ``deletion-storm`` — a large seeded fraction of the surviving edges is
+   torn down at once, the provenance-maintenance worst case.
+
+Everything is deterministic in ``seed`` (generation, direction coins, storm
+samples), so a chaos run and its fault-free parity reference see the exact
+same update stream.  Scaled by ``links``, this is the 10–100x-topology-scale
+workload the ROADMAP's chaos-composition item calls for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple as PyTuple
+
+from repro.data.tuples import Tuple
+from repro.queries.reachability import link
+
+
+@dataclass(frozen=True)
+class PowerLawGraph:
+    """A generated preferential-attachment digraph."""
+
+    #: Vertex names, ``v0 .. vN`` in attachment order.
+    vertices: PyTuple[str, ...]
+    #: Directed (src, dst) pairs in generation order.
+    pairs: PyTuple[PyTuple[str, str], ...]
+
+    def degrees(self) -> Dict[str, int]:
+        """Total (in+out) degree per vertex."""
+        counts: Dict[str, int] = {vertex: 0 for vertex in self.vertices}
+        for src, dst in self.pairs:
+            counts[src] += 1
+            counts[dst] += 1
+        return counts
+
+    def hubs(self, count: int = 3) -> PyTuple[str, ...]:
+        """The ``count`` highest-degree vertices (ties broken by name)."""
+        degrees = self.degrees()
+        return tuple(
+            sorted(degrees, key=lambda vertex: (-degrees[vertex], vertex))[:count]
+        )
+
+    def link_tuples(self) -> List[Tuple]:
+        """The whole graph as ``link(src, dst)`` base tuples."""
+        return [link(src, dst) for src, dst in self.pairs]
+
+
+def generate_power_law(
+    vertices: int = 48, attach: int = 2, seed: int = 11
+) -> PowerLawGraph:
+    """Barabási–Albert preferential attachment, pure Python and seeded.
+
+    Starts from a directed cycle over the first ``attach + 1`` vertices; each
+    later vertex attaches to ``attach`` *distinct* existing vertices sampled
+    from the endpoint list (every prior edge endpoint appears once per
+    incidence, which is exactly degree-proportional sampling).  Edge
+    directions are seeded coins, so hubs accumulate both fan-in and fan-out.
+    """
+    if attach < 1:
+        raise ValueError("attach must be at least 1")
+    if vertices < attach + 2:
+        raise ValueError(f"need at least {attach + 2} vertices for attach={attach}")
+    rng = random.Random(seed)
+    names = tuple(f"v{index}" for index in range(vertices))
+    pairs: List[PyTuple[str, str]] = []
+    seen = set()
+    endpoints: List[str] = []
+
+    def emit(src: str, dst: str) -> None:
+        if src != dst and (src, dst) not in seen:
+            seen.add((src, dst))
+            pairs.append((src, dst))
+            endpoints.append(src)
+            endpoints.append(dst)
+
+    core = attach + 1
+    for index in range(core):
+        emit(names[index], names[(index + 1) % core])
+    for index in range(core, vertices):
+        newcomer = names[index]
+        targets: List[str] = []
+        while len(targets) < attach:
+            candidate = endpoints[rng.randrange(len(endpoints))]
+            if candidate != newcomer and candidate not in targets:
+                targets.append(candidate)
+        for target in targets:
+            if rng.random() < 0.5:
+                emit(newcomer, target)
+            else:
+                emit(target, newcomer)
+    return PowerLawGraph(vertices=names, pairs=tuple(pairs))
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """The three-phase adversarial update stream over one power-law graph."""
+
+    graph: PowerLawGraph
+    base_pairs: PyTuple[PyTuple[str, str], ...]
+    skew_insert_pairs: PyTuple[PyTuple[str, str], ...]
+    skew_delete_pairs: PyTuple[PyTuple[str, str], ...]
+    storm_delete_pairs: PyTuple[PyTuple[str, str], ...]
+
+    def phases(self) -> List[PyTuple[str, List[Tuple], List[Tuple]]]:
+        """``(label, edge_inserts, edge_deletes)`` per phase, as link tuples."""
+        as_links = lambda pairs: [link(src, dst) for src, dst in pairs]  # noqa: E731
+        return [
+            ("insert", as_links(self.base_pairs), []),
+            ("skew", as_links(self.skew_insert_pairs), as_links(self.skew_delete_pairs)),
+            ("deletion-storm", [], as_links(self.storm_delete_pairs)),
+        ]
+
+    def final_pairs(self) -> List[PyTuple[str, str]]:
+        """The edges still live after all three phases (ground truth input)."""
+        live = dict.fromkeys(self.base_pairs)
+        for pair in self.skew_insert_pairs:
+            live[pair] = None
+        for pair in self.skew_delete_pairs + self.storm_delete_pairs:
+            live.pop(pair, None)
+        return list(live)
+
+    @property
+    def total_links(self) -> int:
+        return len(self.graph.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosWorkload({self.total_links} links over "
+            f"{len(self.graph.vertices)} vertices: {len(self.base_pairs)} base, "
+            f"+{len(self.skew_insert_pairs)}/-{len(self.skew_delete_pairs)} skew, "
+            f"-{len(self.storm_delete_pairs)} storm)"
+        )
+
+
+def generate_chaos_workload(
+    links: int = 120,
+    seed: int = 11,
+    attach: int = 2,
+    base_fraction: float = 0.7,
+    skew_delete_fraction: float = 0.1,
+    storm_fraction: float = 0.3,
+) -> ChaosWorkload:
+    """Build the three-phase workload with roughly ``links`` total edges.
+
+    Phase boundaries follow attachment order: the base phase is the early
+    graph, the skew phase's insertions are the late attachments (which, by
+    preferential attachment, mostly pile onto the established hubs) plus a
+    seeded deletion sample of early edges, and the storm deletes a seeded
+    ``storm_fraction`` of everything still standing.
+    """
+    if links < 12:
+        raise ValueError("need at least 12 links for a meaningful chaos workload")
+    vertices = max(links // attach + 1, attach + 2)
+    graph = generate_power_law(vertices=vertices, attach=attach, seed=seed)
+    rng = random.Random(seed ^ 0x5EED)
+    split = max(int(len(graph.pairs) * base_fraction), 1)
+    base = graph.pairs[:split]
+    skew_inserts = graph.pairs[split:]
+    skew_deletes = tuple(
+        sorted(
+            rng.sample(base, max(int(len(base) * skew_delete_fraction), 1))
+        )
+    )
+    surviving = [
+        pair
+        for pair in base + skew_inserts
+        if pair not in set(skew_deletes)
+    ]
+    storm_deletes = tuple(
+        sorted(
+            rng.sample(surviving, max(int(len(surviving) * storm_fraction), 1))
+        )
+    )
+    return ChaosWorkload(
+        graph=graph,
+        base_pairs=base,
+        skew_insert_pairs=skew_inserts,
+        skew_delete_pairs=skew_deletes,
+        storm_delete_pairs=storm_deletes,
+    )

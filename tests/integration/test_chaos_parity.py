@@ -1,0 +1,218 @@
+"""Integration tests: the chaos plane's parity gate and supervised recovery.
+
+The acceptance bar for the chaos plane: a run with seeded link faults, crash
+storms, doomed recoveries, scaling churn or real worker SIGKILLs must converge
+**bit-identical** to its fault-free reference — and when recovery is doomed
+past the supervisor's budget, the executor must degrade to stale-tagged view
+service instead of raising or respawning forever.
+
+Double faults (satellite coverage): a node crashing *again* during its
+recovery replay on the simulator backend, and a worker SIGKILLed *again*
+during its WAL-replay respawn on the process backend, must both stay within
+the retry budget and still pass the parity gate.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    CrashStormSpec,
+    RecoveryFaultSpec,
+    RetryPolicy,
+    WorkerKillSpec,
+)
+from repro.chaos.executor import StalenessInfo, chaos_executor
+from repro.chaos.parity import (
+    ParityError,
+    apply_workload,
+    assert_parity,
+    schedule_chaos,
+    verify_process_parity,
+    verify_sim_parity,
+)
+from repro.net.simulator import SimulationError
+from repro.queries import build_executor, reachability_plan
+from repro.workloads.chaos import generate_chaos_workload
+
+NODE_COUNT = 6
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_chaos_workload(links=30, seed=SEED)
+
+
+@pytest.mark.parametrize("scheme", ["Absorption Eager", "Absorption Lazy"])
+def test_link_chaos_parity_per_scheme(scheme, workload):
+    report = assert_parity(
+        verify_sim_parity(
+            reachability_plan(),
+            scheme,
+            ChaosPlan.profile("link", SEED),
+            workload,
+            node_count=NODE_COUNT,
+        )
+    )
+    assert report.chaos["chaos_dropped_copies"] > 0
+    assert report.chaos["chaos_duplicates_injected"] > 0
+    assert (
+        report.chaos["chaos_duplicates_injected"]
+        == report.chaos["chaos_duplicates_suppressed"]
+    )
+    # Annotations are gated only for eager provenance; lazy coalescing makes
+    # its recorded derivations schedule-dependent by design (view-only gate).
+    assert report.annotations_compared == (scheme == "Absorption Eager")
+
+
+def test_full_profile_composition_parity(workload):
+    """Link faults + crash storm + doomed recoveries + scaling churn at once."""
+    report = assert_parity(
+        verify_sim_parity(
+            reachability_plan(),
+            "Absorption Eager",
+            ChaosPlan.profile("full", SEED),
+            workload,
+            node_count=NODE_COUNT,
+        )
+    )
+    assert report.chaos["supervised_actions"] >= 1
+    assert report.chaos["supervised_exhausted"] == 0
+    assert report.chaos["degraded_nodes"] == 0
+
+
+def test_double_fault_crash_during_recovery_replay(workload):
+    """A node that dies again mid-replay retries under the budget and converges."""
+    plan = ChaosPlan(
+        seed=SEED,
+        name="double-fault",
+        storm=CrashStormSpec(cycles=1, downtime=0.25, window=(0.2, 0.7)),
+        recovery=RecoveryFaultSpec(failure_prob=1.0, max_failures=2),
+    )
+    report = assert_parity(
+        verify_sim_parity(
+            reachability_plan(),
+            "Absorption Eager",
+            plan,
+            workload,
+            node_count=NODE_COUNT,
+        )
+    )
+    # Every crash's first replay is doomed, so each recovery took >= 1 retry.
+    assert report.chaos["supervised_retries"] >= report.chaos["supervised_actions"] >= 1
+    assert report.chaos["supervised_exhausted"] == 0
+
+
+def test_degraded_mode_serves_stale_tagged_views(workload):
+    """Recovery doomed past any budget ends in stale service, not a crash."""
+    plan = ChaosPlan.profile("degraded", SEED)
+    executor = chaos_executor(
+        reachability_plan(),
+        "Absorption Eager",
+        chaos_plan=plan,
+        supervisor_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+        node_count=NODE_COUNT,
+    )
+    schedule_chaos(executor, plan, horizon=1.0)
+    apply_workload(executor, workload)  # must not raise
+
+    view, staleness = executor.view_with_staleness()
+    assert staleness, "the doomed recovery should have degraded a node"
+    for node_id, info in staleness.items():
+        assert isinstance(info, StalenessInfo)
+        assert info.node == node_id
+        assert info.since >= 0.0
+        assert info.reason
+    assert view is not None
+    stats = executor.chaos_stats()
+    assert stats["supervised_exhausted"] >= 1
+    assert stats["degraded_nodes"] == len(staleness)
+
+
+def test_degraded_partitions_are_excluded_from_freshness_claims(workload):
+    """A degraded run's view comes from last-converged snapshots, so it can
+    differ from the fault-free reference — the gate must *fail* it rather
+    than quietly bless stale data."""
+    plan = ChaosPlan.profile("degraded", SEED)
+    report = verify_sim_parity(
+        reachability_plan(),
+        "Absorption Eager",
+        plan,
+        workload,
+        node_count=NODE_COUNT,
+        supervisor_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+    )
+    assert report.chaos["degraded_nodes"] >= 1
+    if not report.passed:
+        with pytest.raises(ParityError):
+            assert_parity(report)
+
+
+def test_process_backend_kill_parity(workload, tmp_path):
+    """Real SIGKILLs mid-run; WAL respawn keeps the result bit-identical."""
+    report = assert_parity(
+        verify_process_parity(
+            reachability_plan(),
+            "Absorption Eager",
+            ChaosPlan.profile("kill", SEED),
+            workload,
+            wal_dir=tmp_path,
+            node_count=NODE_COUNT,
+            workers=2,
+        )
+    )
+    assert report.chaos["worker_kills"] >= 1
+    assert report.chaos["worker_respawns"] >= report.chaos["worker_kills"]
+
+
+def test_process_double_fault_kill_during_respawn_replay(workload, tmp_path):
+    """A worker SIGKILLed again during its WAL-replay respawn retries and passes."""
+    plan = ChaosPlan(
+        seed=SEED,
+        name="respawn-doom",
+        kills=WorkerKillSpec(kills=1, window=(0.3, 0.6)),
+        respawn=RecoveryFaultSpec(failure_prob=1.0, max_failures=2),
+    )
+    report = assert_parity(
+        verify_process_parity(
+            reachability_plan(),
+            "Absorption Eager",
+            plan,
+            workload,
+            wal_dir=tmp_path,
+            node_count=NODE_COUNT,
+            workers=2,
+        )
+    )
+    assert report.chaos["worker_kills"] >= 1
+    assert report.chaos["worker_respawn_retries"] >= 2
+
+
+def test_process_respawn_budget_is_bounded(workload, tmp_path):
+    """With a one-attempt budget and doomed respawns, the run must *end* in a
+    clear error — never loop respawning forever."""
+    plan = ChaosPlan(
+        seed=SEED,
+        name="respawn-exhaust",
+        kills=WorkerKillSpec(kills=1, window=(0.3, 0.6)),
+        respawn=RecoveryFaultSpec(failure_prob=1.0, max_failures=10),
+    )
+    executor = build_executor(
+        reachability_plan(),
+        "Absorption Eager",
+        node_count=NODE_COUNT,
+        backend="process",
+        workers=2,
+        wal_dir=tmp_path,
+    )
+    try:
+        coordinator = executor.network
+        for fraction, wid in plan.kill_schedule(executor.workers):
+            coordinator.schedule_worker_kill(fraction * 0.01, wid)
+        coordinator.set_respawn_chaos(
+            plan, RetryPolicy(max_attempts=1, base_delay=0.01)
+        )
+        with pytest.raises(SimulationError, match="respawn budget"):
+            apply_workload(executor, workload)
+    finally:
+        executor.close()

@@ -1,0 +1,127 @@
+"""Property tests: bounded seeded chaos never moves the converged result.
+
+For *arbitrary* seeds and bounded fault intensities, a chaos run's final view
+— and, for eager provenance, its canonical annotations — must be bit-identical
+to the fault-free reference.  This is satellite (d) of the chaos plane: the
+parity-by-masking argument holds for the whole seeded schedule space, not just
+the named profiles, across strategies and both backends.
+
+Chaos runs are expensive (each example runs a reference plus one run per
+scheme), so the example budget is small and the workload deliberately tiny;
+the deterministic ``@example`` cases pin the named-profile seeds CI gates on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings, strategies as st
+
+from repro.chaos import (
+    ChaosPlan,
+    CrashStormSpec,
+    LinkChaosSpec,
+    RecoveryFaultSpec,
+    WorkerKillSpec,
+)
+from repro.chaos.parity import assert_parity, verify_process_parity, verify_sim_parity
+from repro.queries import reachability_plan
+from repro.workloads.chaos import generate_chaos_workload
+
+NODE_COUNT = 4
+WORKLOAD = generate_chaos_workload(links=20, seed=11)
+SCHEMES = ("Absorption Eager", "Absorption Lazy")
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop=st.floats(min_value=0.0, max_value=0.15),
+    dup=st.floats(min_value=0.0, max_value=0.1),
+    delay=st.floats(min_value=0.0, max_value=0.3),
+)
+@example(seed=11, drop=0.08, dup=0.06, delay=0.2)  # the "link" profile
+def test_any_bounded_link_chaos_preserves_parity(seed, drop, dup, delay):
+    plan = ChaosPlan(
+        seed=seed,
+        name="prop-link",
+        link=LinkChaosSpec(drop_prob=drop, dup_prob=dup, delay_prob=delay),
+    )
+    for scheme in SCHEMES:
+        report = assert_parity(
+            verify_sim_parity(
+                reachability_plan(), scheme, plan, WORKLOAD, node_count=NODE_COUNT
+            )
+        )
+        # Eager provenance is canonical under chaos; lazy is view-gated only.
+        assert report.annotations_compared == (scheme == "Absorption Eager")
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    cycles=st.integers(min_value=1, max_value=2),
+    downtime=st.floats(min_value=0.1, max_value=0.3),
+    doom=st.integers(min_value=0, max_value=2),
+)
+@example(seed=11, cycles=2, downtime=0.25, doom=2)
+def test_any_bounded_storm_with_doomed_recoveries_preserves_parity(
+    seed, cycles, downtime, doom
+):
+    """Crash storms with recovery attempts doomed within the retry budget."""
+    plan = ChaosPlan(
+        seed=seed,
+        name="prop-storm",
+        storm=CrashStormSpec(cycles=cycles, downtime=downtime),
+        recovery=RecoveryFaultSpec(failure_prob=0.8, max_failures=doom)
+        if doom
+        else None,
+    )
+    report = assert_parity(
+        verify_sim_parity(
+            reachability_plan(),
+            "Absorption Eager",
+            plan,
+            WORKLOAD,
+            node_count=NODE_COUNT,
+        )
+    )
+    assert report.chaos["supervised_exhausted"] == 0
+    assert report.chaos["degraded_nodes"] == 0
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@settings(
+    max_examples=2,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(min_value=0, max_value=1000))
+@example(seed=11)
+def test_any_seeded_kill_schedule_preserves_process_parity(scheme, seed, tmp_path_factory):
+    """Real worker SIGKILLs at seeded virtual-time points, both schemes."""
+    plan = ChaosPlan(
+        seed=seed,
+        name="prop-kill",
+        link=LinkChaosSpec(drop_prob=0.04, dup_prob=0.03, delay_prob=0.1),
+        kills=WorkerKillSpec(kills=1),
+    )
+    wal_dir = tmp_path_factory.mktemp(f"chaos-prop-{scheme.replace(' ', '-')}-{seed}")
+    report = assert_parity(
+        verify_process_parity(
+            reachability_plan(),
+            scheme,
+            plan,
+            WORKLOAD,
+            wal_dir=wal_dir,
+            node_count=NODE_COUNT,
+            workers=2,
+        )
+    )
+    assert report.chaos["worker_kills"] >= 1
+    assert report.chaos["worker_respawns"] >= 1
